@@ -1,0 +1,108 @@
+"""Ablation — anchor pre-filtering vs always running the regex engine.
+
+Section 5.3's design: extract anchors from each regular expression, string-
+match them, and invoke the full engine only when every anchor of an
+expression appeared.  The alternative runs every compiled regex on every
+packet.  Snort's numbers motivate the design (99.7 % of regex rules invoke
+PCRE only after their anchors matched); this benchmark shows the same
+effect on synthetic expressions.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+
+from repro.bench.harness import Table
+from repro.core.instance import DPIServiceInstance, InstanceConfig
+from repro.core.patterns import Pattern, PatternKind
+from repro.core.scanner import MiddleboxProfile
+from repro.workloads.traffic import TrafficGenerator
+
+from benchmarks.conftest import run_once
+
+CHAIN = 100
+
+
+def _synthetic_regexes(count):
+    """Anchored regexes in the style of Snort rules."""
+    sources = []
+    for index in range(count):
+        sources.append(
+            rb"mal-cmd-%04d\s+arg=\d+;token-%04d" % (index, index)
+        )
+    return sources
+
+
+def test_ablation_anchor_prefilter(benchmark):
+    def experiment():
+        regex_sources = _synthetic_regexes(200)
+        patterns = [
+            Pattern(pattern_id=index, data=source, kind=PatternKind.REGEX)
+            for index, source in enumerate(regex_sources)
+        ]
+        instance = DPIServiceInstance(
+            InstanceConfig(
+                pattern_sets={1: patterns},
+                profiles={1: MiddleboxProfile(1, name="l7fw")},
+                chain_map={CHAIN: (1,)},
+            )
+        )
+        compiled = [re.compile(source, re.DOTALL) for source in regex_sources]
+        generator = TrafficGenerator(seed=21)
+        trace = generator.trace(30)
+        # Make one packet actually match one expression end to end.
+        payloads = list(trace.payloads)
+        payloads[7] = payloads[7] + b" mal-cmd-0007 arg=42;token-0007"
+
+        def run_prefiltered():
+            hits = 0
+            for payload in payloads:
+                output = instance.inspect(payload, CHAIN)
+                hits += len(output.matches[1])
+            return hits
+
+        def run_always_regex():
+            hits = 0
+            for payload in payloads:
+                for expression in compiled:
+                    for _match in expression.finditer(payload):
+                        hits += 1
+            return hits
+
+        prefilter_hits = run_prefiltered()
+        always_hits = run_always_regex()
+        assert prefilter_hits == always_hits  # same detections
+
+        started = time.perf_counter()
+        for _ in range(3):
+            run_prefiltered()
+        prefilter_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for _ in range(3):
+            run_always_regex()
+        always_seconds = time.perf_counter() - started
+
+        stats = instance.prefilter.stats
+        table = Table(
+            "Ablation: anchor pre-filter vs always-run-regex (200 regexes)",
+            ["variant", "seconds (3 passes)", "full-engine invocations"],
+        )
+        table.add_row(
+            "anchor pre-filter",
+            prefilter_seconds,
+            stats.confirmations_invoked,
+        )
+        table.add_row(
+            "always run regex",
+            always_seconds,
+            len(payloads) * len(compiled) * 4,  # 4 runs incl. hit counting
+        )
+        table.print()
+        return prefilter_seconds, always_seconds, stats
+
+    prefilter_seconds, always_seconds, stats = run_once(benchmark, experiment)
+    # The pre-filter invokes the engine rarely and wins overall.
+    assert prefilter_seconds < always_seconds
+    assert stats.fallback_regexes == 0  # all 200 expressions had anchors

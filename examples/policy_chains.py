@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Policy chains on a simulated SDN — the paper's Figure 1(b) end to end.
+
+A full software-defined network is built: user hosts, an OpenFlow switch,
+a traffic steering application, a DPI controller, a DPI service instance,
+and two middleboxes (IDS + traffic shaper) consuming scan results.  The DPI
+controller negotiates with the TSA so the chain ``ids -> shaper`` becomes
+``dpi -> ids -> shaper``, and packets are scanned exactly once.
+
+Run:  python examples/policy_chains.py
+"""
+
+from repro.core import DPIController
+from repro.core.instance import DPIServiceFunction
+from repro.middleboxes.base import MiddleboxChainFunction
+from repro.middleboxes.ids import IntrusionDetectionSystem
+from repro.middleboxes.traffic_shaper import TrafficShaper
+from repro.net.controller import SDNController
+from repro.net.packet import make_tcp_packet
+from repro.net.steering import (
+    PolicyChain,
+    TrafficAssignment,
+    TrafficSteeringApplication,
+)
+from repro.net.topology import build_paper_topology
+
+# ----------------------------------------------------------------------
+# 1. Topology and SDN control plane.
+# ----------------------------------------------------------------------
+topo = build_paper_topology()
+sdn = SDNController(topo, learning=False)
+tsa = TrafficSteeringApplication(sdn, topo)
+
+# ----------------------------------------------------------------------
+# 2. Middleboxes: an IDS and an application-aware shaper.
+# ----------------------------------------------------------------------
+ids = IntrusionDetectionSystem(middlebox_id=1)
+ids.add_signature(0, b"GET /cgi-bin/exploit", severity="high")
+ids.add_regex_signature(1, rb"password=\w{1,16}", severity="low")
+
+shaper = TrafficShaper(middlebox_id=2)
+shaper.add_class("bulk", rate_bps=64_000)
+shaper.add_app_pattern(0, b"BitTorrent protocol", "bulk")
+
+# ----------------------------------------------------------------------
+# 3. DPI control plane: registration, chains, TSA negotiation.
+# ----------------------------------------------------------------------
+dpi_controller = DPIController()
+ids.register_with(dpi_controller)
+shaper.register_with(dpi_controller)
+
+tsa.register_middlebox_instance("ids", "mb1")
+tsa.register_middlebox_instance("shaper", "mb2")
+tsa.register_middlebox_instance("dpi", "dpi1")
+tsa.add_policy_chain(PolicyChain("monitored", ("ids", "shaper")))
+
+dpi_controller.attach_tsa(tsa)
+print("chain after DPI negotiation:", tsa.chains["monitored"].middlebox_types)
+
+tsa.assign_traffic(TrafficAssignment("user1", "user2", "monitored"))
+tsa.realize()
+
+# ----------------------------------------------------------------------
+# 4. Data plane functions on the hosts.
+# ----------------------------------------------------------------------
+instance = dpi_controller.create_instance("dpi1")
+topo.hosts["dpi1"].set_function(DPIServiceFunction(instance))
+topo.hosts["mb1"].set_function(MiddleboxChainFunction(ids))
+topo.hosts["mb2"].set_function(MiddleboxChainFunction(shaper))
+
+# ----------------------------------------------------------------------
+# 5. Send traffic user1 -> user2 through the chain.
+# ----------------------------------------------------------------------
+user1, user2 = topo.hosts["user1"], topo.hosts["user2"]
+payloads = [
+    b"GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n",
+    b"GET /cgi-bin/exploit?shell=1 HTTP/1.1\r\n\r\n",
+    b"POST /login user=bob&password=hunter2",
+    b"\x13BitTorrent protocol and piece data follow",
+]
+for index, payload in enumerate(payloads):
+    packet = make_tcp_packet(
+        user1.mac, user2.mac, user1.ip, user2.ip, 40000 + index, 80,
+        payload=payload,
+    )
+    user1.send(packet)
+topo.run()
+
+# ----------------------------------------------------------------------
+# 6. What happened?
+# ----------------------------------------------------------------------
+print(f"\nDPI instance scanned {instance.telemetry.packets_scanned} packets "
+      f"({instance.telemetry.bytes_scanned} bytes), "
+      f"{instance.telemetry.packets_with_matches} had matches")
+
+print("\nIDS alerts:")
+for alert in ids.alerts:
+    print(f"  rule {alert.rule_id} severity={alert.severity} "
+          f"packet #{alert.packet_id}")
+
+print("\nshaper flow classes:", dict(shaper.flow_classes) or "none")
+
+delivered = [p for p in user2.received_packets if not p.is_result_packet]
+print(f"\nuser2 received {len(delivered)} data packets; "
+      f"marked-matched: {sum(p.is_marked_matched for p in delivered)}")
+assert len(ids.alerts) >= 2, "expected IDS alerts on packets 2 and 3"
+print("\nOK: packets scanned once, both middleboxes served.")

@@ -1,0 +1,135 @@
+"""Achievable-throughput regions (paper Figure 10).
+
+Two middleboxes with pattern sets A and B handle two traffic classes.
+
+* **Separate deployment** — each set runs on its own machine; the feasible
+  (class-A Mbps, class-B Mbps) region is the *rectangle*
+  ``[0, T_A] x [0, T_B]``.
+* **Virtual DPI** — both machines run the combined engine and any split of
+  the two traffic classes; the feasible region is the *triangle*
+  ``x + y <= machines * T_combined`` (with x, y >= 0).
+
+The interesting area is inside the triangle but outside the rectangle: one
+class may exceed 100 % of its dedicated-machine capacity by borrowing the
+other's idle resources — the paper's Clam-AV-over-100 % example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SeparateRectangle:
+    """Feasible region of the dedicated-middlebox deployment."""
+
+    max_a_mbps: float
+    max_b_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.max_a_mbps < 0 or self.max_b_mbps < 0:
+            raise ValueError("throughputs must be non-negative")
+
+    def contains(self, a_mbps: float, b_mbps: float) -> bool:
+        """True if the point lies inside the region."""
+        return 0 <= a_mbps <= self.max_a_mbps and 0 <= b_mbps <= self.max_b_mbps
+
+    @property
+    def area(self) -> float:
+        """Region area (Mbps^2) — for quick comparisons."""
+        return self.max_a_mbps * self.max_b_mbps
+
+    def corners(self) -> list:
+        """The region's corner points."""
+        return [
+            (0.0, 0.0),
+            (self.max_a_mbps, 0.0),
+            (self.max_a_mbps, self.max_b_mbps),
+            (0.0, self.max_b_mbps),
+        ]
+
+
+@dataclass(frozen=True)
+class CombinedTriangle:
+    """Feasible region of the virtual-DPI deployment."""
+
+    combined_mbps_per_machine: float
+    machines: int = 2
+
+    def __post_init__(self) -> None:
+        if self.combined_mbps_per_machine < 0:
+            raise ValueError("throughput must be non-negative")
+        if self.machines < 1:
+            raise ValueError(f"need at least one machine: {self.machines}")
+
+    @property
+    def total_mbps(self) -> float:
+        """Aggregate capacity across the machines."""
+        return self.combined_mbps_per_machine * self.machines
+
+    def contains(self, a_mbps: float, b_mbps: float) -> bool:
+        """True if the point lies inside the region."""
+        if a_mbps < 0 or b_mbps < 0:
+            return False
+        return a_mbps + b_mbps <= self.total_mbps
+
+    @property
+    def area(self) -> float:
+        """Region area (Mbps^2) — for quick comparisons."""
+        return self.total_mbps * self.total_mbps / 2
+
+    def corners(self) -> list:
+        """The region's corner points."""
+        return [(0.0, 0.0), (self.total_mbps, 0.0), (0.0, self.total_mbps)]
+
+
+@dataclass(frozen=True)
+class RegionComparison:
+    """How the two regions relate for one middlebox pair."""
+
+    rectangle: SeparateRectangle
+    triangle: CombinedTriangle
+    #: Peak class-A throughput under virtual DPI relative to its dedicated
+    #: machine (>1.0 means exceeding "100 % of original capacity").
+    peak_a_gain: float
+    peak_b_gain: float
+    #: Points feasible for virtual DPI but not for separate deployment.
+    gain_examples: tuple
+
+    @property
+    def triangle_covers_rectangle_corner(self) -> bool:
+        """Whether the combined deployment can serve both classes at their
+        dedicated maxima simultaneously."""
+        return self.triangle.contains(
+            self.rectangle.max_a_mbps, self.rectangle.max_b_mbps
+        )
+
+
+def region_report(
+    separate_a_mbps: float,
+    separate_b_mbps: float,
+    combined_mbps: float,
+    machines: int = 2,
+) -> RegionComparison:
+    """Build the Figure 10 comparison for one middlebox pair."""
+    rectangle = SeparateRectangle(separate_a_mbps, separate_b_mbps)
+    triangle = CombinedTriangle(combined_mbps, machines=machines)
+    peak_a_gain = (
+        triangle.total_mbps / separate_a_mbps if separate_a_mbps > 0 else float("inf")
+    )
+    peak_b_gain = (
+        triangle.total_mbps / separate_b_mbps if separate_b_mbps > 0 else float("inf")
+    )
+    examples = []
+    # The all-A and all-B extremes, when they escape the rectangle:
+    if triangle.total_mbps > separate_a_mbps:
+        examples.append((triangle.total_mbps, 0.0))
+    if triangle.total_mbps > separate_b_mbps:
+        examples.append((0.0, triangle.total_mbps))
+    return RegionComparison(
+        rectangle=rectangle,
+        triangle=triangle,
+        peak_a_gain=peak_a_gain,
+        peak_b_gain=peak_b_gain,
+        gain_examples=tuple(examples),
+    )

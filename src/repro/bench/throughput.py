@@ -1,0 +1,90 @@
+"""Throughput measurement of scan loops.
+
+The paper reports DPI throughput in Mbps over its traces.  The helpers here
+time a scan callable over a list of payloads with ``time.perf_counter`` and
+convert to megabits per second.  Absolute numbers on a Python engine are
+orders of magnitude below the paper's C engine; every benchmark therefore
+compares *ratios* between configurations, which is where the paper's claims
+live.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of one timed scan run."""
+
+    bytes_scanned: int
+    packets: int
+    seconds: float
+
+    @property
+    def mbps(self) -> float:
+        """Megabits per second (the paper's unit)."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.bytes_scanned * 8 / self.seconds / 1e6
+
+    @property
+    def ns_per_byte(self) -> float:
+        """Average cost per scanned byte."""
+        if self.bytes_scanned == 0:
+            return 0.0
+        return self.seconds * 1e9 / self.bytes_scanned
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mbps:.3f} Mbps ({self.bytes_scanned} bytes, "
+            f"{self.packets} packets, {self.seconds:.4f} s)"
+        )
+
+
+def measure_scan_throughput(
+    scan, payloads, repeat: int = 1, warmup_packets: int = 0
+) -> ThroughputResult:
+    """Time ``scan(payload)`` over *payloads*, *repeat* passes.
+
+    ``warmup_packets`` payloads are scanned untimed first, so one-time costs
+    (lazy caches, branch warmup) do not skew short runs.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1: {repeat}")
+    for payload in payloads[:warmup_packets]:
+        scan(payload)
+    total_bytes = sum(len(p) for p in payloads) * repeat
+    started = time.perf_counter()
+    for _ in range(repeat):
+        for payload in payloads:
+            scan(payload)
+    elapsed = time.perf_counter() - started
+    return ThroughputResult(
+        bytes_scanned=total_bytes,
+        packets=len(payloads) * repeat,
+        seconds=elapsed,
+    )
+
+
+def pipeline_throughput(stages: list) -> float:
+    """Throughput of a pipeline of middleboxes, each with its own Mbps.
+
+    The paper's Figure 9 baseline: traffic traverses every stage, so the
+    pipeline runs at the speed of its slowest stage.
+    """
+    if not stages:
+        raise ValueError("pipeline needs at least one stage")
+    return min(stages)
+
+
+def replicated_throughput(per_instance_mbps: float, instances: int) -> float:
+    """Aggregate throughput of load-balanced identical instances.
+
+    The paper's Figure 9 virtual-DPI setup: N instances of the combined
+    engine share the load, so capacity adds up.
+    """
+    if instances < 1:
+        raise ValueError(f"instances must be >= 1: {instances}")
+    return per_instance_mbps * instances

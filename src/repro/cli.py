@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+Workflows a downstream user needs without writing code::
+
+    repro-dpi generate-patterns --style snort --count 1000 --out pats.txt
+    repro-dpi generate-trace --packets 200 --patterns pats.txt --out t.rtrc
+    repro-dpi scan --patterns pats.txt --trace t.rtrc --engine ac
+    repro-dpi demo
+
+Pattern files hold one pattern per line, base64-encoded; lines starting
+with ``re:`` are regular expressions, ``#`` lines are comments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import sys
+import time
+from pathlib import Path
+
+from repro.core.aho_corasick import AhoCorasick
+from repro.core.patterns import Pattern, PatternKind
+from repro.core.wu_manber import WuManber
+from repro.workloads.patterns import generate_clamav_like, generate_snort_like
+from repro.workloads.traces import load_trace, save_trace
+from repro.workloads.traffic import TrafficGenerator
+
+
+def write_pattern_file(path, literals, regexes=()) -> int:
+    """Write a pattern file; returns the number of patterns written."""
+    lines = ["# repro-dpi pattern file: base64 per line, re: prefix = regex"]
+    for literal in literals:
+        lines.append(base64.b64encode(literal).decode("ascii"))
+    for regex in regexes:
+        lines.append("re:" + base64.b64encode(regex).decode("ascii"))
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(literals) + len(regexes)
+
+
+def read_pattern_file(path) -> list:
+    """Read a pattern file into :class:`Pattern` objects."""
+    patterns = []
+    for line_number, raw_line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        kind = PatternKind.LITERAL
+        if line.startswith("re:"):
+            kind = PatternKind.REGEX
+            line = line[3:]
+        try:
+            data = base64.b64decode(line, validate=True)
+        except Exception:
+            raise ValueError(
+                f"{path}:{line_number}: not valid base64: {line[:40]!r}"
+            ) from None
+        patterns.append(Pattern(pattern_id=len(patterns), data=data, kind=kind))
+    return patterns
+
+
+def _cmd_generate_patterns(args) -> int:
+    generators = {"snort": generate_snort_like, "clamav": generate_clamav_like}
+    literals = generators[args.style](count=args.count, seed=args.seed)
+    written = write_pattern_file(args.out, literals)
+    print(f"wrote {written} {args.style}-like patterns to {args.out}")
+    return 0
+
+
+def _cmd_generate_trace(args) -> int:
+    patterns = None
+    if args.patterns:
+        patterns = [p.data for p in read_pattern_file(args.patterns)]
+    generator = TrafficGenerator(seed=args.seed, style=args.style)
+    trace = generator.trace(
+        args.packets,
+        patterns=patterns,
+        match_rate=args.match_rate,
+        num_flows=args.flows,
+    )
+    save_trace(trace, args.out)
+    print(
+        f"wrote {len(trace)} packets ({trace.total_bytes} bytes) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_scan(args) -> int:
+    patterns = read_pattern_file(args.patterns)
+    literals = [p.data for p in patterns if p.kind is PatternKind.LITERAL]
+    if not literals:
+        print("pattern file holds no literal patterns", file=sys.stderr)
+        return 2
+    trace = load_trace(args.trace)
+    if args.engine == "ac":
+        engine = AhoCorasick(literals, layout=args.layout)
+    else:
+        engine = WuManber(literals)
+    started = time.perf_counter()
+    total_matches = 0
+    matched_packets = 0
+    for payload in trace.payloads:
+        found = engine.count_matches(payload)
+        total_matches += found
+        if found:
+            matched_packets += 1
+    elapsed = time.perf_counter() - started
+    mbps = trace.total_bytes * 8 / elapsed / 1e6 if elapsed > 0 else float("inf")
+    print(f"engine: {args.engine}" + (f" ({args.layout})" if args.engine == "ac" else ""))
+    print(f"packets: {len(trace)}  bytes: {trace.total_bytes}")
+    print(f"matched packets: {matched_packets}  total matches: {total_matches}")
+    print(f"throughput: {mbps:.2f} Mbps")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.core.controller import DPIController
+    from repro.core.messages import AddPatternsMessage, RegisterMiddleboxMessage
+    from repro.net.steering import PolicyChain
+
+    controller = DPIController()
+    controller.handle_message(RegisterMiddleboxMessage(1, "ids"))
+    controller.handle_message(RegisterMiddleboxMessage(2, "av"))
+    controller.handle_message(
+        AddPatternsMessage(1, [Pattern(0, b"attack-demo-sig")])
+    )
+    controller.handle_message(
+        AddPatternsMessage(2, [Pattern(0, b"virus-demo-sig!")])
+    )
+    controller.policy_chains_changed(
+        {"demo": PolicyChain("demo", ("ids", "av"), chain_id=100)}
+    )
+    instance = controller.create_instance("demo-instance")
+    samples = [
+        b"a perfectly clean packet",
+        b"carrying the attack-demo-sig here",
+        b"and one with virus-demo-sig! too",
+    ]
+    for payload in samples:
+        output = instance.inspect(payload, 100)
+        verdict = "MATCHES" if output.has_matches else "clean"
+        print(f"{verdict:7}  {payload!r}")
+        for middlebox_id, matches in output.matches.items():
+            for pattern_id, position in matches:
+                name = {1: "ids", 2: "av"}[middlebox_id]
+                print(f"         -> {name}: pattern {pattern_id} ends at {position}")
+    print(f"telemetry: {instance.telemetry.snapshot()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dpi",
+        description="DPI-as-a-service reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate-patterns", help="write a synthetic pattern corpus"
+    )
+    generate.add_argument("--style", choices=("snort", "clamav"), default="snort")
+    generate.add_argument("--count", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=1)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=_cmd_generate_patterns)
+
+    trace = commands.add_parser("generate-trace", help="write a traffic trace")
+    trace.add_argument("--packets", type=int, default=200)
+    trace.add_argument("--style", choices=("http", "campus"), default="http")
+    trace.add_argument("--patterns", help="pattern file to inject from")
+    trace.add_argument("--match-rate", type=float, default=0.08)
+    trace.add_argument("--flows", type=int, default=None)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--out", required=True)
+    trace.set_defaults(func=_cmd_generate_trace)
+
+    scan = commands.add_parser("scan", help="scan a trace with an engine")
+    scan.add_argument("--patterns", required=True)
+    scan.add_argument("--trace", required=True)
+    scan.add_argument("--engine", choices=("ac", "wm"), default="ac")
+    scan.add_argument("--layout", choices=("sparse", "full"), default="sparse")
+    scan.set_defaults(func=_cmd_scan)
+
+    demo = commands.add_parser("demo", help="run a tiny end-to-end demo")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

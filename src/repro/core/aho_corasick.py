@@ -1,0 +1,261 @@
+"""The Aho-Corasick multi-string matcher (paper Section 3).
+
+Two interchangeable layouts are provided, matching the two classic
+implementations the paper discusses:
+
+* ``"sparse"`` — trie transitions in hash maps plus failure links, walked at
+  scan time.  Memory is proportional to the number of trie edges, which makes
+  ClamAV-scale sets (tens of thousands of long patterns) practical.
+* ``"full"`` — the full-table DFA ("full-table AC" in the paper): every state
+  stores all 256 next-state entries, so scanning is a single table lookup per
+  byte.  Memory is ``states * 256`` entries; this is the layout whose size
+  the paper reports in Table 2.
+
+Match positions are reported as *end offsets*: the number of bytes consumed
+when the accepting state was reached (the paper's ``cnt``).  A match of
+pattern ``p`` at end offset ``e`` spans ``data[e - len(p):e]``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+ROOT = 0
+
+_LAYOUTS = ("sparse", "full")
+
+
+@dataclass(frozen=True)
+class AutomatonStats:
+    """Size figures for an automaton (Table 2's "Space" column)."""
+
+    num_patterns: int
+    num_states: int
+    num_accepting_states: int
+    num_trie_edges: int
+    layout: str
+    memory_bytes: int
+
+    @property
+    def memory_megabytes(self) -> float:
+        """Memory estimate in MiB."""
+        return self.memory_bytes / (1024 * 1024)
+
+
+class AhoCorasick:
+    """An Aho-Corasick automaton over a list of byte-string patterns.
+
+    Pattern *indices* (positions in the input list) identify matches; callers
+    that need richer identities (middlebox id, pattern id) layer them on top,
+    as :class:`~repro.core.combined.CombinedAutomaton` does.
+    """
+
+    # Cost model for :attr:`stats` (bytes per stored entry).
+    _FULL_ENTRY_BYTES = 4  # one 32-bit next-state entry
+    _SPARSE_EDGE_BYTES = 8  # key+value of one hash-map transition
+    _STATE_OVERHEAD_BYTES = 4  # failure link / bookkeeping per state
+
+    def __init__(self, patterns: Sequence[bytes], layout: str = "sparse") -> None:
+        if layout not in _LAYOUTS:
+            raise ValueError(f"unknown layout {layout!r}; expected one of {_LAYOUTS}")
+        self._patterns = [bytes(p) for p in patterns]
+        for pattern in self._patterns:
+            if not pattern:
+                raise ValueError("empty patterns are not allowed")
+        self.layout = layout
+        # Trie construction (phase 1: forward transitions).
+        self._goto: list[dict[int, int]] = [{}]
+        self._depth: list[int] = [0]
+        ends_here: list[list[int]] = [[]]
+        for index, pattern in enumerate(self._patterns):
+            state = ROOT
+            for byte in pattern:
+                nxt = self._goto[state].get(byte)
+                if nxt is None:
+                    nxt = len(self._goto)
+                    self._goto[state][byte] = nxt
+                    self._goto.append({})
+                    self._depth.append(self._depth[state] + 1)
+                    ends_here.append([])
+                state = nxt
+            ends_here[state].append(index)
+        # Phase 2: failure links and suffix-closed output sets.
+        self._fail = array("l", [ROOT] * len(self._goto))
+        self._output: list[tuple[int, ...]] = [()] * len(self._goto)
+        queue: deque[int] = deque()
+        for state in self._goto[ROOT].values():
+            queue.append(state)
+        order: list[int] = []
+        while queue:
+            state = queue.popleft()
+            order.append(state)
+            for byte, child in self._goto[state].items():
+                queue.append(child)
+                fallback = self._fail[state]
+                while byte not in self._goto[fallback] and fallback != ROOT:
+                    fallback = self._fail[fallback]
+                self._fail[child] = self._goto[fallback].get(byte, ROOT)
+                if self._fail[child] == child:
+                    self._fail[child] = ROOT
+        self._output[ROOT] = tuple(ends_here[ROOT])
+        for state in order:
+            self._output[state] = tuple(
+                ends_here[state]
+            ) + self._output[self._fail[state]]
+        self._delta: list[array] | None = None
+        if layout == "full":
+            self._build_full_table()
+
+    # --- construction helpers ------------------------------------------------
+
+    def _build_full_table(self) -> None:
+        """Materialize the dense next-state table from goto + failure links."""
+        num_states = len(self._goto)
+        delta: list[array] = [array("l", [ROOT]) * 256 for _ in range(num_states)]
+        root_row = delta[ROOT]
+        for byte in range(256):
+            root_row[byte] = self._goto[ROOT].get(byte, ROOT)
+        queue: deque[int] = deque(self._goto[ROOT].values())
+        while queue:
+            state = queue.popleft()
+            fail_row = delta[self._fail[state]]
+            row = delta[state]
+            for byte in range(256):
+                row[byte] = fail_row[byte]
+            for byte, child in self._goto[state].items():
+                row[byte] = child
+                queue.append(child)
+        self._delta = delta
+
+    # --- introspection ---------------------------------------------------------
+
+    @property
+    def patterns(self) -> list[bytes]:
+        """The pattern list (a copy)."""
+        return list(self._patterns)
+
+    @property
+    def num_states(self) -> int:
+        """Number of automaton states."""
+        return len(self._goto)
+
+    @property
+    def num_trie_edges(self) -> int:
+        """Number of forward (trie) transitions."""
+        return sum(len(edges) for edges in self._goto)
+
+    def depth_of(self, state: int) -> int:
+        """Length of the label of *state*."""
+        return self._depth[state]
+
+    def output_of(self, state: int) -> tuple[int, ...]:
+        """Indices of all patterns ending at *state* (suffix-closed)."""
+        return self._output[state]
+
+    def is_accepting(self, state: int) -> bool:
+        """True if at least one pattern ends at *state*."""
+        return bool(self._output[state])
+
+    @property
+    def accepting_states(self) -> list[int]:
+        """All states with a non-empty output set."""
+        return [s for s in range(self.num_states) if self._output[s]]
+
+    @property
+    def stats(self) -> AutomatonStats:
+        """Size statistics (states, edges, memory)."""
+        if self.layout == "full":
+            memory = (
+                self.num_states * 256 * self._FULL_ENTRY_BYTES
+                + self.num_states * self._STATE_OVERHEAD_BYTES
+            )
+        else:
+            memory = (
+                self.num_trie_edges * self._SPARSE_EDGE_BYTES
+                + self.num_states * self._STATE_OVERHEAD_BYTES
+            )
+        return AutomatonStats(
+            num_patterns=len(self._patterns),
+            num_states=self.num_states,
+            num_accepting_states=len(self.accepting_states),
+            num_trie_edges=self.num_trie_edges,
+            layout=self.layout,
+            memory_bytes=memory,
+        )
+
+    # --- scanning ---------------------------------------------------------------
+
+    def next_state(self, state: int, byte: int) -> int:
+        """Single DFA step (used by tests and by the combined automaton)."""
+        if self._delta is not None:
+            return self._delta[state][byte]
+        goto = self._goto
+        fail = self._fail
+        while byte not in goto[state] and state != ROOT:
+            state = fail[state]
+        return goto[state].get(byte, ROOT)
+
+    def scan(
+        self, data: bytes, state: int = ROOT
+    ) -> tuple[list[tuple[int, int]], int]:
+        """Scan *data*, returning ``(matches, end_state)``.
+
+        Matches are ``(end_offset, pattern_index)`` pairs in scan order.
+        Passing the returned state back in resumes a stateful (cross-packet)
+        scan.
+        """
+        matches = list(self.iter_matches(data, state))
+        end_state = self.state_after(data, state)
+        return matches, end_state
+
+    def iter_matches(
+        self, data: bytes, state: int = ROOT
+    ) -> Iterator[tuple[int, int]]:
+        """Yield ``(end_offset, pattern_index)`` lazily."""
+        output = self._output
+        if self._delta is not None:
+            delta = self._delta
+            for position, byte in enumerate(data):
+                state = delta[state][byte]
+                if output[state]:
+                    for pattern_index in output[state]:
+                        yield (position + 1, pattern_index)
+        else:
+            goto = self._goto
+            fail = self._fail
+            for position, byte in enumerate(data):
+                while byte not in goto[state] and state != ROOT:
+                    state = fail[state]
+                state = goto[state].get(byte, ROOT)
+                if output[state]:
+                    for pattern_index in output[state]:
+                        yield (position + 1, pattern_index)
+
+    def state_after(self, data: bytes, state: int = ROOT) -> int:
+        """The DFA state after consuming *data* (no match collection)."""
+        if self._delta is not None:
+            delta = self._delta
+            for byte in data:
+                state = delta[state][byte]
+            return state
+        goto = self._goto
+        fail = self._fail
+        for byte in data:
+            while byte not in goto[state] and state != ROOT:
+                state = fail[state]
+            state = goto[state].get(byte, ROOT)
+        return state
+
+    def count_matches(self, data: bytes, state: int = ROOT) -> int:
+        """Number of matches in *data* — a cheap scan used by benchmarks."""
+        return sum(1 for _ in self.iter_matches(data, state))
+
+    def find_all(self, data: bytes) -> list[tuple[int, int]]:
+        """All ``(start_offset, pattern_index)`` matches (start-based view)."""
+        return [
+            (end - len(self._patterns[index]), index)
+            for end, index in self.iter_matches(data)
+        ]

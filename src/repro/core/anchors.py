@@ -1,0 +1,284 @@
+"""Anchor extraction from regular expressions (paper Section 5.3).
+
+An *anchor* is a literal substring that **must** occur in any match of the
+regular expression.  The DPI service registers the anchors with its string
+matcher as a pre-filter, and invokes the full regex engine only when every
+anchor of an expression was seen.  Strings shorter than
+``MIN_ANCHOR_LENGTH`` (4, per the paper) are not extracted.
+
+The extractor is deliberately conservative: whenever a construct makes a
+literal run uncertain (alternation, character class, optional quantifier),
+the run is cut or dropped.  An expression for which no anchor of sufficient
+length survives is handled by the fallback path (a full scan with the regex
+engine, run in parallel to string matching — see
+:class:`repro.core.regex.RegexPreFilter`).
+
+The paper's example — ``regular\\s*expression\\s*\\d+`` yields anchors
+``regular`` and ``expression`` — is reproduced by the test suite.
+"""
+
+from __future__ import annotations
+
+MIN_ANCHOR_LENGTH = 4
+
+# Regex metacharacters that, when escaped, stand for themselves.
+_ESCAPED_LITERALS = set(b"\\^$.|?*+()[]{}/-~ #&%@!\"',:;<>=_`")
+# Escape letters denoting character classes or assertions (never literal).
+_CLASS_ESCAPES = set(b"dDsSwWbBAZ")
+
+
+class _Parser:
+    """Recursive-descent walk that accumulates required literal runs."""
+
+    def __init__(self, source: bytes, min_length: int) -> None:
+        self.source = source
+        self.position = 0
+        self.min_length = min_length
+        self.anchors: list[bytes] = []
+
+    # --- character feed ---------------------------------------------------
+
+    def peek(self) -> int | None:
+        """The next byte, or None at the end of input."""
+        if self.position >= len(self.source):
+            return None
+        return self.source[self.position]
+
+    def advance(self) -> int:
+        """Consume and return the next byte."""
+        byte = self.source[self.position]
+        self.position += 1
+        return byte
+
+    # --- run management ---------------------------------------------------
+
+    def flush(self, run: bytearray) -> None:
+        """Finish a literal run, keeping it if long enough."""
+        if len(run) >= self.min_length:
+            self.anchors.append(bytes(run))
+        run.clear()
+
+    # --- grammar ------------------------------------------------------------
+
+    def parse_alternatives(self, depth: int) -> bool:
+        """Parse a ``branch (| branch)*`` group body.
+
+        Returns True if the group consists of a *single* branch — only then
+        are the anchors found inside guaranteed to be required.  For multi-
+        branch groups the anchors discovered inside each branch are discarded
+        (a match may come from the other branch).
+        """
+        saved_anchors = len(self.anchors)
+        branches = 1
+        self.parse_branch(depth)
+        while self.peek() == ord("|"):
+            self.advance()
+            branches += 1
+            self.parse_branch(depth)
+        if branches > 1:
+            del self.anchors[saved_anchors:]
+            return False
+        return True
+
+    def parse_branch(self, depth: int) -> None:
+        """One alternation branch: a sequence of (atom, quantifier) pairs."""
+        run = bytearray()
+        while True:
+            byte = self.peek()
+            if byte is None or byte == ord("|"):
+                break
+            if byte == ord(")") and depth > 0:
+                break
+            self.parse_atom(run, depth)
+        self.flush(run)
+
+    def parse_atom(self, run: bytearray, depth: int) -> None:
+        """One literal, class, wildcard, escape or group."""
+        byte = self.advance()
+        if byte == ord("("):
+            self.flush(run)
+            self._parse_group(depth)
+            return
+        if byte == ord("["):
+            self._skip_class()
+            consumed_literal = False
+        elif byte == ord("\\"):
+            consumed_literal = self._parse_escape(run)
+        elif byte in b".^$":
+            consumed_literal = False
+        else:
+            run.append(byte)
+            consumed_literal = True
+
+        quantifier = self._parse_quantifier()
+        if quantifier is None:
+            if not consumed_literal and byte not in b"^$":
+                # A wildcard/class with no quantifier still consumes one
+                # unknown byte: it cuts the literal run.
+                self.flush(run)
+            return
+        min_repeats, exact_one = quantifier
+        if consumed_literal:
+            if min_repeats == 0:
+                # Optional atom: it may be absent, so it cannot extend a
+                # required run, and the run so far stays intact only up to
+                # the previous byte.
+                run.pop()
+                self.flush(run)
+            elif exact_one:
+                # {1} — effectively no quantifier.
+                pass
+            else:
+                # b+ / b{2,5}: at least one occurrence required, but the
+                # repetition makes anything *after* it non-contiguous.
+                self.flush(run)
+        else:
+            self.flush(run)
+
+    def _parse_group(self, depth: int) -> None:
+        """A ``( ... )`` group; contents contribute anchors only when the
+        group is single-branch and required at least once."""
+        # Skip (?: (?= (?! (?P<name> prefixes — they do not change whether
+        # the body is required, except lookarounds, which we treat as
+        # contributing nothing (their content may not be consumed).
+        lookaround = False
+        if self.peek() == ord("?"):
+            self.advance()
+            nxt = self.peek()
+            if nxt in (ord("="), ord("!"), ord("<")):
+                lookaround = True
+                self.advance()
+                if self.source[self.position - 1 : self.position] == b"<" and self.peek() in (
+                    ord("="),
+                    ord("!"),
+                ):
+                    self.advance()
+            elif nxt == ord(":"):
+                self.advance()
+            elif nxt == ord("P"):
+                self.advance()
+                while self.peek() is not None and self.peek() != ord(">"):
+                    self.advance()
+                if self.peek() == ord(">"):
+                    self.advance()
+        saved_anchors = len(self.anchors)
+        self.parse_alternatives(depth + 1)
+        if self.peek() == ord(")"):
+            self.advance()
+        quantifier = self._parse_quantifier()
+        optional = quantifier is not None and quantifier[0] == 0
+        if lookaround or optional:
+            del self.anchors[saved_anchors:]
+
+    def _parse_escape(self, run: bytearray) -> bool:
+        """Handle ``\\x``; returns True if a literal byte was appended."""
+        byte = self.peek()
+        if byte is None:
+            return False
+        self.advance()
+        if byte in _CLASS_ESCAPES:
+            return False
+        if byte == ord("x"):
+            digits = self.source[self.position : self.position + 2]
+            self.position += 2
+            try:
+                run.append(int(digits, 16))
+                return True
+            except ValueError:
+                return False
+        if byte == ord("n"):
+            run.append(0x0A)
+            return True
+        if byte == ord("r"):
+            run.append(0x0D)
+            return True
+        if byte == ord("t"):
+            run.append(0x09)
+            return True
+        if byte == ord("0"):
+            run.append(0x00)
+            return True
+        if byte in _ESCAPED_LITERALS or not bytes([byte]).isalnum():
+            run.append(byte)
+            return True
+        if bytes([byte]).isdigit():
+            # Backreference: unknown content.
+            return False
+        run.append(byte)
+        return True
+
+    def _skip_class(self) -> None:
+        """Skip a ``[...]`` character class."""
+        if self.peek() == ord("^"):
+            self.advance()
+        if self.peek() == ord("]"):
+            self.advance()
+        while True:
+            byte = self.peek()
+            if byte is None:
+                return
+            self.advance()
+            if byte == ord("\\"):
+                if self.peek() is not None:
+                    self.advance()
+            elif byte == ord("]"):
+                return
+
+    def _parse_quantifier(self) -> tuple[int, bool] | None:
+        """Consume ``? * + {m,n}`` if present.
+
+        Returns ``(minimum repeats, exactly_one)`` or None when the next
+        token is not a quantifier.
+        """
+        byte = self.peek()
+        if byte is None:
+            return None
+        if byte == ord("?"):
+            self.advance()
+            self._maybe_lazy()
+            return (0, False)
+        if byte == ord("*"):
+            self.advance()
+            self._maybe_lazy()
+            return (0, False)
+        if byte == ord("+"):
+            self.advance()
+            self._maybe_lazy()
+            return (1, False)
+        if byte == ord("{"):
+            end = self.source.find(b"}", self.position)
+            if end == -1:
+                return None
+            body = self.source[self.position + 1 : end]
+            parts = body.split(b",")
+            try:
+                minimum = int(parts[0]) if parts[0] else 0
+            except ValueError:
+                return None
+            self.position = end + 1
+            self._maybe_lazy()
+            exactly_one = minimum == 1 and len(parts) == 1
+            return (minimum, exactly_one)
+        return None
+
+    def _maybe_lazy(self) -> None:
+        if self.peek() == ord("?"):
+            self.advance()
+
+
+def extract_anchors(
+    regex: bytes, min_length: int = MIN_ANCHOR_LENGTH
+) -> list[bytes]:
+    """Required literal substrings of *regex*, each at least *min_length*
+    bytes long.  Deduplicated, order of first appearance preserved."""
+    if isinstance(regex, str):
+        regex = regex.encode()
+    parser = _Parser(regex, min_length)
+    parser.parse_alternatives(depth=0)
+    seen = set()
+    unique: list[bytes] = []
+    for anchor in parser.anchors:
+        if anchor not in seen:
+            seen.add(anchor)
+            unique.append(anchor)
+    return unique

@@ -1,0 +1,183 @@
+"""Deployment planning for DPI service instances (paper Section 4.3).
+
+The DPI controller decides where instances run and which policy chains each
+serves.  This module implements the deployment considerations the paper
+discusses:
+
+* grouping similar policy chains so an instance only carries the pattern
+  sets its chains actually need;
+* grouping by traffic class (e.g. HTTP-pattern chains vs FTP-pattern
+  chains);
+* load-driven scale out / scale in / flow migration decisions based on the
+  telemetry instances export.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class DecisionKind(enum.Enum):
+    """The planner's action vocabulary."""
+
+    SCALE_OUT = "scale_out"
+    SCALE_IN = "scale_in"
+    MIGRATE_FLOWS = "migrate_flows"
+
+
+@dataclass(frozen=True)
+class DeploymentDecision:
+    """One action the planner recommends to the controller."""
+
+    kind: DecisionKind
+    instance_name: str
+    detail: str = ""
+    target_instance: str | None = None
+
+
+def jaccard_similarity(set_a: set, set_b: set) -> float:
+    """Similarity of two chains' middlebox sets (1.0 = identical)."""
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def group_chains_by_similarity(
+    chain_map: dict, max_groups: int, min_similarity: float = 0.0
+) -> list[list]:
+    """Greedy agglomerative grouping of policy chains.
+
+    ``chain_map`` maps chain id -> iterable of middlebox ids.  Starting from
+    one group per chain, the two groups whose middlebox sets are most
+    similar merge, until *max_groups* remain or the best similarity drops
+    below *min_similarity*.  Returns a list of chain-id lists.
+    """
+    if max_groups < 1:
+        raise ValueError(f"max_groups must be >= 1, got {max_groups}")
+    groups = [
+        {"chains": [chain_id], "middleboxes": set(middleboxes)}
+        for chain_id, middleboxes in sorted(chain_map.items())
+    ]
+    while len(groups) > max_groups:
+        best = None
+        best_similarity = -1.0
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                similarity = jaccard_similarity(
+                    groups[i]["middleboxes"], groups[j]["middleboxes"]
+                )
+                if similarity > best_similarity:
+                    best_similarity = similarity
+                    best = (i, j)
+        if best is None or best_similarity < min_similarity:
+            break
+        i, j = best
+        groups[i]["chains"].extend(groups[j]["chains"])
+        groups[i]["middleboxes"] |= groups[j]["middleboxes"]
+        del groups[j]
+    return [sorted(group["chains"]) for group in groups]
+
+
+def group_chains_by_traffic_class(chain_classes: dict) -> dict:
+    """Group chain ids by their traffic class label (e.g. "http", "ftp").
+
+    ``chain_classes`` maps chain id -> class label; returns
+    ``{label: [chain ids]}``.
+    """
+    groups: dict = {}
+    for chain_id, label in sorted(chain_classes.items()):
+        groups.setdefault(label, []).append(chain_id)
+    return groups
+
+
+@dataclass
+class LoadSample:
+    """One instance's load over an observation window."""
+
+    instance_name: str
+    bytes_scanned: int
+    scan_seconds: float
+    window_seconds: float
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the window spent scanning (1.0 = saturated)."""
+        if self.window_seconds <= 0:
+            return 0.0
+        return self.scan_seconds / self.window_seconds
+
+
+@dataclass
+class DeploymentPlanner:
+    """Turns load samples into scale/migrate decisions.
+
+    ``high_watermark`` / ``low_watermark`` bound the target utilization
+    band; an instance above the high mark triggers a scale-out (or a flow
+    migration when a peer has headroom), one below the low mark becomes a
+    scale-in candidate — but the last instance of a group is never removed.
+    """
+
+    high_watermark: float = 0.8
+    low_watermark: float = 0.2
+    history: list = field(default_factory=list)
+
+    def plan(self, samples: list) -> list:
+        """Compute decisions for one observation window."""
+        decisions: list[DeploymentDecision] = []
+        if not samples:
+            return decisions
+        self.history.append(list(samples))
+        overloaded = [s for s in samples if s.utilization > self.high_watermark]
+        underloaded = [s for s in samples if s.utilization < self.low_watermark]
+        spare = sorted(underloaded, key=lambda s: s.utilization)
+        for sample in sorted(
+            overloaded, key=lambda s: s.utilization, reverse=True
+        ):
+            if spare:
+                target = spare.pop(0)
+                decisions.append(
+                    DeploymentDecision(
+                        kind=DecisionKind.MIGRATE_FLOWS,
+                        instance_name=sample.instance_name,
+                        target_instance=target.instance_name,
+                        detail=(
+                            f"utilization {sample.utilization:.2f} -> "
+                            f"{target.instance_name} at {target.utilization:.2f}"
+                        ),
+                    )
+                )
+            else:
+                decisions.append(
+                    DeploymentDecision(
+                        kind=DecisionKind.SCALE_OUT,
+                        instance_name=sample.instance_name,
+                        detail=f"utilization {sample.utilization:.2f}",
+                    )
+                )
+        # Scale in only instances that were not just used as migration
+        # targets, and never below one instance total.
+        migration_targets = {
+            d.target_instance for d in decisions if d.target_instance
+        }
+        removable = [
+            s
+            for s in underloaded
+            if s.instance_name not in migration_targets
+        ]
+        for sample in removable:
+            if len(samples) - sum(
+                1 for d in decisions if d.kind is DecisionKind.SCALE_IN
+            ) <= 1:
+                break
+            decisions.append(
+                DeploymentDecision(
+                    kind=DecisionKind.SCALE_IN,
+                    instance_name=sample.instance_name,
+                    detail=f"utilization {sample.utilization:.2f}",
+                )
+            )
+        return decisions

@@ -1,0 +1,278 @@
+"""A DPI service instance (paper Section 5).
+
+An instance is initialized by the DPI controller with an
+:class:`InstanceConfig` — the pattern sets and properties of every middlebox
+it serves plus the policy-chain -> middlebox mapping.  It builds the combined
+automaton (literal patterns plus regex anchors), scans packets once for all
+active middleboxes, resolves regex confirmations, and produces the
+:class:`~repro.core.reports.MatchReport` that travels to the middleboxes.
+
+:class:`DPIServiceFunction` adapts an instance to the simulated network: it
+reads the policy-chain tag off arriving packets, marks matched packets via
+the ECN bit, and emits the results in one of the three Section 4.2 modes
+(dedicated result packet by default, like the paper's prototype).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.combined import CombinedAutomaton
+from repro.core.patterns import Pattern, PatternKind
+from repro.core.regex import RegexPreFilter, split_matches
+from repro.core.reports import MatchReport
+from repro.core.scanner import MiddleboxProfile, VirtualScanner
+from repro.net.flows import FiveTuple
+from repro.net.host import NetworkFunction
+from repro.net.nsh import attach_nsh_results, build_result_packet, encode_tag_results
+from repro.net.packet import Packet
+
+RESULT_MODES = ("result_packet", "nsh", "tags")
+
+
+@dataclass
+class InstanceConfig:
+    """What the controller passes to an instance at initialization
+    (Section 5.1): pattern sets, middlebox properties, chain mapping."""
+
+    pattern_sets: dict  # middlebox id -> list[Pattern]
+    profiles: dict  # middlebox id -> MiddleboxProfile
+    chain_map: dict  # policy chain id -> tuple of middlebox ids
+    layout: str = "sparse"
+
+    def __post_init__(self) -> None:
+        for middlebox_id in self.pattern_sets:
+            if middlebox_id not in self.profiles:
+                raise KeyError(f"pattern set without profile: {middlebox_id}")
+
+
+@dataclass
+class InstanceTelemetry:
+    """Counters exported to the controller (the MCA^2 telemetry feed)."""
+
+    packets_scanned: int = 0
+    bytes_scanned: int = 0
+    packets_with_matches: int = 0
+    total_matches: int = 0
+    scan_seconds: float = 0.0
+    regex_confirmations: int = 0
+    active_flows: int = 0
+    # Heaviest flows by per-byte work, for the stress monitor.
+    flow_work: dict = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of the counters."""
+        return {
+            "packets_scanned": self.packets_scanned,
+            "bytes_scanned": self.bytes_scanned,
+            "packets_with_matches": self.packets_with_matches,
+            "total_matches": self.total_matches,
+            "scan_seconds": self.scan_seconds,
+            "regex_confirmations": self.regex_confirmations,
+            "active_flows": self.active_flows,
+        }
+
+
+@dataclass
+class InspectionOutput:
+    """The outcome of inspecting one packet."""
+
+    matches: dict  # middlebox id -> [(pattern id, position)], regexes resolved
+    report: MatchReport
+    bytes_scanned: int
+
+    @property
+    def has_matches(self) -> bool:
+        """True when at least one match was found."""
+        return not self.report.is_empty
+
+
+class DPIServiceInstance:
+    """The virtual DPI engine serving many middleboxes at once."""
+
+    def __init__(self, config: InstanceConfig, name: str = "dpi") -> None:
+        self.name = name
+        self.telemetry = InstanceTelemetry()
+        self._configure(config)
+
+    def _configure(self, config: InstanceConfig) -> None:
+        self.config = config
+        self.prefilter = RegexPreFilter()
+        literal_sets: dict = {}
+        for middlebox_id, patterns in config.pattern_sets.items():
+            literals = []
+            for pattern in patterns:
+                if pattern.kind is PatternKind.LITERAL:
+                    literals.append(pattern)
+                else:
+                    literals.extend(self.prefilter.add_regex(middlebox_id, pattern))
+            literal_sets[middlebox_id] = literals
+        self.automaton = CombinedAutomaton(literal_sets, layout=config.layout)
+        self.scanner = VirtualScanner(
+            self.automaton, config.profiles, config.chain_map
+        )
+
+    def reconfigure(self, config: InstanceConfig) -> None:
+        """Adopt a new configuration.
+
+        The combined DFA is rebuilt, so per-flow DFA states from the old
+        automaton are meaningless and the flow table starts empty — the same
+        consequence a pattern update has on any AC-based engine.
+        """
+        self._configure(config)
+
+    # --- inspection -------------------------------------------------------------
+
+    def inspect(
+        self,
+        payload: bytes,
+        chain_id: int,
+        flow_key=None,
+        now: float = 0.0,
+    ) -> InspectionOutput:
+        """Scan one packet payload for its policy chain and build the report."""
+        started = time.perf_counter()
+        scan = self.scanner.scan_packet(payload, chain_id, flow_key=flow_key, now=now)
+        final_matches: dict = {}
+        for middlebox_id, raw in scan.matches.items():
+            reportable, anchor_ids = split_matches(raw)
+            if anchor_ids or self.prefilter.has_regexes(middlebox_id):
+                confirmed = self.prefilter.confirm(middlebox_id, payload, anchor_ids)
+                if confirmed:
+                    self.telemetry.regex_confirmations += len(confirmed)
+                    reportable.extend(confirmed)
+                reportable.extend(self.prefilter.scan_fallback(middlebox_id, payload))
+            final_matches[middlebox_id] = reportable
+        report = MatchReport.from_matches(final_matches)
+        elapsed = time.perf_counter() - started
+
+        telemetry = self.telemetry
+        telemetry.packets_scanned += 1
+        telemetry.bytes_scanned += scan.bytes_scanned
+        telemetry.scan_seconds += elapsed
+        telemetry.active_flows = len(self.scanner.flow_table)
+        total = sum(len(v) for v in final_matches.values())
+        telemetry.total_matches += total
+        if total:
+            telemetry.packets_with_matches += 1
+        if flow_key is not None:
+            work = telemetry.flow_work.get(flow_key, 0.0)
+            telemetry.flow_work[flow_key] = work + elapsed
+        return InspectionOutput(
+            matches=final_matches, report=report, bytes_scanned=scan.bytes_scanned
+        )
+
+    # --- flow migration (Section 4.3) -----------------------------------------
+
+    def export_flow(self, flow_key) -> dict | None:
+        """Hand a flow's scan state to the controller for migration."""
+        return self.scanner.flow_table.export_flow(flow_key)
+
+    def import_flow(self, flow_key, exported: dict) -> None:
+        """Install migrated flow scan state."""
+        self.scanner.flow_table.import_flow(flow_key, exported)
+
+    def drop_flow(self, flow_key) -> None:
+        """Forget one flow's scan state."""
+        self.scanner.flow_table.remove(flow_key)
+
+    def heavy_flows(self, top: int = 5) -> list:
+        """Flows ranked by accumulated scan work (for the stress monitor)."""
+        ranked = sorted(
+            self.telemetry.flow_work.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return ranked[:top]
+
+    def reset_telemetry(self) -> None:
+        """Zero every counter (start a fresh observation window)."""
+        self.telemetry = InstanceTelemetry()
+
+
+class DPIServiceFunction(NetworkFunction):
+    """Adapter: runs a :class:`DPIServiceInstance` on a simulated host.
+
+    ``direct_chains`` activates the read-only optimization (Section 4.2,
+    option 3) for the listed policy-chain ids: those chains' middleboxes
+    are *off* the data path, so matched packets trigger result packets
+    addressed straight to the middlebox hosts (``middlebox_addresses``
+    maps middlebox id to ``(mac, ip)``), and matchless packets generate no
+    middlebox traffic at all.
+    """
+
+    def __init__(
+        self,
+        instance: DPIServiceInstance,
+        result_mode: str = "result_packet",
+        direct_chains=None,
+        middlebox_addresses=None,
+    ) -> None:
+        if result_mode not in RESULT_MODES:
+            raise ValueError(
+                f"unknown result mode {result_mode!r}; expected one of {RESULT_MODES}"
+            )
+        self.instance = instance
+        self.result_mode = result_mode
+        self.direct_chains = set(direct_chains or ())
+        self.middlebox_addresses = dict(middlebox_addresses or {})
+        if self.direct_chains:
+            for chain_id in self.direct_chains:
+                for middlebox_id in instance.scanner.chain_map.get(chain_id, ()):
+                    if middlebox_id not in self.middlebox_addresses:
+                        raise KeyError(
+                            f"direct chain {chain_id} needs an address for "
+                            f"middlebox {middlebox_id}"
+                        )
+        self.packets_forwarded = 0
+        self.packets_skipped = 0
+        self.direct_results_sent = 0
+
+    def process(self, packet: Packet) -> list[Packet]:
+        # Result packets or untagged traffic pass through untouched.
+        """Handle one received packet; return the packets to send on."""
+        tag = packet.outer_vlan
+        if packet.is_result_packet or tag is None:
+            self.packets_skipped += 1
+            return [packet]
+        chain_id = tag.vid
+        if chain_id not in self.instance.scanner.chain_map:
+            self.packets_skipped += 1
+            return [packet]
+        flow_key = FiveTuple.of(packet)
+        now = self.host.simulator.now if hasattr(self, "host") else 0.0
+        output = self.instance.inspect(
+            packet.payload, chain_id, flow_key=flow_key, now=now
+        )
+        self.packets_forwarded += 1
+        if output.report.is_empty:
+            # No matches: forward as is, without any modification.
+            return [packet]
+        if chain_id in self.direct_chains:
+            return self._emit_direct(packet, output)
+        packet.mark_matched()
+        if self.result_mode == "nsh":
+            attach_nsh_results(packet, output.report, service_path=chain_id)
+            return [packet]
+        if self.result_mode == "tags":
+            encode_tag_results(packet, output.report)
+            return [packet]
+        result = build_result_packet(packet, output.report)
+        return [packet, result]
+
+    def _emit_direct(self, packet: Packet, output: InspectionOutput) -> list[Packet]:
+        """Read-only mode: data packet continues; one result packet goes
+        straight to every middlebox that has matches."""
+        from repro.net.nsh import build_directed_result_packet
+        from repro.core.reports import MatchReport
+
+        emitted = [packet]
+        for middlebox_id, matches in output.matches.items():
+            if not matches:
+                continue
+            mac, ip = self.middlebox_addresses[middlebox_id]
+            per_middlebox = MatchReport.from_matches({middlebox_id: matches})
+            emitted.append(
+                build_directed_result_packet(packet, per_middlebox, mac, ip)
+            )
+            self.direct_results_sent += 1
+        return emitted

@@ -1,0 +1,201 @@
+"""MCA^2-style robustness for the DPI service (paper Section 4.3.1).
+
+Complexity attacks against AC-based DPI engines craft payloads that maximize
+per-byte work (long failure-link chains in a sparse automaton).  MCA^2
+mitigates them by detecting *heavy* traffic and diverting it to dedicated
+engines running an implementation whose per-byte cost is flat (here: the
+full-table DFA layout, whose single-lookup step cannot be inflated by
+failure chains).
+
+In the paper's virtual-DPI adaptation, every DPI service instance exports
+telemetry; the DPI controller plays the central *stress monitor*: when an
+instance's per-byte scan cost rises well above its calibrated baseline, the
+monitor allocates (or reuses) dedicated instances and migrates the heaviest
+flows there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller import DPIController
+
+
+@dataclass(frozen=True)
+class StressEvent:
+    """One instance flagged as stressed during an observation."""
+
+    instance_name: str
+    ns_per_byte: float
+    baseline_ns_per_byte: float
+
+    @property
+    def stress_factor(self) -> float:
+        """How far above the baseline the instance runs."""
+        if self.baseline_ns_per_byte <= 0:
+            return float("inf")
+        return self.ns_per_byte / self.baseline_ns_per_byte
+
+
+@dataclass(frozen=True)
+class MitigationAction:
+    """The outcome of mitigating one stressed instance."""
+
+    instance_name: str
+    dedicated_instance: str
+    migrated_flows: tuple
+    dedicated_created: bool
+
+
+@dataclass
+class _InstanceWindow:
+    """Last-seen counters, for per-window deltas."""
+
+    bytes_scanned: int = 0
+    scan_seconds: float = 0.0
+
+
+class StressMonitor:
+    """The central stress monitor (the DPI controller's MCA^2 role)."""
+
+    DEDICATED_PREFIX = "dedicated"
+
+    def __init__(
+        self,
+        controller: DPIController,
+        threshold_factor: float = 2.5,
+        min_window_bytes: int = 1024,
+        heavy_flows_per_mitigation: int = 3,
+    ) -> None:
+        if threshold_factor <= 1.0:
+            raise ValueError(
+                f"threshold factor must exceed 1.0: {threshold_factor}"
+            )
+        self.controller = controller
+        self.threshold_factor = threshold_factor
+        self.min_window_bytes = min_window_bytes
+        self.heavy_flows_per_mitigation = heavy_flows_per_mitigation
+        self._baselines: dict[str, float] = {}
+        self._windows: dict[str, _InstanceWindow] = {}
+        self._dedicated: list[str] = []
+        self.events: list[StressEvent] = []
+        self.actions: list[MitigationAction] = []
+        # Hook for the traffic steering application: called with
+        # (flow_key, target_instance_name) for every migrated flow.
+        self.on_flow_migrated = None
+
+    # --- calibration ------------------------------------------------------
+
+    def _window_delta(self, name: str) -> tuple[int, float]:
+        telemetry = self.controller.instances[name].telemetry
+        window = self._windows.setdefault(name, _InstanceWindow())
+        delta_bytes = telemetry.bytes_scanned - window.bytes_scanned
+        delta_seconds = telemetry.scan_seconds - window.scan_seconds
+        window.bytes_scanned = telemetry.bytes_scanned
+        window.scan_seconds = telemetry.scan_seconds
+        return delta_bytes, delta_seconds
+
+    def calibrate(self) -> dict:
+        """Record the current per-byte cost of each instance as its normal-
+        traffic baseline.  Run this after warming instances with benign
+        traffic."""
+        for name in self.controller.instances:
+            if name.startswith(self.DEDICATED_PREFIX):
+                continue
+            delta_bytes, delta_seconds = self._window_delta(name)
+            if delta_bytes >= self.min_window_bytes:
+                self._baselines[name] = delta_seconds * 1e9 / delta_bytes
+        return dict(self._baselines)
+
+    @property
+    def baselines(self) -> dict:
+        """Calibrated ns-per-byte baselines per instance."""
+        return dict(self._baselines)
+
+    @property
+    def dedicated_instances(self) -> list[str]:
+        """Names of the currently allocated dedicated instances."""
+        return list(self._dedicated)
+
+    # --- detection -----------------------------------------------------------
+
+    def observe(self) -> list[StressEvent]:
+        """Compare each instance's per-byte cost over the window since the
+        last observation against its baseline."""
+        events: list[StressEvent] = []
+        for name in list(self.controller.instances):
+            if name.startswith(self.DEDICATED_PREFIX):
+                continue
+            baseline = self._baselines.get(name)
+            if baseline is None:
+                continue
+            delta_bytes, delta_seconds = self._window_delta(name)
+            if delta_bytes < self.min_window_bytes:
+                continue
+            ns_per_byte = delta_seconds * 1e9 / delta_bytes
+            if ns_per_byte > baseline * self.threshold_factor:
+                events.append(
+                    StressEvent(
+                        instance_name=name,
+                        ns_per_byte=ns_per_byte,
+                        baseline_ns_per_byte=baseline,
+                    )
+                )
+        self.events.extend(events)
+        return events
+
+    # --- mitigation ------------------------------------------------------------
+
+    def mitigate(self, event: StressEvent) -> MitigationAction:
+        """Divert the stressed instance's heaviest flows to a dedicated
+        instance (allocated on first use) running the flat-cost full-table
+        layout."""
+        source = self.controller.instances[event.instance_name]
+        dedicated_name, created = self._ensure_dedicated(event.instance_name)
+        migrated = []
+        for flow_key, _work in source.heavy_flows(
+            top=self.heavy_flows_per_mitigation
+        ):
+            if self.controller.migrate_flow(
+                flow_key, event.instance_name, dedicated_name
+            ):
+                migrated.append(flow_key)
+                if self.on_flow_migrated is not None:
+                    self.on_flow_migrated(flow_key, dedicated_name)
+        action = MitigationAction(
+            instance_name=event.instance_name,
+            dedicated_instance=dedicated_name,
+            migrated_flows=tuple(migrated),
+            dedicated_created=created,
+        )
+        self.actions.append(action)
+        return action
+
+    def _ensure_dedicated(self, for_instance: str) -> tuple[str, bool]:
+        """Reuse an existing dedicated instance or allocate a new one.
+
+        Dedicated instances are intentionally NOT migration targets of the
+        DFA state: they are built from the same controller configuration, so
+        state ids are only transferable when the layouts produce identical
+        renumbering.  Both layouts here share the renumbering step, so the
+        exported (state, offset) pairs remain valid.
+        """
+        if self._dedicated:
+            return self._dedicated[-1], False
+        name = f"{self.DEDICATED_PREFIX}-{len(self._dedicated) + 1}"
+        chain_filter = self.controller._instance_chain_filter.get(for_instance)
+        self.controller.create_instance(name, chain_ids=chain_filter, layout="full")
+        self._dedicated.append(name)
+        return name, True
+
+    def deallocate_dedicated(self) -> list[str]:
+        """Release dedicated instances once the attack subsides."""
+        released = list(self._dedicated)
+        for name in released:
+            self.controller.remove_instance(name)
+        self._dedicated.clear()
+        return released
+
+    def observe_and_mitigate(self) -> list[MitigationAction]:
+        """One monitoring round: detect stress, mitigate every event."""
+        return [self.mitigate(event) for event in self.observe()]

@@ -1,0 +1,144 @@
+"""JSON control-plane messages between middleboxes and the DPI controller.
+
+The paper (Section 4.1) specifies JSON messages over a direct channel for
+registration and pattern-set management.  Every message serializes to a JSON
+object with a ``type`` discriminator; pattern bytes travel base64-encoded.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.core.patterns import Pattern, PatternKind
+
+_MESSAGE_TYPES: dict = {}
+
+
+def _register_message(cls):
+    _MESSAGE_TYPES[cls.TYPE] = cls
+    return cls
+
+
+def _encode_pattern(pattern: Pattern) -> dict:
+    return {
+        "pattern_id": pattern.pattern_id,
+        "kind": pattern.kind.value,
+        "data": base64.b64encode(pattern.data).decode("ascii"),
+    }
+
+
+def _decode_pattern(obj: dict) -> Pattern:
+    return Pattern(
+        pattern_id=obj["pattern_id"],
+        data=base64.b64decode(obj["data"]),
+        kind=PatternKind(obj["kind"]),
+    )
+
+
+@dataclass
+class ControlMessage:
+    """Base class: JSON round-trip through the ``type`` discriminator."""
+
+    def to_json(self) -> str:
+        """Serialize the message to a JSON string."""
+        payload = self._to_dict()
+        payload["type"] = self.TYPE
+        return json.dumps(payload, sort_keys=True)
+
+    def _to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_json(text: str) -> "ControlMessage":
+        """Parse a JSON string into the right message class."""
+        payload = json.loads(text)
+        try:
+            message_type = payload.pop("type")
+        except KeyError:
+            raise ValueError("message has no 'type' field") from None
+        cls = _MESSAGE_TYPES.get(message_type)
+        if cls is None:
+            raise ValueError(f"unknown message type: {message_type!r}")
+        return cls._from_dict(payload)
+
+    @classmethod
+    def _from_dict(cls, payload: dict) -> "ControlMessage":
+        return cls(**payload)
+
+
+@_register_message
+@dataclass
+class RegisterMiddleboxMessage(ControlMessage):
+    """A middlebox announces itself to the DPI service (Section 4.1).
+
+    ``inherit_from`` names an already-registered middlebox whose pattern set
+    this one adopts.  ``read_only`` middleboxes only need match results, not
+    the packets themselves.  ``stopping_condition`` bounds scan depth.
+    """
+
+    TYPE = "register"
+
+    middlebox_id: int
+    name: str
+    stateful: bool = False
+    read_only: bool = False
+    stopping_condition: int | None = None
+    inherit_from: int | None = None
+
+
+@_register_message
+@dataclass
+class UnregisterMiddleboxMessage(ControlMessage):
+    """A middlebox leaves the service; its pattern referrals are released."""
+
+    TYPE = "unregister"
+
+    middlebox_id: int
+
+
+@_register_message
+@dataclass
+class AddPatternsMessage(ControlMessage):
+    """Add patterns to a registered middlebox's set."""
+
+    TYPE = "add_patterns"
+
+    middlebox_id: int
+    patterns: list = field(default_factory=list)
+
+    def _to_dict(self) -> dict:
+        return {
+            "middlebox_id": self.middlebox_id,
+            "patterns": [_encode_pattern(p) for p in self.patterns],
+        }
+
+    @classmethod
+    def _from_dict(cls, payload: dict) -> "AddPatternsMessage":
+        return cls(
+            middlebox_id=payload["middlebox_id"],
+            patterns=[_decode_pattern(obj) for obj in payload["patterns"]],
+        )
+
+
+@_register_message
+@dataclass
+class RemovePatternsMessage(ControlMessage):
+    """Remove patterns (by local id) from a middlebox's set."""
+
+    TYPE = "remove_patterns"
+
+    middlebox_id: int
+    pattern_ids: list = field(default_factory=list)
+
+
+@_register_message
+@dataclass
+class AckMessage(ControlMessage):
+    """Controller reply: success/failure plus a human-readable detail."""
+
+    TYPE = "ack"
+
+    ok: bool
+    detail: str = ""

@@ -1,0 +1,166 @@
+"""The service orchestrator: the DPI controller's network-wide control loop.
+
+Section 4.3 of the paper: "the DPI controller should collect performance
+metrics from the working DPI instances and may decide to allocate more
+instances, to remove service instances, or to migrate flows between
+instances", collaborating with the TSA to realize the changes.
+
+:class:`ServiceOrchestrator` closes that loop:
+
+* each :meth:`tick` collects per-instance load samples over the window;
+* the :class:`~repro.core.deployment.DeploymentPlanner` turns them into
+  decisions;
+* decisions are executed — ``SCALE_OUT`` spawns an instance on a host from
+  the spare pool and registers it with the TSA; ``MIGRATE_FLOWS`` moves the
+  hottest flows' scan state between instances and repins their steering;
+  ``SCALE_IN`` releases an idle instance's host back to the pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.deployment import DecisionKind, DeploymentPlanner
+
+
+@dataclass
+class ExecutedAction:
+    """What one decision turned into."""
+
+    kind: DecisionKind
+    instance_name: str
+    detail: str = ""
+    new_instance: str | None = None
+    migrated_flows: tuple = ()
+
+
+class ServiceOrchestrator:
+    """Drives instance lifecycle and flow placement from telemetry."""
+
+    def __init__(
+        self,
+        dpi_controller,
+        tsa,
+        planner: DeploymentPlanner | None = None,
+        spare_hosts=None,
+        dpi_service_type: str = "dpi",
+        flows_per_migration: int = 3,
+    ) -> None:
+        self.dpi_controller = dpi_controller
+        self.tsa = tsa
+        self.planner = planner if planner is not None else DeploymentPlanner()
+        self.spare_hosts = list(spare_hosts or [])
+        self.dpi_service_type = dpi_service_type
+        self.flows_per_migration = flows_per_migration
+        # instance name -> host name serving it
+        self.instance_hosts: dict[str, str] = {}
+        self.history: list = []
+        #: Called with (host name, instance) when a new instance needs its
+        #: data-plane function installed on the host.
+        self.on_instance_spawned = None
+
+    def register_instance(self, instance_name: str, host_name: str) -> None:
+        """Record where an already-running instance lives."""
+        self.instance_hosts[instance_name] = host_name
+
+    # --- the control loop ---------------------------------------------------
+
+    def tick(self, window_seconds: float) -> list:
+        """One observation window: sample, plan, execute."""
+        samples = self.dpi_controller.load_samples(window_seconds)
+        decisions = self.planner.plan(samples)
+        executed = [self._execute(decision) for decision in decisions]
+        self.history.append(executed)
+        return executed
+
+    def _execute(self, decision) -> ExecutedAction:
+        if decision.kind is DecisionKind.SCALE_OUT:
+            return self._scale_out(decision)
+        if decision.kind is DecisionKind.MIGRATE_FLOWS:
+            return self._migrate(decision)
+        if decision.kind is DecisionKind.SCALE_IN:
+            return self._scale_in(decision)
+        raise ValueError(f"unknown decision kind: {decision.kind}")
+
+    def _scale_out(self, decision) -> ExecutedAction:
+        if not self.spare_hosts:
+            return ExecutedAction(
+                kind=decision.kind,
+                instance_name=decision.instance_name,
+                detail="no spare hosts available",
+            )
+        host_name = self.spare_hosts.pop(0)
+        name = f"dpi-auto-{len(self.instance_hosts) + 1}"
+        chain_filter = self.dpi_controller._instance_chain_filter.get(
+            decision.instance_name
+        )
+        instance = self.dpi_controller.create_instance(
+            name, chain_ids=chain_filter
+        )
+        self.instance_hosts[name] = host_name
+        # Future chain resolutions may pick the new instance's host.
+        self.tsa.register_middlebox_instance(self.dpi_service_type, host_name)
+        if self.on_instance_spawned is not None:
+            self.on_instance_spawned(host_name, instance)
+        return ExecutedAction(
+            kind=decision.kind,
+            instance_name=decision.instance_name,
+            new_instance=name,
+            detail=f"spawned on {host_name}",
+        )
+
+    def _migrate(self, decision) -> ExecutedAction:
+        source = self.dpi_controller.instances[decision.instance_name]
+        target_name = decision.target_instance
+        source_host = self.instance_hosts.get(decision.instance_name)
+        target_host = self.instance_hosts.get(target_name)
+        migrated = []
+        for flow_key, _work in source.heavy_flows(top=self.flows_per_migration):
+            if not self.dpi_controller.migrate_flow(
+                flow_key, decision.instance_name, target_name
+            ):
+                continue
+            migrated.append(flow_key)
+            if source_host and target_host:
+                self._repin(flow_key, source_host, target_host)
+        return ExecutedAction(
+            kind=decision.kind,
+            instance_name=decision.instance_name,
+            new_instance=target_name,
+            migrated_flows=tuple(migrated),
+        )
+
+    def _repin(self, flow_key, source_host: str, target_host: str) -> None:
+        """Re-steer one flow's chain through the target instance's host."""
+        src_host = self._host_of_ip(flow_key.src_ip)
+        if src_host is None:
+            return
+        for chain_name, realized in self.tsa.realized.items():
+            if source_host not in realized.hop_hosts:
+                continue
+            try:
+                self.tsa.pin_flow(
+                    chain_name,
+                    src_host,
+                    flow_key,
+                    {source_host: target_host},
+                )
+                return
+            except KeyError:
+                continue
+
+    def _host_of_ip(self, ip):
+        host = self.tsa.topology.host_of_ip(ip)
+        return host.name if host is not None else None
+
+    def _scale_in(self, decision) -> ExecutedAction:
+        name = decision.instance_name
+        host_name = self.instance_hosts.pop(name, None)
+        self.dpi_controller.remove_instance(name)
+        if host_name is not None:
+            self.spare_hosts.append(host_name)
+        return ExecutedAction(
+            kind=decision.kind,
+            instance_name=name,
+            detail=f"released {host_name}" if host_name else "",
+        )

@@ -1,0 +1,120 @@
+"""Payload preprocessing: decompression before inspection.
+
+The paper argues that when DPI is a service, heavy preprocessing such as
+decompression or decryption runs **once** per packet instead of once per
+middlebox (Section 1).  This module implements the decompression half:
+
+* :func:`decompress_gzip_regions` — finds gzip streams embedded in a
+  payload (magic ``1f 8b``) and inflates them, bounded by an expansion
+  limit so a decompression bomb cannot exhaust the service;
+* :class:`PayloadPreprocessor` — produces the *scan views* of a payload:
+  the raw bytes plus one view per successfully decompressed region, each
+  tagged with the region's offset so match positions can be attributed.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+GZIP_MAGIC = b"\x1f\x8b"
+
+#: Default cap on decompressed output per region (bomb protection).
+MAX_INFLATED_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ScanView:
+    """One byte sequence to scan, with provenance.
+
+    ``source_offset`` is where the view's origin lies in the raw payload;
+    ``compressed`` distinguishes inflated views (whose match positions are
+    positions in the *decompressed* stream) from the raw view.
+    """
+
+    data: bytes
+    source_offset: int = 0
+    compressed: bool = False
+
+
+@dataclass
+class PreprocessStats:
+    """Plain counters container."""
+    payloads: int = 0
+    gzip_regions_found: int = 0
+    gzip_regions_inflated: int = 0
+    inflate_failures: int = 0
+    bombs_stopped: int = 0
+    bytes_inflated: int = 0
+
+
+def find_gzip_offsets(payload: bytes) -> list:
+    """Offsets of plausible gzip stream starts (magic + deflate method)."""
+    offsets = []
+    start = 0
+    while True:
+        index = payload.find(GZIP_MAGIC, start)
+        if index == -1:
+            return offsets
+        # Third byte must be 8 (deflate) for a real gzip member.
+        if index + 2 < len(payload) and payload[index + 2] == 8:
+            offsets.append(index)
+        start = index + 1
+
+
+def decompress_gzip_regions(
+    payload: bytes, max_inflated: int = MAX_INFLATED_BYTES
+) -> list:
+    """Inflate every gzip region found in *payload*.
+
+    Returns ``(offset, inflated bytes)`` pairs; regions that fail to
+    inflate are skipped, and regions whose output exceeds *max_inflated*
+    are truncated there (the decompression-bomb guard).
+    """
+    regions = []
+    for offset in find_gzip_offsets(payload):
+        decompressor = zlib.decompressobj(wbits=zlib.MAX_WBITS | 16)
+        try:
+            inflated = decompressor.decompress(payload[offset:], max_inflated)
+        except zlib.error:
+            continue
+        if inflated:
+            regions.append((offset, inflated))
+    return regions
+
+
+class PayloadPreprocessor:
+    """Produces the scan views of a payload (raw + decompressed regions)."""
+
+    def __init__(self, max_inflated: int = MAX_INFLATED_BYTES) -> None:
+        if max_inflated < 1:
+            raise ValueError(f"max_inflated must be positive: {max_inflated}")
+        self.max_inflated = max_inflated
+        self.stats = PreprocessStats()
+
+    def views(self, payload: bytes) -> list:
+        """The raw view plus one view per inflatable gzip region."""
+        self.stats.payloads += 1
+        result = [ScanView(data=payload)]
+        for offset in find_gzip_offsets(payload):
+            self.stats.gzip_regions_found += 1
+            decompressor = zlib.decompressobj(wbits=zlib.MAX_WBITS | 16)
+            try:
+                inflated = decompressor.decompress(
+                    payload[offset:], self.max_inflated
+                )
+            except zlib.error:
+                self.stats.inflate_failures += 1
+                continue
+            if not inflated:
+                self.stats.inflate_failures += 1
+                continue
+            if decompressor.unconsumed_tail:
+                # More output was available than the cap allows.
+                self.stats.bombs_stopped += 1
+            self.stats.gzip_regions_inflated += 1
+            self.stats.bytes_inflated += len(inflated)
+            result.append(
+                ScanView(data=inflated, source_offset=offset, compressed=True)
+            )
+        return result

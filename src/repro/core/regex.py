@@ -1,0 +1,233 @@
+"""Regular-expression handling via anchor pre-filtering (paper Section 5.3).
+
+Each regex registered by a middlebox is decomposed:
+
+* its anchors (required literal substrings, length >= 4) become internal
+  literal patterns fed to the combined string matcher, with pattern ids in a
+  reserved range so they are never reported to middleboxes directly;
+* if **all** anchors of an expression are seen in a packet, the full regex
+  engine (Python ``re``, standing in for PCRE) is invoked on that packet for
+  that expression only;
+* an expression with no usable anchors goes on the *fallback* list and is
+  scanned by the regex engine on every packet, in parallel to string
+  matching — the paper's escape hatch for anchor-less expressions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.anchors import MIN_ANCHOR_LENGTH, extract_anchors
+from repro.core.patterns import Pattern, PatternKind
+
+#: Anchor pattern ids live at and above this value; real middlebox pattern
+#: ids must stay below it.  Reports never carry ids from this range.
+ANCHOR_ID_BASE = 1 << 20
+
+
+@dataclass
+class _RegexEntry:
+    pattern_id: int
+    source: bytes
+    compiled: "re.Pattern"
+    anchor_ids: frozenset
+
+
+@dataclass
+class PreFilterStats:
+    """Counters for the ablation benchmarks."""
+
+    regexes: int = 0
+    fallback_regexes: int = 0
+    anchor_patterns: int = 0
+    confirmations_invoked: int = 0
+    confirmations_matched: int = 0
+    fallback_scans: int = 0
+
+
+class RegexPreFilter:
+    """Per-middlebox regex bookkeeping for a DPI service instance.
+
+    ``fallback_engine`` selects the matcher for anchor-less expressions:
+    ``"re"`` (the stdlib engine, standing in for PCRE) or ``"nfa"`` (the
+    from-scratch Thompson NFA of :mod:`repro.core.nfa` — the paper's
+    run-in-parallel NFA path).  Expressions the NFA subset cannot express
+    (lookarounds, backreferences, anchors) fall back to ``re``.
+    """
+
+    FALLBACK_ENGINES = ("re", "nfa")
+
+    def __init__(
+        self,
+        min_anchor_length: int = MIN_ANCHOR_LENGTH,
+        fallback_engine: str = "re",
+    ) -> None:
+        if fallback_engine not in self.FALLBACK_ENGINES:
+            raise ValueError(
+                f"unknown fallback engine {fallback_engine!r}; expected one "
+                f"of {self.FALLBACK_ENGINES}"
+            )
+        self.fallback_engine = fallback_engine
+        self.min_anchor_length = min_anchor_length
+        # middlebox id -> {pattern id -> _RegexEntry}
+        self._anchored: dict[int, dict[int, _RegexEntry]] = {}
+        # middlebox id -> {pattern id -> compiled regex} (anchor-less)
+        self._fallback: dict[int, dict[int, "re.Pattern"]] = {}
+        # middlebox id -> {anchor bytes -> anchor pattern id}
+        self._anchor_ids: dict[int, dict[bytes, int]] = {}
+        self._next_anchor_id: dict[int, int] = {}
+        self.stats = PreFilterStats()
+
+    # --- registration ---------------------------------------------------------
+
+    def add_regex(self, middlebox_id: int, pattern: Pattern) -> list[Pattern]:
+        """Register a REGEX pattern; returns the internal anchor literal
+        patterns that must be added to the middlebox's string set."""
+        if pattern.kind is not PatternKind.REGEX:
+            raise ValueError("add_regex requires a REGEX pattern")
+        if pattern.pattern_id >= ANCHOR_ID_BASE:
+            raise ValueError(
+                f"pattern id {pattern.pattern_id} collides with the reserved "
+                f"anchor id range (>= {ANCHOR_ID_BASE})"
+            )
+        compiled = re.compile(pattern.data, re.DOTALL)
+        anchors = extract_anchors(pattern.data, self.min_anchor_length)
+        self.stats.regexes += 1
+        if not anchors:
+            matcher = self._compile_fallback(pattern.data, compiled)
+            self._fallback.setdefault(middlebox_id, {})[pattern.pattern_id] = matcher
+            self.stats.fallback_regexes += 1
+            return []
+        new_literals: list[Pattern] = []
+        anchor_ids = []
+        per_middlebox = self._anchor_ids.setdefault(middlebox_id, {})
+        for anchor in anchors:
+            anchor_id = per_middlebox.get(anchor)
+            if anchor_id is None:
+                anchor_id = self._next_anchor_id.get(middlebox_id, ANCHOR_ID_BASE)
+                self._next_anchor_id[middlebox_id] = anchor_id + 1
+                per_middlebox[anchor] = anchor_id
+                new_literals.append(Pattern(pattern_id=anchor_id, data=anchor))
+                self.stats.anchor_patterns += 1
+            anchor_ids.append(anchor_id)
+        entry = _RegexEntry(
+            pattern_id=pattern.pattern_id,
+            source=pattern.data,
+            compiled=compiled,
+            anchor_ids=frozenset(anchor_ids),
+        )
+        self._anchored.setdefault(middlebox_id, {})[pattern.pattern_id] = entry
+        return new_literals
+
+    def remove_regex(self, middlebox_id: int, pattern_id: int) -> list[int]:
+        """Unregister a regex; returns anchor ids no longer needed by any
+        remaining regex of this middlebox (to drop from the string set)."""
+        fallback = self._fallback.get(middlebox_id, {})
+        if pattern_id in fallback:
+            del fallback[pattern_id]
+            return []
+        anchored = self._anchored.get(middlebox_id, {})
+        entry = anchored.pop(pattern_id, None)
+        if entry is None:
+            raise KeyError(
+                f"middlebox {middlebox_id} has no regex with id {pattern_id}"
+            )
+        still_used = set()
+        for other in anchored.values():
+            still_used |= other.anchor_ids
+        obsolete = sorted(entry.anchor_ids - still_used)
+        per_middlebox = self._anchor_ids.get(middlebox_id, {})
+        for anchor, anchor_id in list(per_middlebox.items()):
+            if anchor_id in obsolete:
+                del per_middlebox[anchor]
+        return obsolete
+
+    def has_regexes(self, middlebox_id: int) -> bool:
+        """True if the middlebox registered any regular expression."""
+        return bool(
+            self._anchored.get(middlebox_id) or self._fallback.get(middlebox_id)
+        )
+
+    def anchored_regexes(self, middlebox_id: int) -> list[int]:
+        """Pattern ids of the anchor-pre-filtered expressions."""
+        return sorted(self._anchored.get(middlebox_id, {}))
+
+    def fallback_regexes(self, middlebox_id: int) -> list[int]:
+        """Pattern ids of the anchor-less (always-scanned) expressions."""
+        return sorted(self._fallback.get(middlebox_id, {}))
+
+    # --- per-packet evaluation ---------------------------------------------------
+
+    def confirm(
+        self, middlebox_id: int, payload: bytes, matched_anchor_ids
+    ) -> list[tuple[int, int]]:
+        """Run the full engine for every regex whose anchors all appeared.
+
+        Returns ``(pattern id, end offset)`` pairs, one per regex match
+        occurrence in *payload*.
+        """
+        anchored = self._anchored.get(middlebox_id)
+        if not anchored:
+            return []
+        matched = (
+            matched_anchor_ids
+            if isinstance(matched_anchor_ids, (set, frozenset))
+            else set(matched_anchor_ids)
+        )
+        results: list[tuple[int, int]] = []
+        for entry in anchored.values():
+            if not entry.anchor_ids <= matched:
+                continue
+            self.stats.confirmations_invoked += 1
+            found = False
+            for match in entry.compiled.finditer(payload):
+                results.append((entry.pattern_id, match.end()))
+                found = True
+            if found:
+                self.stats.confirmations_matched += 1
+        return results
+
+    def _compile_fallback(self, source: bytes, compiled):
+        """The matcher object for one anchor-less expression."""
+        if self.fallback_engine == "nfa":
+            from repro.core.nfa import RegexNFA, RegexSyntaxError
+
+            try:
+                return RegexNFA(source)
+            except RegexSyntaxError:
+                # Constructs outside the NFA subset use the stdlib engine.
+                return compiled
+        return compiled
+
+    @staticmethod
+    def _fallback_ends(matcher, payload: bytes):
+        """End offsets of a fallback matcher, engine-agnostic."""
+        if hasattr(matcher, "iter_match_ends"):
+            return matcher.iter_match_ends(payload)
+        return (match.end() for match in matcher.finditer(payload))
+
+    def scan_fallback(self, middlebox_id: int, payload: bytes) -> list[tuple[int, int]]:
+        """Scan anchor-less regexes — run on every packet."""
+        fallback = self._fallback.get(middlebox_id)
+        if not fallback:
+            return []
+        self.stats.fallback_scans += 1
+        results: list[tuple[int, int]] = []
+        for pattern_id, matcher in fallback.items():
+            for end in self._fallback_ends(matcher, payload):
+                results.append((pattern_id, end))
+        return results
+
+
+def split_matches(matches: list) -> tuple[list, set]:
+    """Split a middlebox's raw match list into reportable literal matches
+    and the set of matched internal anchor ids."""
+    reportable = []
+    anchor_ids = set()
+    for pattern_id, position in matches:
+        if pattern_id >= ANCHOR_ID_BASE:
+            anchor_ids.add(pattern_id)
+        else:
+            reportable.append((pattern_id, position))
+    return reportable, anchor_ids

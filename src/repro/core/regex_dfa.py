@@ -1,0 +1,216 @@
+"""Determinized regular-expression matching (the paper's DFA alternative).
+
+Section 3 of the paper contrasts the two classic regex representations:
+"the aforementioned DFA solutions suffer from memory explosion especially
+when combining a few expressions into a single data structure, while the
+NFA solutions suffer from lower performance".  :class:`RegexDFA` implements
+the DFA side by subset construction over the Thompson NFAs of
+:mod:`repro.core.nfa`, so both claims can be measured on the same
+expressions (see ``benchmarks/test_ablation_regex_representation.py``).
+
+The automaton is a *scanning* DFA: the NFA start closure is folded into
+every state, so matches are found at any offset (the implicit ``.*``
+prefix), and match semantics are the all-ends convention shared by every
+engine in this repository.  Construction is capped by ``max_states`` and
+raises :class:`StateExplosionError` beyond it — which is not a failure mode
+but the very phenomenon the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nfa import RegexNFA
+
+
+class StateExplosionError(RuntimeError):
+    """Raised when determinization exceeds the configured state budget."""
+
+    def __init__(self, limit: int):
+        super().__init__(
+            f"subset construction exceeded {limit} DFA states — the "
+            "combined-expression memory explosion the paper describes"
+        )
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class _CombinedNFA:
+    """Several Thompson NFAs glued by a shared epsilon start."""
+
+    nfas: tuple
+
+    def start_closure(self) -> frozenset:
+        """Epsilon closure of every component start state."""
+        states = set()
+        for index, nfa in enumerate(self.nfas):
+            for state in nfa._closure({nfa.start}):
+                states.add((index, state))
+        return frozenset(states)
+
+    def move(self, states: frozenset, byte: int) -> frozenset:
+        """NFA states reachable on *byte*, epsilon-closed."""
+        reached = set()
+        for index, state in states:
+            nfa = self.nfas[index]
+            edge = nfa._states[state].edge
+            if edge is not None and byte in edge[0]:
+                reached.add((index, edge[1]))
+        closed = set()
+        grouped: dict[int, set] = {}
+        for index, state in reached:
+            grouped.setdefault(index, set()).add(state)
+        for index, group in grouped.items():
+            for state in self.nfas[index]._closure(group):
+                closed.add((index, state))
+        return frozenset(closed)
+
+    def accepts_of(self, states: frozenset) -> tuple:
+        """Indices of the expressions accepting in this subset."""
+        return tuple(
+            sorted(
+                {
+                    index
+                    for index, state in states
+                    if state == self.nfas[index].accept
+                }
+            )
+        )
+
+
+class RegexDFA:
+    """One DFA matching several regular expressions simultaneously."""
+
+    DEFAULT_MAX_STATES = 50_000
+
+    def __init__(self, patterns, max_states: int = DEFAULT_MAX_STATES):
+        if not patterns:
+            raise ValueError("RegexDFA needs at least one expression")
+        if max_states < 1:
+            raise ValueError(f"max_states must be positive: {max_states}")
+        self.patterns = [p if isinstance(p, bytes) else p.encode() for p in patterns]
+        combined = _CombinedNFA(nfas=tuple(RegexNFA(p) for p in self.patterns))
+        start_closure = combined.start_closure()
+
+        # Subset construction with the start closure folded into every
+        # state (scanning semantics).
+        initial = frozenset(start_closure)
+        state_ids: dict[frozenset, int] = {initial: 0}
+        transitions: list[list[int]] = []
+        accepts: list[tuple] = []
+        worklist = [initial]
+        while worklist:
+            subset = worklist.pop()
+            state_id = state_ids[subset]
+            while len(transitions) <= state_id:
+                transitions.append([0] * 256)
+                accepts.append(())
+            accepts[state_id] = combined.accepts_of(subset)
+            row = transitions[state_id]
+            for byte in range(256):
+                target = combined.move(subset, byte) | start_closure
+                target = frozenset(target)
+                target_id = state_ids.get(target)
+                if target_id is None:
+                    if len(state_ids) >= max_states:
+                        raise StateExplosionError(max_states)
+                    target_id = len(state_ids)
+                    state_ids[target] = target_id
+                    worklist.append(target)
+                row[byte] = target_id
+        self._transitions = transitions
+        self._accepts = accepts
+
+    @property
+    def num_states(self) -> int:
+        """Number of automaton states."""
+        return len(self._transitions)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Full-table cost: 256 entries x 4 bytes per state."""
+        return self.num_states * 256 * 4
+
+    def scan(self, data: bytes) -> list:
+        """All ``(end offset, expression index)`` matches."""
+        transitions = self._transitions
+        accepts = self._accepts
+        state = 0
+        matches = []
+        for position, byte in enumerate(data):
+            state = transitions[state][byte]
+            for index in accepts[state]:
+                matches.append((position + 1, index))
+        return matches
+
+    def match_ends(self, data: bytes, index: int = 0) -> list:
+        """End offsets of one expression's matches (NFA-comparable)."""
+        return [end for end, matched in self.scan(data) if matched == index]
+
+    def search(self, data: bytes) -> bool:
+        """True if the expression matches anywhere in *data*."""
+        transitions = self._transitions
+        accepts = self._accepts
+        state = 0
+        for byte in data:
+            state = transitions[state][byte]
+            if accepts[state]:
+                return True
+        return False
+
+    # --- minimization -------------------------------------------------------
+
+    def minimize(self) -> int:
+        """Merge equivalent states in place (Moore partition refinement).
+
+        This is the standard countermeasure the DFA-compression literature
+        the paper cites starts from.  States must agree on their *accept
+        signature* (which expressions end there) to merge, so per-expression
+        attribution is preserved exactly.  Returns the number of states
+        removed.
+        """
+        before = self.num_states
+        # Initial partition: by accept signature.
+        block_of = {}
+        signatures = {}
+        for state, signature in enumerate(self._accepts):
+            block = signatures.setdefault(signature, len(signatures))
+            block_of[state] = block
+        num_blocks = len(signatures)
+        while True:
+            # Refine: states split when their transition block-vectors differ.
+            refined: dict[tuple, int] = {}
+            new_block_of = {}
+            for state in range(before):
+                row = self._transitions[state]
+                key = (block_of[state],) + tuple(
+                    block_of[row[byte]] for byte in range(256)
+                )
+                block = refined.setdefault(key, len(refined))
+                new_block_of[state] = block
+            if len(refined) == num_blocks:
+                break
+            num_blocks = len(refined)
+            block_of = new_block_of
+        if num_blocks == before:
+            return 0
+        # Rebuild tables; keep state 0's block as the new start state 0.
+        remap = {}
+        remap[block_of[0]] = 0
+        for state in range(before):
+            block = block_of[state]
+            if block not in remap:
+                remap[block] = len(remap)
+        new_transitions = [None] * num_blocks
+        new_accepts = [()] * num_blocks
+        for state in range(before):
+            new_id = remap[block_of[state]]
+            if new_transitions[new_id] is None:
+                new_transitions[new_id] = [
+                    remap[block_of[self._transitions[state][byte]]]
+                    for byte in range(256)
+                ]
+                new_accepts[new_id] = self._accepts[state]
+        self._transitions = new_transitions
+        self._accepts = new_accepts
+        return before - num_blocks

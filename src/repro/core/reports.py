@@ -1,0 +1,252 @@
+"""Match-report wire encoding (paper Section 6.5).
+
+The experiments in the paper encode every match with a uniform 6-byte record
+"to allow faster encoding and decoding of both regular and range reports":
+
+* a **single match** — pattern id and end position;
+* a **range of matches** — the repeated-character case where one pattern
+  matches at a run of consecutive positions; the record carries the first
+  end position and the run length.
+
+Layout of the 6-byte record (big endian)::
+
+    u16 pattern_id | u24 end_position | u8 run_length
+
+``run_length == 1`` denotes a single match; longer runs cover matches at
+``end_position, end_position + 1, ..., end_position + run_length - 1``.
+Runs longer than 255 are split into several records.
+
+A *report* aggregates the records of every middlebox interested in one
+packet::
+
+    u8 version | u8 flags | u16 block_count
+    block: u16 middlebox_id | u16 record_count | record*
+
+A compact 4-byte single-match record (``u16 pattern_id | u16 end_position``)
+is provided for the encoding ablation; it cannot express ranges or positions
+beyond 64 KiB.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+RECORD_LENGTH = 6
+COMPACT_RECORD_LENGTH = 4
+HEADER_LENGTH = 4
+BLOCK_HEADER_LENGTH = 4
+REPORT_VERSION = 1
+
+MAX_PATTERN_ID = 0xFFFF
+MAX_POSITION = 0xFFFFFF
+MAX_RUN_LENGTH = 0xFF
+
+_HEADER = struct.Struct(">BBH")
+_BLOCK_HEADER = struct.Struct(">HH")
+
+
+@dataclass(frozen=True)
+class MatchRecord:
+    """One pattern match: ``position`` is the match's end offset."""
+
+    pattern_id: int
+    position: int
+
+    def __post_init__(self) -> None:
+        _check_record_fields(self.pattern_id, self.position, 1)
+
+    def positions(self) -> list[int]:
+        """All end positions this record covers."""
+        return [self.position]
+
+
+@dataclass(frozen=True)
+class RangeRecord:
+    """A run of matches of one pattern at consecutive end positions."""
+
+    pattern_id: int
+    start_position: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 2:
+            raise ValueError(f"range records need count >= 2, got {self.count}")
+        _check_record_fields(self.pattern_id, self.start_position, self.count)
+
+    def positions(self) -> list[int]:
+        """All end positions this record covers."""
+        return list(
+            range(self.start_position, self.start_position + self.count)
+        )
+
+
+def _check_record_fields(pattern_id: int, position: int, count: int) -> None:
+    if not 0 <= pattern_id <= MAX_PATTERN_ID:
+        raise ValueError(f"pattern id out of range: {pattern_id}")
+    if not 0 <= position <= MAX_POSITION:
+        raise ValueError(f"position out of range: {position}")
+    if not 1 <= count <= MAX_RUN_LENGTH:
+        raise ValueError(f"run length out of range: {count}")
+
+
+def _encode_record(pattern_id: int, position: int, run_length: int) -> bytes:
+    return struct.pack(
+        ">HBHB",
+        pattern_id,
+        (position >> 16) & 0xFF,
+        position & 0xFFFF,
+        run_length,
+    )
+
+
+def _decode_record(data: bytes):
+    pattern_id, pos_high, pos_low, run_length = struct.unpack(">HBHB", data)
+    position = (pos_high << 16) | pos_low
+    if run_length == 1:
+        return MatchRecord(pattern_id=pattern_id, position=position)
+    return RangeRecord(
+        pattern_id=pattern_id, start_position=position, count=run_length
+    )
+
+
+def compress_matches(matches) -> list:
+    """Turn ``(pattern id, position)`` pairs into records, folding runs of
+    consecutive positions of the same pattern into range records."""
+    records: list = []
+    ordered = sorted(matches, key=lambda m: (m[0], m[1]))
+    index = 0
+    while index < len(ordered):
+        pattern_id, position = ordered[index]
+        run = 1
+        while (
+            index + run < len(ordered)
+            and ordered[index + run][0] == pattern_id
+            and ordered[index + run][1] == position + run
+            and run < MAX_RUN_LENGTH
+        ):
+            run += 1
+        if run == 1:
+            records.append(MatchRecord(pattern_id=pattern_id, position=position))
+        else:
+            records.append(
+                RangeRecord(
+                    pattern_id=pattern_id, start_position=position, count=run
+                )
+            )
+        index += run
+    return records
+
+
+@dataclass
+class MatchReport:
+    """All match records for one packet, grouped per middlebox."""
+
+    blocks: dict = field(default_factory=dict)  # middlebox id -> [records]
+
+    @classmethod
+    def from_matches(cls, per_middlebox_matches: dict) -> "MatchReport":
+        """Build a report from ``{middlebox id: [(pattern id, position)]}``,
+        compressing consecutive runs (empty lists are omitted)."""
+        blocks = {}
+        for middlebox_id, matches in sorted(per_middlebox_matches.items()):
+            if not matches:
+                continue
+            blocks[middlebox_id] = compress_matches(matches)
+        return cls(blocks=blocks)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no middlebox has any match records."""
+        return not self.blocks
+
+    def records_for(self, middlebox_id: int) -> list:
+        """The records of one middlebox (a copy)."""
+        return list(self.blocks.get(middlebox_id, []))
+
+    def matches_for(self, middlebox_id: int) -> list:
+        """Expand records back to ``(pattern id, position)`` pairs."""
+        pairs = []
+        for record in self.blocks.get(middlebox_id, []):
+            for position in record.positions():
+                pairs.append((record.pattern_id, position))
+        return pairs
+
+    def total_records(self) -> int:
+        """Number of records across all blocks."""
+        return sum(len(records) for records in self.blocks.values())
+
+    def size_bytes(self) -> int:
+        """Encoded size — the quantity Figure 11 plots."""
+        size = HEADER_LENGTH
+        for records in self.blocks.values():
+            size += BLOCK_HEADER_LENGTH + RECORD_LENGTH * len(records)
+        return size
+
+    # --- wire encoding -----------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        pieces = [_HEADER.pack(REPORT_VERSION, 0, len(self.blocks))]
+        for middlebox_id in sorted(self.blocks):
+            records = self.blocks[middlebox_id]
+            if not 0 <= middlebox_id <= 0xFFFF:
+                raise ValueError(f"middlebox id out of range: {middlebox_id}")
+            if len(records) > 0xFFFF:
+                raise ValueError(f"too many records: {len(records)}")
+            pieces.append(_BLOCK_HEADER.pack(middlebox_id, len(records)))
+            for record in records:
+                if isinstance(record, MatchRecord):
+                    pieces.append(
+                        _encode_record(record.pattern_id, record.position, 1)
+                    )
+                else:
+                    pieces.append(
+                        _encode_record(
+                            record.pattern_id, record.start_position, record.count
+                        )
+                    )
+        return b"".join(pieces)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "MatchReport":
+        """Parse the wire format; raises ValueError on malformed input."""
+        if len(data) < HEADER_LENGTH:
+            raise ValueError("truncated report header")
+        version, _flags, block_count = _HEADER.unpack_from(data, 0)
+        if version != REPORT_VERSION:
+            raise ValueError(f"unsupported report version: {version}")
+        offset = HEADER_LENGTH
+        blocks = {}
+        for _ in range(block_count):
+            if offset + BLOCK_HEADER_LENGTH > len(data):
+                raise ValueError("truncated block header")
+            middlebox_id, record_count = _BLOCK_HEADER.unpack_from(data, offset)
+            offset += BLOCK_HEADER_LENGTH
+            records = []
+            for _ in range(record_count):
+                if offset + RECORD_LENGTH > len(data):
+                    raise ValueError("truncated record")
+                records.append(_decode_record(data[offset : offset + RECORD_LENGTH]))
+                offset += RECORD_LENGTH
+            blocks[middlebox_id] = records
+        if offset != len(data):
+            raise ValueError(f"{len(data) - offset} trailing bytes in report")
+        return cls(blocks=blocks)
+
+    # --- compact (4-byte) ablation encoding ---------------------------------
+
+    def encode_compact(self) -> bytes:
+        """4-byte single-match records; ranges are expanded.  Used only by
+        the encoding ablation benchmark."""
+        pieces = [_HEADER.pack(REPORT_VERSION, 1, len(self.blocks))]
+        for middlebox_id in sorted(self.blocks):
+            pairs = self.matches_for(middlebox_id)
+            pieces.append(_BLOCK_HEADER.pack(middlebox_id, len(pairs)))
+            for pattern_id, position in pairs:
+                if position > 0xFFFF:
+                    raise ValueError(
+                        f"position {position} does not fit the compact encoding"
+                    )
+                pieces.append(struct.pack(">HH", pattern_id, position))
+        return b"".join(pieces)

@@ -1,0 +1,109 @@
+"""Session reconstruction as a service (the paper's Section 7 outlook).
+
+:class:`StreamInspector` bundles the three per-packet steps the paper wants
+performed once, at the service, instead of once per middlebox:
+
+1. **reassembly** — TCP segments become in-order stream bytes
+   (:mod:`repro.net.reassembly`);
+2. **decompression** — gzip regions in the released bytes are inflated once
+   (:mod:`repro.core.preprocess`);
+3. **inspection** — every view is scanned by the DPI instance for all the
+   middleboxes on the packet's policy chain.
+
+Stream bytes feed the instance under the packet's flow key, so stateful
+middleboxes see matches that straddle segment boundaries even when segments
+arrive out of order; decompressed views get a derived flow key per region
+so their (independent) scan state never mixes with the raw stream's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.instance import DPIServiceInstance, InspectionOutput
+from repro.core.preprocess import PayloadPreprocessor
+from repro.net.packet import Packet
+from repro.net.reassembly import TCPReassembler
+
+
+@dataclass
+class StreamInspectionResult:
+    """Everything one packet triggered."""
+
+    flow_key: object
+    released_bytes: int
+    outputs: list = field(default_factory=list)  # (view kind, InspectionOutput)
+
+    @property
+    def has_matches(self) -> bool:
+        """True when at least one match was found."""
+        return any(output.has_matches for _kind, output in self.outputs)
+
+    def all_matches(self) -> dict:
+        """Merged ``{middlebox id: [(pattern id, position)]}`` across views.
+
+        Positions from decompressed views refer to the *decompressed*
+        stream of their region; the view kind disambiguates.
+        """
+        merged: dict = {}
+        for _kind, output in self.outputs:
+            for middlebox_id, matches in output.matches.items():
+                merged.setdefault(middlebox_id, []).extend(matches)
+        return merged
+
+
+class StreamInspector:
+    """Reassemble, decompress once, scan once."""
+
+    def __init__(
+        self,
+        instance: DPIServiceInstance,
+        decompress: bool = True,
+    ) -> None:
+        self.instance = instance
+        self.reassembler = TCPReassembler()
+        self.preprocessor = PayloadPreprocessor() if decompress else None
+
+    def process_packet(
+        self, packet: Packet, chain_id: int, now: float = 0.0
+    ) -> StreamInspectionResult:
+        """Feed one packet; inspect whatever stream bytes it releases."""
+        flow_key, released = self.reassembler.add_packet(packet)
+        result = StreamInspectionResult(
+            flow_key=flow_key, released_bytes=len(released)
+        )
+        if not released:
+            return result
+        views = (
+            self.preprocessor.views(released)
+            if self.preprocessor is not None
+            else [None]
+        )
+        if self.preprocessor is None:
+            result.outputs.append(
+                (
+                    "raw",
+                    self.instance.inspect(
+                        released, chain_id, flow_key=flow_key, now=now
+                    ),
+                )
+            )
+            return result
+        for view in views:
+            if view.compressed:
+                # Each compressed region is its own logical stream.
+                kind = f"gzip@{view.source_offset}"
+                scan_key = (flow_key, "gzip", view.source_offset)
+            else:
+                kind = "raw"
+                scan_key = flow_key
+            output = self.instance.inspect(
+                view.data, chain_id, flow_key=scan_key, now=now
+            )
+            result.outputs.append((kind, output))
+        return result
+
+    def close_flow(self, flow_key) -> None:
+        """Drop reassembly and scan state of a finished flow."""
+        self.reassembler.close_flow(flow_key)
+        self.instance.drop_flow(flow_key)

@@ -1,0 +1,153 @@
+"""The Wu-Manber multi-pattern matcher (paper Section 2.2).
+
+The paper names Wu-Manber alongside Aho-Corasick as the classical exact
+multi-string matching algorithms used for DPI.  It is provided here as an
+alternative engine with the same match semantics as
+:class:`~repro.core.aho_corasick.AhoCorasick` — ``(end offset, pattern
+index)`` pairs — so the two can be compared directly (see
+``benchmarks/test_ablation_engine.py``).
+
+Algorithm recap: let ``m`` be the length of the shortest pattern and ``B``
+the block size (2 here).  A SHIFT table maps each block of ``B`` bytes to
+how far the search window may safely jump; blocks that end a pattern prefix
+get shift 0 and fall into a HASH table of candidate patterns, verified
+byte-by-byte.  On benign traffic most windows shift by ``m - B + 1``, which
+is why Wu-Manber shines with long minimum pattern lengths and struggles
+with short ones — a trade the ablation benchmark shows.
+
+Patterns shorter than ``B`` bytes are rejected (classic Wu-Manber cannot
+index them); DPI pattern sets follow the paper's >= 8-byte convention
+anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+BLOCK_SIZE = 2
+
+
+class WuManber:
+    """A Wu-Manber matcher over byte-string patterns."""
+
+    def __init__(self, patterns: Sequence[bytes], block_size: int = BLOCK_SIZE):
+        if block_size < 1:
+            raise ValueError(f"block size must be positive: {block_size}")
+        self._patterns = [bytes(p) for p in patterns]
+        if not self._patterns:
+            raise ValueError("Wu-Manber needs at least one pattern")
+        for pattern in self._patterns:
+            if len(pattern) < block_size:
+                raise ValueError(
+                    f"pattern shorter than the block size ({block_size}): "
+                    f"{pattern!r}"
+                )
+        self.block_size = block_size
+        # m = length of the shortest pattern; only the first m bytes of each
+        # pattern participate in the tables, the rest is verified.
+        self.window = min(len(p) for p in self._patterns)
+        self._default_shift = self.window - block_size + 1
+        # Blocks are packed into integers (base-256 digits) so the SHIFT
+        # table can be a dense array indexed without allocating byte slices
+        # — the hot loop is one list indexing per window position.
+        table_size = 256**block_size
+        self._shift = [self._default_shift] * table_size
+        # HASH: packed block -> candidates whose first `window` bytes END
+        # with that block.  Each candidate carries its packed 2-byte prefix
+        # (Wu-Manber's PREFIX table) so most false candidates are rejected
+        # with one integer comparison instead of a byte-wise verify.
+        self._hash: dict[int, list[tuple[int, int]]] = {}
+        self._shift_entries = 0
+        for index, pattern in enumerate(self._patterns):
+            prefix = pattern[: self.window]
+            prefix_key = (prefix[0] << 8) | prefix[1] if len(prefix) >= 2 else prefix[0]
+            for position in range(self.window - block_size + 1):
+                block = 0
+                for byte in prefix[position : position + block_size]:
+                    block = (block << 8) | byte
+                jump = self.window - block_size - position
+                if self._shift[block] == self._default_shift and jump != self._default_shift:
+                    self._shift_entries += 1
+                self._shift[block] = min(self._shift[block], jump)
+                if jump == 0:
+                    self._hash.setdefault(block, []).append((prefix_key, index))
+
+    @property
+    def patterns(self) -> list[bytes]:
+        """The pattern list (a copy)."""
+        return list(self._patterns)
+
+    @property
+    def table_sizes(self) -> tuple[int, int]:
+        """(non-default SHIFT entries, HASH entries)."""
+        return (self._shift_entries, len(self._hash))
+
+    def iter_matches(self, data: bytes) -> Iterator[tuple[int, int]]:
+        """Yield ``(end offset, pattern index)``.
+
+        Offsets use the same convention as the AC engine: the number of
+        bytes consumed when the match completes.  Specialized for the
+        default 2-byte blocks; larger blocks use the generic path.
+        """
+        if self.block_size != 2:
+            yield from self._iter_matches_generic(data)
+            return
+        window = self.window
+        shift = self._shift
+        candidates = self._hash
+        patterns = self._patterns
+        position = window  # window end (exclusive), in bytes consumed
+        length = len(data)
+        while position <= length:
+            block = (data[position - 2] << 8) | data[position - 1]
+            jump = shift[block]
+            if jump:
+                position += jump
+                continue
+            window_start = position - window
+            bucket = candidates.get(block)
+            if bucket is not None:
+                prefix_key = (data[window_start] << 8) | data[window_start + 1]
+                for candidate_prefix, index in bucket:
+                    if candidate_prefix != prefix_key:
+                        continue
+                    pattern = patterns[index]
+                    if data.startswith(pattern, window_start):
+                        yield (window_start + len(pattern), index)
+            position += 1
+
+    def _iter_matches_generic(self, data: bytes) -> Iterator[tuple[int, int]]:
+        block_size = self.block_size
+        window = self.window
+        shift = self._shift
+        candidates = self._hash
+        patterns = self._patterns
+        position = window
+        length = len(data)
+        while position <= length:
+            block = 0
+            for byte in data[position - block_size : position]:
+                block = (block << 8) | byte
+            jump = shift[block]
+            if jump:
+                position += jump
+                continue
+            window_start = position - window
+            bucket = candidates.get(block)
+            if bucket is not None:
+                prefix_key = (data[window_start] << 8) | data[window_start + 1]
+                for candidate_prefix, index in bucket:
+                    if candidate_prefix != prefix_key:
+                        continue
+                    pattern = patterns[index]
+                    if data.startswith(pattern, window_start):
+                        yield (window_start + len(pattern), index)
+            position += 1
+
+    def scan(self, data: bytes) -> list[tuple[int, int]]:
+        """All matches, sorted the way the AC engine reports them."""
+        return sorted(self.iter_matches(data))
+
+    def count_matches(self, data: bytes) -> int:
+        """Number of matches in *data* (no allocation of results)."""
+        return sum(1 for _ in self.iter_matches(data))

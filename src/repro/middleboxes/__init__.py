@@ -1,0 +1,65 @@
+"""Middleboxes that consume (or embed) DPI.
+
+Every middlebox type from the paper's Table 1 is represented:
+
+==========================  =====================================
+Module                      Middlebox
+==========================  =====================================
+:mod:`~repro.middleboxes.ids`             Intrusion Detection System (read-only)
+:mod:`~repro.middleboxes.ips`             Intrusion Prevention System (inline)
+:mod:`~repro.middleboxes.antivirus`       AntiVirus / anti-spam
+:mod:`~repro.middleboxes.firewall`        L7 firewall (and the header-only L2-L4 firewall)
+:mod:`~repro.middleboxes.load_balancer`   L7 load balancer
+:mod:`~repro.middleboxes.dlp`             Data-leakage prevention
+:mod:`~repro.middleboxes.traffic_shaper`  Application-aware traffic shaper
+:mod:`~repro.middleboxes.analytics`       Network analytics / protocol identification
+==========================  =====================================
+
+:mod:`~repro.middleboxes.legacy` holds the baseline — a middlebox with an
+*embedded* DPI engine that rescans every packet — and
+:mod:`~repro.middleboxes.plugin` the "Snort plugin" analogue that feeds DPI
+service results into an existing rule engine.
+"""
+
+from repro.middleboxes.base import (
+    Action,
+    DPIServiceMiddlebox,
+    Middlebox,
+    MiddleboxChainFunction,
+    MonitoringFunction,
+    NSHChainFunction,
+    Rule,
+    RuleEngine,
+)
+from repro.middleboxes.legacy import LegacyDPIMiddlebox
+from repro.middleboxes.ids import IntrusionDetectionSystem
+from repro.middleboxes.ips import IntrusionPreventionSystem
+from repro.middleboxes.antivirus import AntiVirus
+from repro.middleboxes.firewall import L2L4Firewall, L7Firewall
+from repro.middleboxes.load_balancer import L7LoadBalancer
+from repro.middleboxes.dlp import LeakagePreventionSystem
+from repro.middleboxes.traffic_shaper import TrafficShaper
+from repro.middleboxes.analytics import ProtocolAnalytics
+from repro.middleboxes.plugin import DPIResultsPlugin
+
+__all__ = [
+    "Action",
+    "Rule",
+    "RuleEngine",
+    "Middlebox",
+    "DPIServiceMiddlebox",
+    "MiddleboxChainFunction",
+    "MonitoringFunction",
+    "NSHChainFunction",
+    "LegacyDPIMiddlebox",
+    "IntrusionDetectionSystem",
+    "IntrusionPreventionSystem",
+    "AntiVirus",
+    "L2L4Firewall",
+    "L7Firewall",
+    "L7LoadBalancer",
+    "LeakagePreventionSystem",
+    "TrafficShaper",
+    "ProtocolAnalytics",
+    "DPIResultsPlugin",
+]

@@ -1,0 +1,70 @@
+"""Network analytics / protocol identification (Qosmos-style).
+
+The analytics middlebox maps protocol banner patterns to protocol ids and
+keeps per-protocol traffic statistics.  It is read-only and stateless: every
+packet is attributed independently by the markers found in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.middleboxes.base import Action, DPIServiceMiddlebox
+from repro.net.packet import Packet
+
+UNKNOWN_PROTOCOL = "unknown"
+
+
+@dataclass
+class ProtocolCounters:
+    """Plain counters container."""
+    packets: int = 0
+    bytes: int = 0
+
+
+class ProtocolAnalytics(DPIServiceMiddlebox):
+    """Counts packets/bytes per identified application protocol."""
+
+    TYPE_NAME = "analytics"
+    READ_ONLY = True
+    STATEFUL = False
+    #: Banners appear at the start of payloads.
+    STOPPING_CONDITION = 256
+
+    def __init__(self, middlebox_id: int, name: str | None = None, **kwargs) -> None:
+        super().__init__(middlebox_id, name=name, **kwargs)
+        self._rule_protocol: dict[int, str] = {}
+        self.counters: dict[str, ProtocolCounters] = {}
+
+    def add_protocol_banner(
+        self, rule_id: int, banner: bytes, protocol: str, description: str = ""
+    ) -> None:
+        """Map a banner pattern to a protocol label."""
+        self.add_literal_rule(
+            rule_id, banner, action=Action.ALERT, description=description
+        )
+        self._rule_protocol[rule_id] = protocol
+
+    def on_rule_hits(self, packet: Packet, hits: list) -> None:
+        # Called once per processed packet (with or without hits), so every
+        # packet is attributed exactly once.
+        """Hook called once per processed packet with its rule hits."""
+        protocol = UNKNOWN_PROTOCOL
+        for hit in hits:
+            mapped = self._rule_protocol.get(hit.rule_id)
+            if mapped is not None:
+                protocol = mapped
+                break
+        counters = self.counters.setdefault(protocol, ProtocolCounters())
+        counters.packets += 1
+        counters.bytes += packet.wire_length
+
+    def protocol_share(self) -> dict:
+        """Byte share per protocol (fractions summing to 1.0)."""
+        total = sum(c.bytes for c in self.counters.values())
+        if total == 0:
+            return {}
+        return {
+            protocol: counters.bytes / total
+            for protocol, counters in sorted(self.counters.items())
+        }

@@ -1,0 +1,70 @@
+"""Data Leakage Prevention (Check Point DLP-style).
+
+DLP patterns describe sensitive content: document markers, credential
+formats, identifier structures (credit-card-like digit runs, internal
+project codenames).  A hit makes the DLP either block the flow ("prevent"
+profile) or log an incident ("detect" profile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.middleboxes.base import Action, DPIServiceMiddlebox
+from repro.net.flows import FiveTuple
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One recorded leakage incident."""
+
+    rule_id: int
+    packet_id: int
+    flow: tuple
+    blocked: bool
+
+
+class LeakagePreventionSystem(DPIServiceMiddlebox):
+    """DLP middlebox; ``prevent=True`` blocks, otherwise detect-only."""
+
+    TYPE_NAME = "dlp"
+    READ_ONLY = False
+    STATEFUL = True
+
+    def __init__(
+        self,
+        middlebox_id: int,
+        name: str | None = None,
+        prevent: bool = True,
+        **kwargs,
+    ) -> None:
+        super().__init__(middlebox_id, name=name, **kwargs)
+        self.prevent = prevent
+        self.incidents: list[Incident] = []
+
+    def add_marker(self, rule_id: int, marker: bytes, description: str = "") -> None:
+        """A literal sensitive-content marker (e.g. ``b"CONFIDENTIAL"``)."""
+        action = Action.DROP if self.prevent else Action.ALERT
+        self.add_literal_rule(rule_id, marker, action=action, description=description)
+
+    def add_identifier_format(
+        self, rule_id: int, regex: bytes, description: str = ""
+    ) -> None:
+        """A structured-identifier format, e.g. credit-card-like digit runs
+        (``rb"\\d{4}-\\d{4}-\\d{4}-\\d{4}"``)."""
+        action = Action.DROP if self.prevent else Action.ALERT
+        self.add_regex_rule(rule_id, regex, action=action, description=description)
+
+    def on_rule_hits(self, packet: Packet, hits: list) -> None:
+        """Hook called once per processed packet with its rule hits."""
+        flow = FiveTuple.of(packet).bidirectional_key()
+        for hit in hits:
+            self.incidents.append(
+                Incident(
+                    rule_id=hit.rule_id,
+                    packet_id=packet.packet_id,
+                    flow=flow,
+                    blocked=self.prevent,
+                )
+            )

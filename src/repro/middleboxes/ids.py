@@ -1,0 +1,83 @@
+"""Intrusion Detection System — the paper's canonical *read-only* middlebox.
+
+An IDS never modifies or drops traffic; it only raises alerts.  Because of
+that, it can run in the paper's read-only mode: it registers with
+``read_only=True`` and may receive only the match results, without the
+packets themselves (Section 4.2, option 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.middleboxes.base import Action, DPIServiceMiddlebox
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One IDS alert."""
+
+    rule_id: int
+    packet_id: int
+    severity: str
+    description: str
+
+
+class IntrusionDetectionSystem(DPIServiceMiddlebox):
+    """Snort/Bro-like IDS consuming the DPI service."""
+
+    TYPE_NAME = "ids"
+    READ_ONLY = True
+    STATEFUL = True
+
+    def __init__(self, middlebox_id: int, name: str | None = None, **kwargs) -> None:
+        super().__init__(middlebox_id, name=name, **kwargs)
+        self.alerts: list[Alert] = []
+        self._severities: dict[int, str] = {}
+
+    def add_signature(
+        self,
+        rule_id: int,
+        literal: bytes,
+        severity: str = "medium",
+        description: str = "",
+    ) -> None:
+        """Add a one-pattern detection signature (always ALERT — an IDS
+        never drops)."""
+        self.add_literal_rule(
+            rule_id, literal, action=Action.ALERT, description=description
+        )
+        self._severities[rule_id] = severity
+
+    def add_regex_signature(
+        self,
+        rule_id: int,
+        regex: bytes,
+        severity: str = "medium",
+        description: str = "",
+    ) -> None:
+        """Add one regex detection signature."""
+        self.add_regex_rule(
+            rule_id, regex, action=Action.ALERT, description=description
+        )
+        self._severities[rule_id] = severity
+
+    def on_rule_hits(self, packet: Packet, hits: list) -> None:
+        """Hook called once per processed packet with its rule hits."""
+        for hit in hits:
+            self.alerts.append(
+                Alert(
+                    rule_id=hit.rule_id,
+                    packet_id=hit.packet_id,
+                    severity=self._severities.get(hit.rule_id, "medium"),
+                    description="",
+                )
+            )
+
+    def alerts_by_severity(self) -> dict:
+        """Alerts grouped by their severity label."""
+        grouped: dict[str, list] = {}
+        for alert in self.alerts:
+            grouped.setdefault(alert.severity, []).append(alert)
+        return grouped

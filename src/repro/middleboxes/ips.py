@@ -1,0 +1,46 @@
+"""Intrusion Prevention System — the inline counterpart of the IDS.
+
+Unlike the IDS, an IPS acts on packets (drops them), so it cannot run in
+read-only mode: it needs the packet itself alongside the match results
+(the paper's IDS-vs-IPS distinction in Section 4.1).
+"""
+
+from __future__ import annotations
+
+from repro.middleboxes.base import Action, DPIServiceMiddlebox
+from repro.net.packet import Packet
+
+
+class IntrusionPreventionSystem(DPIServiceMiddlebox):
+    """Inline blocker: DROP rules for known-bad patterns."""
+
+    TYPE_NAME = "ips"
+    READ_ONLY = False
+    STATEFUL = True
+
+    def __init__(self, middlebox_id: int, name: str | None = None, **kwargs) -> None:
+        super().__init__(middlebox_id, name=name, **kwargs)
+        self.blocked_packet_ids: list[int] = []
+
+    def add_block_signature(
+        self, rule_id: int, literal: bytes, description: str = ""
+    ) -> None:
+        """A DROP rule for a known-bad literal."""
+        self.add_literal_rule(
+            rule_id, literal, action=Action.DROP, description=description
+        )
+
+    def add_watch_signature(
+        self, rule_id: int, literal: bytes, description: str = ""
+    ) -> None:
+        """Alert-only signature (an IPS also detects, not only blocks)."""
+        self.add_literal_rule(
+            rule_id, literal, action=Action.ALERT, description=description
+        )
+
+    def on_rule_hits(self, packet: Packet, hits: list) -> None:
+        """Hook called once per processed packet with its rule hits."""
+        if any(
+            self.engine.action_of(hit.rule_id) is Action.DROP for hit in hits
+        ):
+            self.blocked_packet_ids.append(packet.packet_id)

@@ -1,0 +1,79 @@
+"""L7 load balancer (F5/A10-style).
+
+Backend pools are selected by application-layer content — URL prefixes and
+host markers — which the balancer learns from DPI service matches instead of
+parsing the payload itself.  Within a pool, backends are picked by
+round-robin with per-flow stickiness.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.middleboxes.base import Action, DPIServiceMiddlebox
+from repro.net.flows import FiveTuple
+from repro.net.packet import Packet
+
+DEFAULT_POOL = "default"
+
+
+class L7LoadBalancer(DPIServiceMiddlebox):
+    """Content-aware backend selection."""
+
+    TYPE_NAME = "lb"
+    READ_ONLY = False
+    STATEFUL = False
+    #: URL/host routing only needs the HTTP request head.
+    STOPPING_CONDITION = 1024
+
+    def __init__(self, middlebox_id: int, name: str | None = None, **kwargs) -> None:
+        super().__init__(middlebox_id, name=name, **kwargs)
+        self._pools: dict[str, list[str]] = {DEFAULT_POOL: []}
+        self._round_robin: dict[str, itertools.cycle] = {}
+        self._rule_pool: dict[int, str] = {}
+        self.flow_backend: dict = {}
+        self.assignments: list[tuple] = []  # (flow key, backend)
+
+    def add_pool(self, pool_name: str, backends: list) -> None:
+        """Define a backend pool."""
+        if not backends:
+            raise ValueError(f"pool {pool_name!r} needs at least one backend")
+        self._pools[pool_name] = list(backends)
+        self._round_robin[pool_name] = itertools.cycle(backends)
+
+    def add_content_rule(
+        self, rule_id: int, marker: bytes, pool_name: str, description: str = ""
+    ) -> None:
+        """Route flows whose payload contains *marker* to *pool_name*."""
+        if pool_name not in self._pools:
+            raise KeyError(f"unknown pool: {pool_name}")
+        self.add_literal_rule(
+            rule_id, marker, action=Action.ALERT, description=description
+        )
+        self._rule_pool[rule_id] = pool_name
+
+    def on_rule_hits(self, packet: Packet, hits: list) -> None:
+        """Hook called once per processed packet with its rule hits."""
+        flow_key = FiveTuple.of(packet).bidirectional_key()
+        if flow_key in self.flow_backend:
+            return  # sticky: first classification wins
+        for hit in hits:
+            pool_name = self._rule_pool.get(hit.rule_id)
+            if pool_name is None:
+                continue
+            backend = next(self._round_robin[pool_name])
+            self.flow_backend[flow_key] = backend
+            self.assignments.append((flow_key, backend))
+            return
+
+    def backend_of(self, packet: Packet) -> str | None:
+        """The backend a packet's flow is pinned to (None = unclassified)."""
+        flow_key = FiveTuple.of(packet).bidirectional_key()
+        return self.flow_backend.get(flow_key)
+
+    def backend_loads(self) -> dict:
+        """Flows per backend — useful to check balancing fairness."""
+        loads: dict[str, int] = {}
+        for backend in self.flow_backend.values():
+            loads[backend] = loads.get(backend, 0) + 1
+        return loads

@@ -1,0 +1,48 @@
+"""The "Snort plugin" analogue (paper Section 6.1).
+
+The paper ships a small Snort plugin that *parses DPI-service results*
+instead of running Snort's own pattern matchers — fewer than 100 lines, with
+six lines changed in Snort itself.  :class:`DPIResultsPlugin` plays that
+role here: it adapts a legacy middlebox (one built around an embedded
+engine) so that its rule logic runs off service reports while its scanning
+engine stays idle.
+"""
+
+from __future__ import annotations
+
+from repro.core.reports import MatchReport
+from repro.middleboxes.base import Action
+from repro.middleboxes.legacy import LegacyDPIMiddlebox
+from repro.net.packet import Packet
+
+
+class DPIResultsPlugin:
+    """Feeds DPI-service reports into a legacy middlebox's rule engine.
+
+    The wrapped middlebox keeps its rules, statistics and hooks; only the
+    source of pattern matches changes.  ``bypassed_scans`` counts how many
+    payload scans the plugin saved.
+    """
+
+    def __init__(self, middlebox: LegacyDPIMiddlebox) -> None:
+        self.middlebox = middlebox
+        self.bypassed_scans = 0
+        self.bypassed_bytes = 0
+
+    @property
+    def middlebox_id(self) -> int:
+        """The wrapped middlebox's id."""
+        return self.middlebox.middlebox_id
+
+    def consume_report(self, packet: Packet, report: MatchReport) -> Action:
+        """Rule evaluation from a service report — no payload scan."""
+        self.bypassed_scans += 1
+        self.bypassed_bytes += len(packet.payload)
+        matches = report.matches_for(self.middlebox.middlebox_id)
+        return self.middlebox.process_matches(packet, matches)
+
+    def consume_unmarked(self, packet: Packet) -> Action:
+        """Process a packet the service found matchless."""
+        self.bypassed_scans += 1
+        self.bypassed_bytes += len(packet.payload)
+        return self.middlebox.process_matches(packet, [])

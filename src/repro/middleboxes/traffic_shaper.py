@@ -1,0 +1,109 @@
+"""Application-aware traffic shaper (Blue Coat PacketShaper-style).
+
+Application patterns (protocol banners, HTTP markers, peer-to-peer
+handshakes) classify flows into rate classes; a token bucket per class then
+models the shaping.  The shaper never drops on classification alone — only
+when a class's bucket runs dry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.middleboxes.base import Action, DPIServiceMiddlebox
+from repro.net.flows import FiveTuple
+from repro.net.packet import Packet
+
+DEFAULT_CLASS = "default"
+
+
+@dataclass
+class TokenBucket:
+    """A byte token bucket: ``rate_bps`` refills, ``burst_bytes`` caps."""
+
+    rate_bps: float
+    burst_bytes: int
+    tokens: float = field(default=0.0)
+    last_refill: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError(f"rate must be positive: {self.rate_bps}")
+        self.tokens = float(self.burst_bytes)
+
+    def try_consume(self, size_bytes: int, now: float) -> bool:
+        """Take tokens for one packet; False when the bucket is dry."""
+        elapsed = max(0.0, now - self.last_refill)
+        self.last_refill = now
+        self.tokens = min(
+            float(self.burst_bytes), self.tokens + elapsed * self.rate_bps / 8
+        )
+        if self.tokens >= size_bytes:
+            self.tokens -= size_bytes
+            return True
+        return False
+
+
+class TrafficShaper(DPIServiceMiddlebox):
+    """Classifies flows by application patterns and rate-limits each class."""
+
+    TYPE_NAME = "shaper"
+    READ_ONLY = False
+    STATEFUL = False
+    #: Application classification needs only the first bytes of each packet.
+    STOPPING_CONDITION = 512
+
+    def __init__(self, middlebox_id: int, name: str | None = None, **kwargs) -> None:
+        super().__init__(middlebox_id, name=name, **kwargs)
+        self._rule_class: dict[int, str] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self.flow_classes: dict = {}
+        self.shaped_drops = 0
+        self.clock = 0.0
+
+    def add_class(
+        self, class_name: str, rate_bps: float, burst_bytes: int = 64 * 1024
+    ) -> None:
+        """Define a rate class with its token bucket."""
+        self._buckets[class_name] = TokenBucket(
+            rate_bps=rate_bps, burst_bytes=burst_bytes
+        )
+
+    def add_app_pattern(
+        self, rule_id: int, pattern: bytes, class_name: str, description: str = ""
+    ) -> None:
+        """Map an application marker pattern to a rate class."""
+        if class_name not in self._buckets:
+            raise KeyError(f"unknown rate class: {class_name}")
+        self.add_literal_rule(
+            rule_id, pattern, action=Action.ALERT, description=description
+        )
+        self._rule_class[rule_id] = class_name
+
+    def class_of_flow(self, flow_key) -> str:
+        """The rate class a flow was classified into."""
+        return self.flow_classes.get(flow_key, DEFAULT_CLASS)
+
+    def on_rule_hits(self, packet: Packet, hits: list) -> None:
+        """Hook called once per processed packet with its rule hits."""
+        flow_key = FiveTuple.of(packet).bidirectional_key()
+        for hit in hits:
+            class_name = self._rule_class.get(hit.rule_id)
+            if class_name is not None:
+                self.flow_classes[flow_key] = class_name
+                break
+
+    def shape(self, packet: Packet, now: float | None = None) -> Action:
+        """Apply the flow's rate class to one packet."""
+        if now is None:
+            now = self.clock
+        self.clock = max(self.clock, now)
+        flow_key = FiveTuple.of(packet).bidirectional_key()
+        class_name = self.class_of_flow(flow_key)
+        bucket = self._buckets.get(class_name)
+        if bucket is None:
+            return Action.FORWARD
+        if bucket.try_consume(packet.wire_length, now):
+            return Action.FORWARD
+        self.shaped_drops += 1
+        return Action.DROP

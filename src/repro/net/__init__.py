@@ -1,0 +1,68 @@
+"""Simulated SDN substrate: packets, switches, links, controller, steering.
+
+This subpackage replaces the paper's Mininet/OpenFlow/POX environment with a
+deterministic discrete-event simulator.  It models:
+
+* L2-L4 packets with a VLAN/MPLS tag stack, ECN marking, and NSH metadata
+  (:mod:`repro.net.packet`);
+* OpenFlow-style switches with prioritized flow tables and table-miss
+  packet-in handling (:mod:`repro.net.switch`, :mod:`repro.net.openflow`);
+* bandwidth/latency links with FIFO queues (:mod:`repro.net.links`);
+* an SDN controller (:mod:`repro.net.controller`) and a SIMPLE-style traffic
+  steering application (:mod:`repro.net.steering`) that routes packets along
+  policy chains.
+"""
+
+from repro.net.addresses import MACAddress, IPv4Address
+from repro.net.packet import (
+    EthernetHeader,
+    IPv4Header,
+    TCPHeader,
+    UDPHeader,
+    VlanTag,
+    MplsLabel,
+    NSHContext,
+    Packet,
+)
+from repro.net.flows import FiveTuple
+from repro.net.simulator import Simulator, Event
+from repro.net.links import Link
+from repro.net.openflow import FlowMatch, FlowAction, FlowEntry, FlowTable, ActionType
+from repro.net.switch import Switch
+from repro.net.host import Host, NetworkFunction
+from repro.net.topology import Topology, build_paper_topology
+from repro.net.controller import SDNController
+from repro.net.steering import PolicyChain, TrafficSteeringApplication
+from repro.net.reassembly import StreamReassembler, TCPReassembler
+
+__all__ = [
+    "MACAddress",
+    "IPv4Address",
+    "EthernetHeader",
+    "IPv4Header",
+    "TCPHeader",
+    "UDPHeader",
+    "VlanTag",
+    "MplsLabel",
+    "NSHContext",
+    "Packet",
+    "FiveTuple",
+    "Simulator",
+    "Event",
+    "Link",
+    "FlowMatch",
+    "FlowAction",
+    "FlowEntry",
+    "FlowTable",
+    "ActionType",
+    "Switch",
+    "Host",
+    "NetworkFunction",
+    "Topology",
+    "build_paper_topology",
+    "SDNController",
+    "PolicyChain",
+    "TrafficSteeringApplication",
+    "StreamReassembler",
+    "TCPReassembler",
+]

@@ -1,0 +1,150 @@
+"""MAC and IPv4 address value types.
+
+Both types are immutable, hashable, and order-comparable so they can be used
+as dictionary keys in flow tables and ARP-like caches.  They parse from and
+render to the conventional textual forms (``aa:bb:cc:dd:ee:ff`` and
+``10.0.0.1``).
+"""
+
+from __future__ import annotations
+
+import re
+from functools import total_ordering
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
+
+
+@total_ordering
+class MACAddress:
+    """A 48-bit Ethernet MAC address."""
+
+    __slots__ = ("_value",)
+
+    BROADCAST_VALUE = (1 << 48) - 1
+
+    def __init__(self, value: "int | str | MACAddress"):
+        if isinstance(value, MACAddress):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 48):
+                raise ValueError(f"MAC address out of range: {value:#x}")
+            self._value = value
+        elif isinstance(value, str):
+            if not _MAC_RE.match(value):
+                raise ValueError(f"malformed MAC address: {value!r}")
+            self._value = int(value.replace(":", ""), 16)
+        else:
+            raise TypeError(f"cannot build MACAddress from {type(value).__name__}")
+
+    @classmethod
+    def broadcast(cls) -> "MACAddress":
+        """The all-ones broadcast address ``ff:ff:ff:ff:ff:ff``."""
+        return cls(cls.BROADCAST_VALUE)
+
+    @classmethod
+    def from_index(cls, index: int) -> "MACAddress":
+        """A deterministic locally-administered unicast MAC for host *index*."""
+        if not 0 <= index < (1 << 40):
+            raise ValueError(f"host index out of range: {index}")
+        # 0x02 in the first octet = locally administered, unicast.
+        return cls((0x02 << 40) | index)
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for the all-ones broadcast address."""
+        return self._value == self.BROADCAST_VALUE
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        raw = f"{self._value:012x}"
+        return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return f"MACAddress('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MACAddress):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "MACAddress") -> bool:
+        if isinstance(other, MACAddress):
+            return self._value < other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("mac", self._value))
+
+
+@total_ordering
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: "int | str | IPv4Address"):
+        if isinstance(value, IPv4Address):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 32):
+                raise ValueError(f"IPv4 address out of range: {value:#x}")
+            self._value = value
+        elif isinstance(value, str):
+            self._value = self._parse(value)
+        else:
+            raise TypeError(f"cannot build IPv4Address from {type(value).__name__}")
+
+    @staticmethod
+    def _parse(text: str) -> int:
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise ValueError(f"malformed IPv4 address: {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise ValueError(f"malformed IPv4 address: {text!r}")
+            value = (value << 8) | octet
+        return value
+
+    @classmethod
+    def from_index(cls, index: int, network: str = "10.0.0.0") -> "IPv4Address":
+        """A deterministic host address ``network + index + 1``."""
+        base = cls(network)
+        return cls(int(base) + index + 1)
+
+    def in_subnet(self, network: "IPv4Address", prefix_len: int) -> bool:
+        """True if this address falls inside ``network/prefix_len``."""
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"bad prefix length: {prefix_len}")
+        if prefix_len == 0:
+            return True
+        mask = ((1 << prefix_len) - 1) << (32 - prefix_len)
+        return (self._value & mask) == (int(network) & mask)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        v = self._value
+        return f"{v >> 24 & 255}.{v >> 16 & 255}.{v >> 8 & 255}.{v & 255}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value < other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("ipv4", self._value))

@@ -1,0 +1,114 @@
+"""Hosts and attachable network functions.
+
+A :class:`Host` is an endpoint with one port.  Its behaviour is pluggable via
+a :class:`NetworkFunction`: user hosts record received packets, middlebox
+hosts and DPI service instances process packets and may emit new ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.links import Link
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+
+
+class NetworkFunction:
+    """Behaviour attached to a host.
+
+    Subclasses override :meth:`process`, returning the packets to transmit in
+    response (possibly including the input packet itself to forward it on).
+    """
+
+    def attach(self, host: "Host") -> None:
+        """Called when the function is bound to its host."""
+        self.host = host
+
+    def process(self, packet: Packet) -> list[Packet]:
+        """Handle one received packet; return packets to send."""
+        raise NotImplementedError
+
+
+class RecordingFunction(NetworkFunction):
+    """Default endpoint behaviour: keep every received packet."""
+
+    def __init__(self) -> None:
+        self.received: list[Packet] = []
+
+    def process(self, packet: Packet) -> list[Packet]:
+        """Handle one received packet; return packets to send."""
+        self.received.append(packet)
+        return []
+
+
+@dataclass
+class HostStats:
+    """Plain counters container."""
+    packets_sent: int = 0
+    packets_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class Host:
+    """A single-homed network endpoint."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        mac: MACAddress,
+        ip: IPv4Address,
+        function: NetworkFunction | None = None,
+    ) -> None:
+        self._simulator = simulator
+        self.name = name
+        self.mac = mac
+        self.ip = ip
+        self._link: Link | None = None
+        self.stats = HostStats()
+        self.function = function if function is not None else RecordingFunction()
+        self.function.attach(self)
+
+    def set_function(self, function: NetworkFunction) -> None:
+        """Replace the host's behaviour (e.g. once a DPI instance exists)."""
+        self.function = function
+        function.attach(self)
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name} {self.ip} ({self.mac})>"
+
+    @property
+    def simulator(self) -> Simulator:
+        """The discrete-event engine this host runs on."""
+        return self._simulator
+
+    def attach_link(self, port: int, link: Link) -> None:
+        """Hosts have exactly one uplink (port number is ignored)."""
+        if self._link is not None:
+            raise ValueError(f"{self.name}: host already has a link")
+        self._link = link
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit *packet* on the uplink."""
+        if self._link is None:
+            raise RuntimeError(f"{self.name}: host has no link")
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.wire_length
+        return self._link.send_from(self, packet)
+
+    def receive(self, packet: Packet, port: int) -> None:
+        """Deliver a packet to the host's network function."""
+        self.stats.packets_received += 1
+        self.stats.bytes_received += packet.wire_length
+        for response in self.function.process(packet):
+            self.send(response)
+
+    @property
+    def received_packets(self) -> list[Packet]:
+        """Packets recorded by a :class:`RecordingFunction` endpoint."""
+        if isinstance(self.function, RecordingFunction):
+            return self.function.received
+        raise TypeError(f"{self.name}: function does not record packets")

@@ -1,0 +1,146 @@
+"""Point-to-point links with bandwidth, propagation delay and FIFO queueing.
+
+A link connects two ports (each port belongs to a :class:`~repro.net.switch.
+Switch` or a :class:`~repro.net.host.Host`).  Transmission is serialized: a
+packet occupies the link for ``wire_length * 8 / bandwidth_bps`` seconds and
+arrives ``propagation_delay`` later.  A finite queue drops tail packets and
+counts the drops.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+
+
+@dataclass
+class LinkStats:
+    """Counters for one direction of a link."""
+
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    packets_dropped: int = 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of the counters."""
+        return {
+            "packets_sent": self.packets_sent,
+            "bytes_sent": self.bytes_sent,
+            "packets_dropped": self.packets_dropped,
+        }
+
+
+class _Direction:
+    """One direction of a full-duplex link."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        bandwidth_bps: float,
+        propagation_delay: float,
+        queue_capacity: int,
+    ) -> None:
+        self._simulator = simulator
+        self._bandwidth_bps = bandwidth_bps
+        self._propagation_delay = propagation_delay
+        self._queue: deque[Packet] = deque()
+        self._queue_capacity = queue_capacity
+        self._busy = False
+        self.stats = LinkStats()
+        self.deliver = None  # set by Link.attach
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue *packet*; returns False if it was tail-dropped."""
+        if len(self._queue) >= self._queue_capacity:
+            self.stats.packets_dropped += 1
+            return False
+        self._queue.append(packet)
+        if not self._busy:
+            self._transmit_next()
+        return True
+
+    def _transmit_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queue.popleft()
+        transmit_time = packet.wire_length * 8 / self._bandwidth_bps
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.wire_length
+
+        def arrive() -> None:
+            """Deliver the packet to the receiving endpoint."""
+            if self.deliver is not None:
+                self.deliver(packet)
+
+        self._simulator.schedule(
+            transmit_time + self._propagation_delay, arrive, label="link-arrive"
+        )
+        self._simulator.schedule(transmit_time, self._transmit_next, label="link-free")
+
+
+class Link:
+    """A full-duplex link between two nodes.
+
+    Nodes are any objects with a ``receive(packet, port)`` method; the link is
+    attached with the port number each endpoint uses for it.
+    """
+
+    DEFAULT_BANDWIDTH_BPS = 1e9  # 1 Gbps
+    DEFAULT_PROPAGATION_DELAY = 50e-6  # 50 microseconds
+    DEFAULT_QUEUE_CAPACITY = 1000  # packets
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        propagation_delay: float = DEFAULT_PROPAGATION_DELAY,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_bps}")
+        if propagation_delay < 0:
+            raise ValueError(f"negative propagation delay: {propagation_delay}")
+        self._forward = _Direction(
+            simulator, bandwidth_bps, propagation_delay, queue_capacity
+        )
+        self._backward = _Direction(
+            simulator, bandwidth_bps, propagation_delay, queue_capacity
+        )
+        self._endpoint_a = None
+        self._endpoint_b = None
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+
+    def attach(self, node_a, port_a: int, node_b, port_b: int) -> None:
+        """Connect *node_a* (at *port_a*) with *node_b* (at *port_b*)."""
+        self._endpoint_a = (node_a, port_a)
+        self._endpoint_b = (node_b, port_b)
+        self._forward.deliver = lambda packet: node_b.receive(packet, port_b)
+        self._backward.deliver = lambda packet: node_a.receive(packet, port_a)
+
+    def endpoints(self) -> tuple:
+        """The two (node, port) attachments."""
+        return (self._endpoint_a, self._endpoint_b)
+
+    def send_from(self, node, packet: Packet) -> bool:
+        """Send *packet* out of the link from *node*'s side."""
+        if self._endpoint_a is None or self._endpoint_b is None:
+            raise RuntimeError("link is not attached")
+        if node is self._endpoint_a[0]:
+            return self._forward.send(packet)
+        if node is self._endpoint_b[0]:
+            return self._backward.send(packet)
+        raise ValueError(f"{node!r} is not an endpoint of this link")
+
+    def stats_from(self, node) -> LinkStats:
+        """Transmission counters for the direction leaving *node*."""
+        if node is self._endpoint_a[0]:
+            return self._forward.stats
+        if node is self._endpoint_b[0]:
+            return self._backward.stats
+        raise ValueError(f"{node!r} is not an endpoint of this link")

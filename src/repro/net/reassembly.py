@@ -1,0 +1,153 @@
+"""TCP stream reassembly.
+
+The paper treats session reconstruction as a natural companion service to
+DPI ("we plan to investigate ... session reconstruction", Section 7) and
+relies on in-order flow bytes for stateful scanning.  This module provides
+the substrate: per-flow, per-direction reassembly that tolerates
+out-of-order arrival, retransmissions and overlapping segments, releasing
+bytes exactly once and strictly in order — which is what the stateful
+scanner's ``(DFA state, offset)`` bookkeeping requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.flows import FiveTuple
+from repro.net.packet import Packet, TCPHeader
+
+
+@dataclass
+class ReassemblyStats:
+    """Plain counters container."""
+    segments: int = 0
+    duplicate_segments: int = 0
+    out_of_order_segments: int = 0
+    bytes_released: int = 0
+
+
+class StreamReassembler:
+    """One direction of one TCP stream.
+
+    Segments are positioned by sequence number; ``add_segment`` returns the
+    bytes that became contiguous with everything already released (possibly
+    empty while a gap exists).  Overlapping and duplicate data is trimmed so
+    every stream byte is released exactly once.
+    """
+
+    #: Refuse to buffer more than this many out-of-order bytes per stream.
+    MAX_BUFFERED_BYTES = 1 << 20
+
+    def __init__(self, initial_seq: int = 0) -> None:
+        self.next_seq = initial_seq
+        self._pending: dict[int, bytes] = {}
+        self.stats = ReassemblyStats()
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes waiting out of order."""
+        return sum(len(data) for data in self._pending.values())
+
+    def add_segment(self, seq: int, data: bytes) -> bytes:
+        """Insert a segment; returns newly in-order stream bytes."""
+        self.stats.segments += 1
+        if not data:
+            return b""
+        end = seq + len(data)
+        if end <= self.next_seq:
+            # Entirely old data: a retransmission.
+            self.stats.duplicate_segments += 1
+            return b""
+        if seq < self.next_seq:
+            # Partial overlap with released data: keep only the new tail.
+            data = data[self.next_seq - seq :]
+            seq = self.next_seq
+        if seq > self.next_seq:
+            self.stats.out_of_order_segments += 1
+            self._store_pending(seq, data)
+            return b""
+        # In order: release it plus anything it unblocks.
+        released = [data]
+        self.next_seq = seq + len(data)
+        while True:
+            follow_on = self._take_pending()
+            if follow_on is None:
+                break
+            released.append(follow_on)
+        out = b"".join(released)
+        self.stats.bytes_released += len(out)
+        return out
+
+    def _store_pending(self, seq: int, data: bytes) -> None:
+        if self.buffered_bytes + len(data) > self.MAX_BUFFERED_BYTES:
+            raise BufferError(
+                f"reassembly buffer overflow at seq {seq} "
+                f"({self.buffered_bytes} bytes already pending)"
+            )
+        existing = self._pending.get(seq)
+        if existing is None or len(data) > len(existing):
+            self._pending[seq] = data
+        else:
+            self.stats.duplicate_segments += 1
+
+    def _take_pending(self) -> bytes | None:
+        """Pop pending data overlapping ``next_seq``, trimmed to the new part."""
+        for seq in sorted(self._pending):
+            data = self._pending[seq]
+            end = seq + len(data)
+            if end <= self.next_seq:
+                del self._pending[seq]
+                self.stats.duplicate_segments += 1
+                continue
+            if seq <= self.next_seq:
+                del self._pending[seq]
+                fresh = data[self.next_seq - seq :]
+                self.next_seq += len(fresh)
+                return fresh
+            return None
+        return None
+
+
+class TCPReassembler:
+    """Reassembly across all flows: feed packets, get in-order stream bytes.
+
+    Each direction of each 5-tuple gets its own :class:`StreamReassembler`,
+    anchored at the sequence number of the first segment seen.  Without a
+    modeled handshake the anchor is heuristic: if the *first* segment of a
+    flow arrived out of order, its predecessors will surface as overlaps
+    and be dropped as duplicates — the same failure mode a mid-stream tap
+    has in practice.
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict = {}
+        self.stats = ReassemblyStats()
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def add_packet(self, packet: Packet) -> tuple:
+        """Returns ``(flow key, released bytes)`` for a TCP data packet.
+
+        Non-TCP packets pass through unreassembled: the payload is returned
+        as-is under the packet's flow key.
+        """
+        flow_key = FiveTuple.of(packet)
+        if not isinstance(packet.l4, TCPHeader):
+            return flow_key, packet.payload
+        stream = self._streams.get(flow_key)
+        if stream is None:
+            stream = StreamReassembler(initial_seq=packet.l4.seq)
+            self._streams[flow_key] = stream
+        released = stream.add_segment(packet.l4.seq, packet.payload)
+        self.stats.segments += 1
+        self.stats.bytes_released += len(released)
+        return flow_key, released
+
+    def stream_of(self, flow_key) -> StreamReassembler | None:
+        """The per-direction reassembler of a flow, or None."""
+        return self._streams.get(flow_key)
+
+    def close_flow(self, flow_key) -> StreamReassembler | None:
+        """Drop a finished flow's state (e.g. on FIN/RST or idle timeout)."""
+        return self._streams.pop(flow_key, None)

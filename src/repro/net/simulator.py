@@ -1,0 +1,103 @@
+"""Deterministic discrete-event simulator.
+
+All data-plane components (links, switches, hosts) schedule work through one
+:class:`Simulator`.  Events fire in timestamp order; ties break by insertion
+order, which keeps runs fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; comparison order drives the event queue."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class Simulator:
+    """A minimal discrete-event engine with a simulated clock in seconds."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Events run since construction."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule *callback* to run *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past: delay={delay}")
+        event = Event(
+            time=self._now + delay,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule *callback* at absolute simulated *time*."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: time={time} < now={self._now}"
+            )
+        return self.schedule(time - self._now, callback, label)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Process events until the queue drains, *until* passes, or
+        *max_events* events have run.  Returns the number of events run."""
+        processed = 0
+        self._running = True
+        try:
+            while self._queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                if until is not None and self._queue[0].time > until:
+                    self._now = until
+                    break
+                event = heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback()
+                processed += 1
+                self._events_processed += 1
+        finally:
+            self._running = False
+        return processed
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        if self._running:
+            raise RuntimeError("cannot reset a running simulator")
+        self._queue.clear()
+        self._now = 0.0
+        self._events_processed = 0

@@ -1,0 +1,44 @@
+"""Synthetic workloads standing in for the paper's proprietary inputs.
+
+* :mod:`repro.workloads.patterns` — Snort-like and ClamAV-like pattern-set
+  generators reproducing the published set sizes and length profiles, plus
+  the random Snort1/Snort2 split used by Table 2 and Figures 9-10.
+* :mod:`repro.workloads.traffic` — HTTP-corpus and campus-like traces with
+  a controlled match rate (the paper measures >90 % of packets matchless).
+* :mod:`repro.workloads.attacks` — complexity-attack payloads that maximize
+  per-byte scan work, for the MCA^2 experiments.
+"""
+
+from repro.workloads.patterns import (
+    CLAMAV_PATTERN_COUNT,
+    SNORT_PATTERN_COUNT,
+    generate_clamav_like,
+    generate_snort_like,
+    random_split,
+    to_pattern_list,
+)
+from repro.workloads.traffic import (
+    Trace,
+    TrafficGenerator,
+    packetize,
+)
+from repro.workloads.attacks import (
+    heavy_payload,
+    match_flood_payload,
+    near_miss_payload,
+)
+
+__all__ = [
+    "SNORT_PATTERN_COUNT",
+    "CLAMAV_PATTERN_COUNT",
+    "generate_snort_like",
+    "generate_clamav_like",
+    "random_split",
+    "to_pattern_list",
+    "Trace",
+    "TrafficGenerator",
+    "packetize",
+    "heavy_payload",
+    "match_flood_payload",
+    "near_miss_payload",
+]

@@ -1,0 +1,89 @@
+"""Complexity-attack traffic against DPI engines (for the MCA^2 part).
+
+Two classic "heavy packet" shapes are generated:
+
+* :func:`near_miss_payload` — pattern prefixes that each miss on their last
+  byte, driving the automaton deep along forward transitions and forcing
+  failure-link walks on sparse layouts (the textbook AC complexity attack);
+* :func:`match_flood_payload` — patterns packed back to back, so that the
+  engine's *match handling* path (accept checks, match-table resolution,
+  report construction) fires every few bytes.  On this implementation the
+  match path dominates per-byte cost, making the flood the strongest
+  stressor — matching the MCA^2 observation that heavy packets are the ones
+  exercising the engine's expensive paths, whichever those are.
+
+:func:`heavy_payload` combines both.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def near_miss_payload(
+    patterns: list, length: int, seed: int = 11, miss_byte: int | None = None
+) -> bytes:
+    """A payload of pattern prefixes that each miss on their last byte.
+
+    Every prefix drives the automaton deep along forward transitions; the
+    final, wrong byte then triggers a failure-link walk back.
+    """
+    if not patterns:
+        raise ValueError("need at least one pattern to attack")
+    if length < 1:
+        raise ValueError(f"length must be positive: {length}")
+    rng = random.Random(("near-miss", seed).__repr__())
+    deep = sorted(patterns, key=len, reverse=True)[: max(1, len(patterns) // 10)]
+    chunks: list[bytes] = []
+    total = 0
+    while total < length:
+        pattern = rng.choice(deep)
+        prefix = pattern[:-1]
+        last = pattern[-1]
+        wrong = miss_byte if miss_byte is not None else (last + 1) % 256
+        chunk = prefix + bytes([wrong])
+        chunks.append(chunk)
+        total += len(chunk)
+    return b"".join(chunks)[:length]
+
+
+def match_flood_payload(patterns: list, length: int, seed: int = 12) -> bytes:
+    """Patterns packed back to back: a match fires every few bytes.
+
+    The payload ends mid-pattern when *length* does not divide evenly; the
+    truncated tail simply produces no final match.
+    """
+    if not patterns:
+        raise ValueError("need at least one pattern to attack")
+    if length < 1:
+        raise ValueError(f"length must be positive: {length}")
+    rng = random.Random(("flood", seed).__repr__())
+    # Prefer short patterns: more matches per byte.
+    short = sorted(patterns, key=len)[: max(1, len(patterns) // 5)]
+    chunks: list[bytes] = []
+    total = 0
+    while total < length:
+        pattern = rng.choice(short)
+        chunks.append(pattern)
+        total += len(pattern)
+    return b"".join(chunks)[:length]
+
+
+def heavy_payload(patterns: list, length: int, seed: int = 13) -> bytes:
+    """A mixed heavy payload: match floods interleaved with near-misses.
+
+    Stresses both the traversal path (deep walks + failure chains) and the
+    match-handling path (resolution + report construction).
+    """
+    rng = random.Random(("heavy", seed).__repr__())
+    chunks: list[bytes] = []
+    total = 0
+    while total < length:
+        span = rng.randrange(100, 400)
+        if rng.random() < 0.7:
+            chunk = match_flood_payload(patterns, span, seed=rng.randrange(1 << 30))
+        else:
+            chunk = near_miss_payload(patterns, span, seed=rng.randrange(1 << 30))
+        chunks.append(chunk)
+        total += len(chunk)
+    return b"".join(chunks)[:length]

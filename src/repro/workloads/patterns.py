@@ -1,0 +1,143 @@
+"""Synthetic pattern sets reproducing the paper's inputs.
+
+The paper uses the exact-match patterns (length >= 8) of Snort — up to 4,356
+patterns — and ClamAV — 31,827 patterns.  The generators here reproduce:
+
+* the published set sizes (:data:`SNORT_PATTERN_COUNT`,
+  :data:`CLAMAV_PATTERN_COUNT`);
+* the character of each corpus — Snort content strings are short, ASCII,
+  protocol-flavored, with heavily shared prefixes (URI stems, command
+  names); ClamAV signatures are longer, high-entropy binary strings;
+* cross-set sharing: a configurable fraction of patterns is common to both
+  halves of a split, which exercises the combined automaton's
+  shared-accepting-state machinery.
+
+All generation is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.patterns import Pattern, PatternSet
+
+SNORT_PATTERN_COUNT = 4356
+CLAMAV_PATTERN_COUNT = 31827
+MIN_PATTERN_LENGTH = 8
+
+# Protocol-ish vocabulary for Snort-like content strings.
+_TOKENS = [
+    b"GET /", b"POST /", b"HEAD /", b"HTTP/1.", b"Host: ", b"User-Agent:",
+    b"Content-", b"cgi-bin/", b"admin", b"login", b"passwd", b"shell",
+    b"cmd.exe", b"root", b"exec", b"select", b"union", b"script", b"eval(",
+    b"iframe", b"src=", b"href=", b"download", b"update", b"config",
+    b"wp-content", b"php?", b".asp", b".jsp", b"%00", b"%2e%2e", b"setup",
+    b"overflow", b"0wned", b"backdoor", b"trojan", b"botnet", b"payload",
+    b"xmas", b"probe", b"scan", b"flood", b"inject", b"bind", b"proxy",
+]
+_SUFFIX_ALPHABET = (
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-./"
+)
+
+
+def _snort_like_pattern(rng: random.Random) -> bytes:
+    """One Snort-flavored content string (>= 8 bytes).
+
+    A random suffix of at least 4 bytes is always appended so that no
+    pattern is a bare protocol token — bare tokens (``Content-``,
+    ``HTTP/1.``) occur in perfectly benign traffic, and the paper's traces
+    are >90 % matchless.
+    """
+    parts = [rng.choice(_TOKENS)]
+    # Occasionally chain a second token (shared-prefix structure).
+    if rng.random() < 0.35:
+        parts.append(rng.choice(_TOKENS))
+    pattern = b"".join(parts)
+    target_length = max(MIN_PATTERN_LENGTH, len(pattern) + 4, int(rng.gauss(15, 5)))
+    while len(pattern) < target_length:
+        pattern += bytes([rng.choice(_SUFFIX_ALPHABET)])
+    return pattern
+
+
+def _clamav_like_pattern(rng: random.Random) -> bytes:
+    """One ClamAV-flavored binary signature (longer, high entropy)."""
+    length = max(12, int(rng.gauss(20, 6)))
+    return bytes(rng.randrange(256) for _ in range(length))
+
+
+def _generate_unique(count: int, make, rng: random.Random) -> list[bytes]:
+    patterns: list[bytes] = []
+    seen: set[bytes] = set()
+    attempts = 0
+    while len(patterns) < count:
+        pattern = make(rng)
+        attempts += 1
+        if pattern in seen:
+            if attempts > count * 50:
+                raise RuntimeError(
+                    "pattern generation stalled; vocabulary too small for "
+                    f"{count} unique patterns"
+                )
+            continue
+        seen.add(pattern)
+        patterns.append(pattern)
+    return patterns
+
+
+def generate_snort_like(
+    count: int = SNORT_PATTERN_COUNT, seed: int = 1
+) -> list[bytes]:
+    """A Snort-like exact-match pattern corpus."""
+    if count < 1:
+        raise ValueError(f"count must be positive: {count}")
+    rng = random.Random(("snort", seed, count).__repr__())
+    return _generate_unique(count, _snort_like_pattern, rng)
+
+
+def generate_clamav_like(
+    count: int = CLAMAV_PATTERN_COUNT, seed: int = 2
+) -> list[bytes]:
+    """A ClamAV-like virus-signature corpus."""
+    if count < 1:
+        raise ValueError(f"count must be positive: {count}")
+    rng = random.Random(("clamav", seed, count).__repr__())
+    return _generate_unique(count, _clamav_like_pattern, rng)
+
+
+def random_split(
+    patterns: list[bytes],
+    parts: int = 2,
+    seed: int = 3,
+    shared_fraction: float = 0.0,
+) -> list[list[bytes]]:
+    """Randomly split a corpus into *parts* sets (the paper's Snort1/Snort2).
+
+    ``shared_fraction`` of the patterns is replicated into *every* part —
+    modeling middleboxes whose rule sets overlap, the case the controller's
+    deduplication exists for.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1: {parts}")
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise ValueError(f"shared fraction out of range: {shared_fraction}")
+    rng = random.Random(("split", seed, parts).__repr__())
+    shuffled = list(patterns)
+    rng.shuffle(shuffled)
+    shared_count = int(len(shuffled) * shared_fraction)
+    shared, exclusive = shuffled[:shared_count], shuffled[shared_count:]
+    split: list[list[bytes]] = [list(shared) for _ in range(parts)]
+    for index, pattern in enumerate(exclusive):
+        split[index % parts].append(pattern)
+    return split
+
+
+def to_pattern_list(literals: list[bytes]) -> list[Pattern]:
+    """Wrap raw byte strings as :class:`Pattern` objects with sequential ids."""
+    return [
+        Pattern(pattern_id=index, data=data) for index, data in enumerate(literals)
+    ]
+
+
+def to_pattern_set(name: str, literals: list[bytes]) -> PatternSet:
+    """Wrap raw byte strings as a named PatternSet."""
+    return PatternSet.from_literals(name, literals)

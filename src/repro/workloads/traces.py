@@ -1,0 +1,97 @@
+"""Trace file I/O.
+
+Traces are stored in a small self-describing binary format (``.rtrc``) so
+generated workloads can be saved once and replayed across benchmark runs —
+the same role the paper's pcap files play:
+
+==========  ==========================================================
+section     layout (big endian)
+==========  ==========================================================
+header      magic ``RTRC`` | u8 version | u8 flags | u32 packet count
+per packet  u32 flow id (``0xFFFFFFFF`` = none) | u32 length | payload
+footer      u32 adler32 of every payload, chained
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+from repro.workloads.traffic import Trace
+
+MAGIC = b"RTRC"
+VERSION = 1
+NO_FLOW = 0xFFFFFFFF
+
+_HEADER = struct.Struct(">4sBBI")
+_PACKET_HEADER = struct.Struct(">II")
+_FOOTER = struct.Struct(">I")
+
+
+class TraceFormatError(ValueError):
+    """Raised for malformed trace files."""
+
+
+def save_trace(trace: Trace, path) -> int:
+    """Write *trace* to *path*; returns the bytes written."""
+    path = Path(path)
+    flags = 1 if trace.flow_ids is not None else 0
+    pieces = [_HEADER.pack(MAGIC, VERSION, flags, len(trace.payloads))]
+    checksum = 1  # adler32 seed
+    for index, payload in enumerate(trace.payloads):
+        flow_id = NO_FLOW
+        if trace.flow_ids is not None:
+            flow_id = trace.flow_ids[index]
+            if not 0 <= flow_id < NO_FLOW:
+                raise ValueError(f"flow id out of range: {flow_id}")
+        pieces.append(_PACKET_HEADER.pack(flow_id, len(payload)))
+        pieces.append(payload)
+        checksum = zlib.adler32(payload, checksum)
+    pieces.append(_FOOTER.pack(checksum & 0xFFFFFFFF))
+    blob = b"".join(pieces)
+    path.write_bytes(blob)
+    return len(blob)
+
+
+def load_trace(path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    blob = Path(path).read_bytes()
+    if len(blob) < _HEADER.size + _FOOTER.size:
+        raise TraceFormatError("file too short for a trace")
+    magic, version, flags, count = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic: {magic!r}")
+    if version != VERSION:
+        raise TraceFormatError(f"unsupported trace version: {version}")
+    has_flows = bool(flags & 1)
+    offset = _HEADER.size
+    payloads = []
+    flow_ids = [] if has_flows else None
+    checksum = 1
+    for _ in range(count):
+        if offset + _PACKET_HEADER.size > len(blob) - _FOOTER.size:
+            raise TraceFormatError("truncated packet header")
+        flow_id, length = _PACKET_HEADER.unpack_from(blob, offset)
+        offset += _PACKET_HEADER.size
+        if offset + length > len(blob) - _FOOTER.size:
+            raise TraceFormatError("truncated packet payload")
+        payload = blob[offset : offset + length]
+        offset += length
+        payloads.append(payload)
+        checksum = zlib.adler32(payload, checksum)
+        if has_flows:
+            flow_ids.append(flow_id)
+        elif flow_id != NO_FLOW:
+            raise TraceFormatError("flow id present in a flowless trace")
+    if offset + _FOOTER.size != len(blob):
+        raise TraceFormatError("trailing bytes after the footer")
+    (stored_checksum,) = _FOOTER.unpack_from(blob, offset)
+    if stored_checksum != checksum & 0xFFFFFFFF:
+        raise TraceFormatError("payload checksum mismatch")
+    return Trace(
+        payloads=payloads,
+        flow_ids=flow_ids,
+        description=f"loaded from {path}",
+    )

@@ -1,0 +1,193 @@
+"""Traffic traces with a controlled match profile.
+
+Stands in for the paper's two traces — a 9 GB campus wireless capture and a
+17 MB HTTP crawl of popular websites — reproducing the properties the
+results depend on:
+
+* payloads look like web content (HTML/JS/text mixtures) or mixed campus
+  traffic;
+* **more than 90 % of packets contain no pattern match** (measured in the
+  paper for both traces);
+* matched packets usually carry few matches, with a small tail of
+  match-heavy packets, and occasional repeated-character runs that produce
+  *range* reports (Section 6.5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+_HTML_SNIPPETS = [
+    b"<!DOCTYPE html><html><head><title>", b"</title></head><body>",
+    b"<div class=\"container\">", b"<script type=\"text/javascript\">",
+    b"function onload() { return document.getElementById(", b"</script>",
+    b"<a href=\"https://example.com/", b"<img src=\"/static/images/",
+    b"<p>Lorem ipsum dolor sit amet, consectetur adipiscing elit. ",
+    b"var config = {\"endpoint\": \"/api/v2/\", \"timeout\": 3000};",
+    b"<link rel=\"stylesheet\" href=\"/css/main.css\">",
+    b"Cache-Control: max-age=3600\r\nContent-Type: text/html\r\n\r\n",
+]
+_CAMPUS_SNIPPETS = _HTML_SNIPPETS + [
+    b"SSH-2.0-OpenSSH_8.9p1 Ubuntu-3ubuntu0.1\r\n",
+    b"\x16\x03\x01\x02\x00\x01\x00\x01\xfc\x03\x03",  # TLS client hello-ish
+    b"BitTorrent protocol", b"220 smtp.example.org ESMTP Postfix",
+    b"RTSP/1.0 200 OK\r\nCSeq: 2\r\n", b"\x00\x00\x00\x1c\x0a\x0f\x08",
+]
+
+
+@dataclass
+class Trace:
+    """A sequence of packet payloads, optionally grouped into flows."""
+
+    payloads: list = field(default_factory=list)
+    #: parallel list: flow id of each payload (or None for flowless traces)
+    flow_ids: list | None = None
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+    def __iter__(self):
+        return iter(self.payloads)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of payload lengths."""
+        return sum(len(p) for p in self.payloads)
+
+    def by_flow(self) -> dict:
+        """Payloads grouped per flow id, in arrival order."""
+        if self.flow_ids is None:
+            raise ValueError("trace has no flow information")
+        flows: dict = {}
+        for flow_id, payload in zip(self.flow_ids, self.payloads):
+            flows.setdefault(flow_id, []).append(payload)
+        return flows
+
+
+def packetize(stream: bytes, mtu: int = 1460) -> list[bytes]:
+    """Split a byte stream into MTU-sized packet payloads."""
+    if mtu < 1:
+        raise ValueError(f"mtu must be positive: {mtu}")
+    return [stream[offset : offset + mtu] for offset in range(0, len(stream), mtu)]
+
+
+class TrafficGenerator:
+    """Seeded generator of web-like and campus-like traces."""
+
+    def __init__(self, seed: int = 7, style: str = "http") -> None:
+        if style not in ("http", "campus"):
+            raise ValueError(f"unknown style {style!r}; use 'http' or 'campus'")
+        self.style = style
+        self._rng = random.Random(("traffic", style, seed).__repr__())
+        self._snippets = _HTML_SNIPPETS if style == "http" else _CAMPUS_SNIPPETS
+
+    # --- payload building blocks --------------------------------------------
+
+    def benign_payload(self, size: int) -> bytes:
+        """A payload of roughly *size* bytes of realistic filler."""
+        rng = self._rng
+        chunks: list[bytes] = []
+        length = 0
+        while length < size:
+            if rng.random() < 0.8:
+                chunk = rng.choice(self._snippets)
+            else:
+                chunk = bytes(
+                    rng.randrange(32, 127) for _ in range(rng.randrange(8, 40))
+                )
+            chunks.append(chunk)
+            length += len(chunk)
+        return b"".join(chunks)[:size]
+
+    def _inject(
+        self, payload: bytes, patterns: list, match_profile_rng: random.Random
+    ) -> bytes:
+        """Embed one or more patterns at random offsets."""
+        rng = match_profile_rng
+        mutable = bytearray(payload)
+        # Usually 1-2 matches; a small tail of match-heavy packets.
+        draws = 1
+        roll = rng.random()
+        if roll > 0.98:
+            draws = rng.randrange(6, 14)
+        elif roll > 0.85:
+            draws = rng.randrange(2, 5)
+        for _ in range(draws):
+            pattern = rng.choice(patterns)
+            if rng.random() < 0.05 and len(set(pattern)) == 1:
+                # Repeated-character run: multiple overlapping matches,
+                # producing the range reports of Section 6.5.
+                pattern = pattern * rng.randrange(2, 5)
+            if len(pattern) >= len(mutable):
+                mutable = bytearray(pattern)
+                continue
+            offset = rng.randrange(0, len(mutable) - len(pattern))
+            mutable[offset : offset + len(pattern)] = pattern
+        return bytes(mutable)
+
+    # --- traces --------------------------------------------------------------
+
+    def trace(
+        self,
+        num_packets: int,
+        patterns: list | None = None,
+        match_rate: float = 0.08,
+        mean_payload: int = 900,
+        num_flows: int | None = None,
+    ) -> Trace:
+        """A trace of *num_packets* payloads.
+
+        ``match_rate`` is the probability a packet gets patterns injected
+        (the paper's traces are >90 % matchless, hence the 0.08 default).
+        Injection does not guarantee zero matches elsewhere — benign filler
+        may coincidentally contain a pattern, as in real traffic.
+        """
+        if not 0.0 <= match_rate <= 1.0:
+            raise ValueError(f"match rate out of range: {match_rate}")
+        rng = self._rng
+        payloads: list[bytes] = []
+        flow_ids: list | None = None
+        if num_flows is not None:
+            if num_flows < 1:
+                raise ValueError(f"num_flows must be >= 1: {num_flows}")
+            flow_ids = []
+        for _ in range(num_packets):
+            size = max(64, min(1460, int(rng.gauss(mean_payload, 350))))
+            payload = self.benign_payload(size)
+            if patterns and rng.random() < match_rate:
+                payload = self._inject(payload, patterns, rng)
+            payloads.append(payload)
+            if flow_ids is not None:
+                flow_ids.append(rng.randrange(num_flows))
+        return Trace(
+            payloads=payloads,
+            flow_ids=flow_ids,
+            description=f"{self.style} trace ({num_packets} packets)",
+        )
+
+    def flow(
+        self,
+        num_packets: int,
+        patterns: list | None = None,
+        match_rate: float = 0.08,
+        mtu: int = 1460,
+        straddle_boundaries: bool = False,
+    ) -> list[bytes]:
+        """One flow as an ordered list of packet payloads.
+
+        With ``straddle_boundaries`` the stream is built first and then
+        packetized, so injected patterns may cross packet boundaries — the
+        case stateful scanning exists for.
+        """
+        if not straddle_boundaries:
+            return list(self.trace(num_packets, patterns, match_rate).payloads)
+        rng = self._rng
+        stream_parts: list[bytes] = []
+        for _ in range(num_packets):
+            part = self.benign_payload(mtu)
+            if patterns and rng.random() < match_rate:
+                part = self._inject(part, patterns, rng)
+            stream_parts.append(part)
+        return packetize(b"".join(stream_parts), mtu=mtu)

@@ -1,0 +1,90 @@
+"""Unit tests for MAC/IPv4 address types."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, MACAddress
+
+
+class TestMACAddress:
+    def test_parse_and_render(self):
+        mac = MACAddress("aa:bb:cc:dd:ee:ff")
+        assert str(mac) == "aa:bb:cc:dd:ee:ff"
+        assert int(mac) == 0xAABBCCDDEEFF
+
+    def test_from_int(self):
+        assert str(MACAddress(1)) == "00:00:00:00:00:01"
+
+    def test_from_index_is_unicast_local(self):
+        mac = MACAddress.from_index(5)
+        first_octet = int(mac) >> 40
+        assert first_octet & 0x01 == 0  # unicast
+        assert first_octet & 0x02 == 2  # locally administered
+
+    def test_broadcast(self):
+        assert MACAddress.broadcast().is_broadcast
+        assert not MACAddress.from_index(0).is_broadcast
+
+    def test_equality_and_hash(self):
+        a = MACAddress("02:00:00:00:00:01")
+        b = MACAddress.from_index(1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_ordering(self):
+        assert MACAddress(1) < MACAddress(2)
+
+    def test_copy_constructor(self):
+        original = MACAddress(42)
+        assert MACAddress(original) == original
+
+    def test_malformed_rejected(self):
+        for bad in ("xx:yy", "aa-bb-cc-dd-ee-ff", "aa:bb:cc:dd:ee", ""):
+            with pytest.raises(ValueError):
+                MACAddress(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MACAddress(1 << 48)
+        with pytest.raises(ValueError):
+            MACAddress(-1)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            MACAddress(1.5)
+
+
+class TestIPv4Address:
+    def test_parse_and_render(self):
+        ip = IPv4Address("10.0.0.1")
+        assert str(ip) == "10.0.0.1"
+        assert int(ip) == (10 << 24) + 1
+
+    def test_from_index(self):
+        assert str(IPv4Address.from_index(0)) == "10.0.0.1"
+        assert str(IPv4Address.from_index(254)) == "10.0.0.255"
+
+    def test_in_subnet(self):
+        ip = IPv4Address("192.168.1.17")
+        assert ip.in_subnet(IPv4Address("192.168.1.0"), 24)
+        assert not ip.in_subnet(IPv4Address("192.168.2.0"), 24)
+        assert ip.in_subnet(IPv4Address("0.0.0.0"), 0)
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Address("1.2.3.4").in_subnet(IPv4Address("1.2.3.0"), 33)
+
+    def test_equality_ordering_hash(self):
+        a = IPv4Address("10.0.0.1")
+        b = IPv4Address((10 << 24) + 1)
+        assert a == b and hash(a) == hash(b)
+        assert IPv4Address("10.0.0.1") < IPv4Address("10.0.0.2")
+
+    def test_malformed_rejected(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""):
+            with pytest.raises(ValueError):
+                IPv4Address(bad)
+
+    def test_mac_and_ip_hashes_disjoint(self):
+        # Same integer value must not collide across the two types.
+        assert hash(MACAddress(5)) != hash(IPv4Address(5))

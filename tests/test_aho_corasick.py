@@ -1,0 +1,173 @@
+"""Unit tests for the Aho-Corasick matcher (both layouts)."""
+
+import pytest
+
+from repro.core.aho_corasick import ROOT, AhoCorasick
+from tests.conftest import PAPER_SET_0, PAPER_SET_1, naive_find_all
+
+LAYOUTS = ["sparse", "full"]
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+class TestBasicMatching:
+    def test_single_pattern(self, layout):
+        ac = AhoCorasick([b"abc"], layout=layout)
+        matches, _ = ac.scan(b"xxabcxxabc")
+        assert matches == [(5, 0), (10, 0)]
+
+    def test_no_match(self, layout):
+        ac = AhoCorasick([b"abc"], layout=layout)
+        matches, state = ac.scan(b"xyzxyz")
+        assert matches == []
+        assert state == ROOT
+
+    def test_empty_input(self, layout):
+        ac = AhoCorasick([b"abc"], layout=layout)
+        matches, state = ac.scan(b"")
+        assert matches == []
+        assert state == ROOT
+
+    def test_overlapping_matches(self, layout):
+        ac = AhoCorasick([b"aa"], layout=layout)
+        matches, _ = ac.scan(b"aaaa")
+        assert matches == [(2, 0), (3, 0), (4, 0)]
+
+    def test_suffix_pattern_reported(self, layout):
+        # "he" is a suffix of "she"; both end at the same position.
+        ac = AhoCorasick([b"she", b"he"], layout=layout)
+        matches, _ = ac.scan(b"she")
+        assert sorted(matches) == [(3, 0), (3, 1)]
+
+    def test_classic_aho_corasick_example(self, layout):
+        ac = AhoCorasick([b"he", b"she", b"his", b"hers"], layout=layout)
+        matches, _ = ac.scan(b"ushers")
+        assert sorted(matches) == [(4, 0), (4, 1), (6, 3)]
+
+    def test_paper_set_0(self, layout):
+        ac = AhoCorasick(PAPER_SET_0, layout=layout)
+        matches, _ = ac.scan(b"BCDBCAB")
+        # BCD ends at 3, BD does not appear, CDBCAB ends at 7.
+        assert sorted(matches) == [(3, 3), (7, 5)]
+
+    def test_binary_patterns(self, layout):
+        ac = AhoCorasick([b"\x00\xff\x00", b"\xde\xad\xbe\xef"], layout=layout)
+        matches, _ = ac.scan(b"\x01\x00\xff\x00\xde\xad\xbe\xef")
+        assert sorted(matches) == [(4, 0), (8, 1)]
+
+    def test_matches_against_oracle(self, layout):
+        patterns = [b"ab", b"bc", b"abc", b"cab", b"aabb"]
+        text = b"aabbcabcababcab"
+        ac = AhoCorasick(patterns, layout=layout)
+        matches, _ = ac.scan(text)
+        assert sorted(matches) == naive_find_all(patterns, text)
+
+    def test_duplicate_patterns_both_reported(self, layout):
+        ac = AhoCorasick([b"dup", b"dup"], layout=layout)
+        matches, _ = ac.scan(b"xdup")
+        assert sorted(matches) == [(4, 0), (4, 1)]
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+class TestStatefulScanning:
+    def test_state_resumes_across_packets(self, layout):
+        ac = AhoCorasick([b"hello"], layout=layout)
+        matches1, state = ac.scan(b"xxhel")
+        assert matches1 == []
+        matches2, _ = ac.scan(b"lo", state)
+        assert matches2 == [(2, 0)]
+
+    def test_state_after_matches_scan(self, layout):
+        ac = AhoCorasick([b"abcd"], layout=layout)
+        _, state_via_scan = ac.scan(b"xxabc")
+        assert ac.state_after(b"xxabc") == state_via_scan
+
+    def test_split_anywhere_equals_whole(self, layout):
+        patterns = [b"needle", b"edl", b"dle"]
+        text = b"xxneedleyyneedle"
+        ac = AhoCorasick(patterns, layout=layout)
+        whole, _ = ac.scan(text)
+        for cut in range(len(text) + 1):
+            first, state = ac.scan(text[:cut])
+            second, _ = ac.scan(text[cut:], state)
+            shifted = [(cut + end, idx) for end, idx in second]
+            assert sorted(first + shifted) == sorted(whole), f"cut={cut}"
+
+
+class TestConstruction:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasick([b"ok", b""])
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasick([b"x"], layout="dense")
+
+    def test_num_states_counts_shared_prefixes_once(self):
+        # "abc" and "abd" share states for "", "a", "ab".
+        ac = AhoCorasick([b"abc", b"abd"])
+        assert ac.num_states == 5  # root, a, ab, abc, abd
+
+    def test_depth_tracks_label_length(self):
+        ac = AhoCorasick([b"abc"])
+        state = ROOT
+        for depth, byte in enumerate(b"abc", start=1):
+            state = ac.next_state(state, byte)
+            assert ac.depth_of(state) == depth
+
+    def test_accepting_states_match_output(self):
+        ac = AhoCorasick(PAPER_SET_0)
+        for state in ac.accepting_states:
+            assert ac.output_of(state)
+        assert ac.is_accepting(ac.accepting_states[0])
+
+    def test_output_includes_suffix_closure(self):
+        ac = AhoCorasick([b"abcdef", b"def"])
+        state = ac.state_after(b"abcdef")
+        assert set(ac.output_of(state)) == {0, 1}
+
+    def test_layouts_agree_on_transitions(self):
+        patterns = PAPER_SET_0 + PAPER_SET_1
+        sparse = AhoCorasick(patterns, layout="sparse")
+        full = AhoCorasick(patterns, layout="full")
+        assert sparse.num_states == full.num_states
+        for state in range(sparse.num_states):
+            for byte in b"ABCDEX":
+                assert sparse.next_state(state, byte) == full.next_state(
+                    state, byte
+                ), (state, byte)
+
+
+class TestStats:
+    def test_full_layout_memory_exceeds_sparse(self):
+        patterns = [bytes([65 + i % 26]) * 8 for i in range(20)]
+        sparse = AhoCorasick(patterns, layout="sparse")
+        full = AhoCorasick(patterns, layout="full")
+        assert full.stats.memory_bytes > sparse.stats.memory_bytes
+
+    def test_stats_fields(self):
+        ac = AhoCorasick(PAPER_SET_0, layout="full")
+        stats = ac.stats
+        assert stats.num_patterns == len(PAPER_SET_0)
+        assert stats.layout == "full"
+        assert stats.num_states == ac.num_states
+        assert stats.memory_megabytes == stats.memory_bytes / (1024 * 1024)
+
+    def test_more_patterns_more_states(self):
+        small = AhoCorasick([b"pattern-one"])
+        large = AhoCorasick([b"pattern-one", b"pattern-two", b"unrelated"])
+        assert large.num_states > small.num_states
+
+
+class TestHelpers:
+    def test_count_matches(self):
+        ac = AhoCorasick([b"aa"])
+        assert ac.count_matches(b"aaaa") == 3
+
+    def test_find_all_reports_start_offsets(self):
+        ac = AhoCorasick([b"bcd"])
+        assert ac.find_all(b"abcd") == [(1, 0)]
+
+    def test_patterns_property_is_copy(self):
+        ac = AhoCorasick([b"abc"])
+        ac.patterns.append(b"nope")
+        assert ac.patterns == [b"abc"]

@@ -1,0 +1,79 @@
+"""Property-based tests: the AC matcher against a brute-force oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aho_corasick import AhoCorasick
+from tests.conftest import naive_find_all
+
+# Small alphabet makes collisions (shared prefixes, suffix patterns) likely.
+alphabet = st.sampled_from([0x41, 0x42, 0x43])
+pattern = st.binary(min_size=1, max_size=6).map(
+    lambda raw: bytes(b % 3 + 0x41 for b in raw)
+)
+patterns_strategy = st.lists(pattern, min_size=1, max_size=8, unique=True)
+text_strategy = st.binary(min_size=0, max_size=60).map(
+    lambda raw: bytes(b % 3 + 0x41 for b in raw)
+)
+
+
+@given(patterns=patterns_strategy, text=text_strategy)
+@settings(max_examples=150, deadline=None)
+def test_sparse_matches_oracle(patterns, text):
+    ac = AhoCorasick(patterns, layout="sparse")
+    matches, _ = ac.scan(text)
+    assert sorted(matches) == naive_find_all(patterns, text)
+
+
+@given(patterns=patterns_strategy, text=text_strategy)
+@settings(max_examples=150, deadline=None)
+def test_full_matches_oracle(patterns, text):
+    ac = AhoCorasick(patterns, layout="full")
+    matches, _ = ac.scan(text)
+    assert sorted(matches) == naive_find_all(patterns, text)
+
+
+@given(
+    patterns=patterns_strategy,
+    text=text_strategy,
+    cut=st.integers(min_value=0, max_value=60),
+)
+@settings(max_examples=150, deadline=None)
+def test_stateful_split_equals_whole(patterns, text, cut):
+    """Scanning a split stream with carried state equals a single scan."""
+    cut = min(cut, len(text))
+    ac = AhoCorasick(patterns)
+    whole, end_state = ac.scan(text)
+    first, mid_state = ac.scan(text[:cut])
+    second, final_state = ac.scan(text[cut:], mid_state)
+    combined = sorted(first + [(cut + end, idx) for end, idx in second])
+    assert combined == sorted(whole)
+    assert final_state == end_state
+
+
+@given(patterns=patterns_strategy, text=text_strategy)
+@settings(max_examples=100, deadline=None)
+def test_layouts_agree(patterns, text):
+    sparse, _ = AhoCorasick(patterns, layout="sparse").scan(text)
+    full, _ = AhoCorasick(patterns, layout="full").scan(text)
+    assert sorted(sparse) == sorted(full)
+
+
+@given(patterns=patterns_strategy)
+@settings(max_examples=100, deadline=None)
+def test_every_pattern_matches_itself(patterns):
+    ac = AhoCorasick(patterns)
+    for index, p in enumerate(patterns):
+        matches, _ = ac.scan(p)
+        assert (len(p), index) in matches
+
+
+@given(patterns=patterns_strategy, text=text_strategy)
+@settings(max_examples=100, deadline=None)
+def test_match_positions_are_consistent(patterns, text):
+    """Every reported match really is the pattern at that position."""
+    ac = AhoCorasick(patterns)
+    matches, _ = ac.scan(text)
+    for end, index in matches:
+        p = patterns[index]
+        assert text[end - len(p) : end] == p

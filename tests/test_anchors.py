@@ -1,0 +1,162 @@
+"""Unit tests for anchor extraction (Section 5.3)."""
+
+import re
+
+import pytest
+
+from repro.core.anchors import MIN_ANCHOR_LENGTH, extract_anchors
+
+
+class TestPaperExample:
+    def test_paper_example(self):
+        # The example given in the paper, Section 5.3.
+        anchors = extract_anchors(rb"regular\s*expression\s*\d+")
+        assert anchors == [b"regular", b"expression"]
+
+
+class TestLiteralHandling:
+    def test_plain_literal(self):
+        assert extract_anchors(b"justliteral") == [b"justliteral"]
+
+    def test_short_literal_not_extracted(self):
+        assert extract_anchors(b"abc") == []
+
+    def test_minimum_length_boundary(self):
+        assert extract_anchors(b"abcd") == [b"abcd"]
+        assert extract_anchors(b"abc") == []
+
+    def test_custom_min_length(self):
+        assert extract_anchors(b"abc", min_length=3) == [b"abc"]
+
+    def test_escaped_metacharacters_are_literals(self):
+        anchors = extract_anchors(rb"index\.html")
+        assert anchors == [b"index.html"]
+
+    def test_escaped_control_bytes(self):
+        anchors = extract_anchors(rb"head\r\n\r\ntail")
+        assert b"head\r\n\r\ntail" in anchors
+
+    def test_hex_escape(self):
+        anchors = extract_anchors(rb"ab\x41\x42cd")
+        assert anchors == [b"abABcd"]
+
+    def test_deduplication(self):
+        anchors = extract_anchors(rb"duplicate\d+duplicate")
+        assert anchors == [b"duplicate"]
+
+
+class TestQuantifiers:
+    def test_optional_char_drops_it(self):
+        # 's?' may be absent: "http" is required, "https" is not.
+        anchors = extract_anchors(rb"https?://")
+        assert anchors == [b"http"]
+
+    def test_star_drops_char(self):
+        anchors = extract_anchors(rb"abcdz*")
+        assert anchors == [b"abcd"]
+
+    def test_plus_keeps_char_but_cuts_run(self):
+        # 'd+' guarantees at least one 'd'; what follows is non-contiguous.
+        anchors = extract_anchors(rb"abcd+efgh")
+        assert b"abcd" in anchors
+        assert b"efgh" in anchors
+        assert b"abcdefgh" not in anchors
+
+    def test_exact_one_repeat_is_transparent(self):
+        anchors = extract_anchors(rb"abc{1}d")
+        assert anchors == [b"abcd"]
+
+    def test_zero_min_brace_drops_char(self):
+        anchors = extract_anchors(rb"abcde{0,3}")
+        assert anchors == [b"abcd"]
+
+    def test_lazy_quantifiers(self):
+        anchors = extract_anchors(rb"abcd.*?efgh")
+        assert anchors == [b"abcd", b"efgh"]
+
+
+class TestClassesAndWildcards:
+    def test_wildcard_cuts_run(self):
+        anchors = extract_anchors(rb"abcd.efgh")
+        assert anchors == [b"abcd", b"efgh"]
+
+    def test_character_class_cuts_run(self):
+        anchors = extract_anchors(rb"abcd[xyz]efgh")
+        assert anchors == [b"abcd", b"efgh"]
+
+    def test_class_with_bracket_inside(self):
+        anchors = extract_anchors(rb"abcd[]x]efgh")
+        assert anchors == [b"abcd", b"efgh"]
+
+    def test_negated_class(self):
+        anchors = extract_anchors(rb"abcd[^0-9]efgh")
+        assert anchors == [b"abcd", b"efgh"]
+
+    def test_class_escape_sequences_cut(self):
+        anchors = extract_anchors(rb"user\w+name")
+        assert b"user" in anchors
+        assert b"name" in anchors
+
+
+class TestAnchorsAndBoundaries:
+    def test_caret_and_dollar_do_not_cut(self):
+        anchors = extract_anchors(rb"^HTTP/1.1")
+        assert b"HTTP" in anchors[0] or anchors[0].startswith(b"HTTP")
+
+    def test_caret_literal_run_continues(self):
+        assert extract_anchors(rb"^POST") == [b"POST"]
+
+
+class TestAlternation:
+    def test_top_level_alternation_yields_nothing(self):
+        # Either side may match: no substring is required.
+        assert extract_anchors(rb"attack|malware") == []
+
+    def test_group_alternation_discards_group_content(self):
+        anchors = extract_anchors(rb"prefix(aaaa|bbbb)suffix")
+        assert b"prefix" in anchors
+        assert b"suffix" in anchors
+        assert b"aaaa" not in anchors
+
+    def test_single_branch_group_contributes(self):
+        anchors = extract_anchors(rb"(required)\d+")
+        assert anchors == [b"required"]
+
+    def test_optional_group_discarded(self):
+        anchors = extract_anchors(rb"base(optional)?tail")
+        assert b"base" in anchors
+        assert b"tail" in anchors
+        assert b"optional" not in anchors
+
+    def test_non_capturing_group(self):
+        anchors = extract_anchors(rb"(?:mandatory)rest")
+        assert b"mandatory" in anchors
+
+    def test_lookahead_discarded(self):
+        anchors = extract_anchors(rb"(?=peekpeek)realreal")
+        assert anchors == [b"realreal"]
+
+
+class TestSoundness:
+    """Every anchor must occur in every string the regex matches."""
+
+    CASES = [
+        (rb"regular\s*expression\s*\d+", ["regular  expression 42", "regularexpression9"]),
+        (rb"https?://[a-z]+\.com", ["http://site.com", "https://other.com"]),
+        (rb"abcd+efgh", ["abcdefgh", "abcddddefgh"]),
+        (rb"prefix(aaaa|bbbb)suffix", ["prefixaaaasuffix", "prefixbbbbsuffix"]),
+        (rb"GET /(index|home)\.html", ["GET /index.html", "GET /home.html"]),
+    ]
+
+    @pytest.mark.parametrize("regex,examples", CASES)
+    def test_anchors_present_in_matches(self, regex, examples):
+        anchors = extract_anchors(regex)
+        compiled = re.compile(regex)
+        for example in examples:
+            data = example.encode()
+            assert compiled.search(data), f"test case broken: {example!r}"
+            for anchor in anchors:
+                assert anchor in data, (anchor, example)
+
+    def test_string_input_accepted(self):
+        assert extract_anchors("textpattern") == [b"textpattern"]

@@ -1,0 +1,83 @@
+"""Property test: anchor extraction is *sound*.
+
+For every extracted anchor A of a regex R: every string matched by R must
+contain A.  The strategy builds a random regex together with a string that
+matches it by construction (each gadget contributes both its regex source
+and one concrete realization), then checks every anchor appears in the
+string.
+"""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.anchors import extract_anchors
+
+# Each gadget: (regex fragment, one possible realization)
+_WORDS = [b"alpha", b"bravo", b"charlie", b"delta", b"echo-12", b"fox.trot"]
+
+
+@st.composite
+def gadget(draw):
+    kind = draw(st.integers(0, 6))
+    if kind == 0:
+        word = draw(st.sampled_from(_WORDS))
+        return re.escape(word), word
+    if kind == 1:
+        digits = draw(st.integers(1, 4))
+        return rb"\d+", b"7" * digits
+    if kind == 2:
+        return rb"\s*", b" " * draw(st.integers(0, 2))
+    if kind == 3:
+        word = draw(st.sampled_from(_WORDS))
+        present = draw(st.booleans())
+        return rb"(?:" + re.escape(word) + rb")?", word if present else b""
+    if kind == 4:
+        left = draw(st.sampled_from(_WORDS))
+        right = draw(st.sampled_from(_WORDS))
+        pick_left = draw(st.booleans())
+        return (
+            rb"(?:" + re.escape(left) + rb"|" + re.escape(right) + rb")",
+            left if pick_left else right,
+        )
+    if kind == 5:
+        return rb"[a-z]{2}", bytes(draw(st.sampled_from([b"ab", b"zz", b"qx"])))
+    word = draw(st.sampled_from(_WORDS))
+    repeats = draw(st.integers(1, 3))
+    return rb"(?:" + re.escape(word) + rb")+", word * repeats
+
+
+@st.composite
+def regex_and_match(draw):
+    parts = draw(st.lists(gadget(), min_size=1, max_size=5))
+    pattern = b"".join(part for part, _ in parts)
+    realization = b"".join(text for _, text in parts)
+    prefix = draw(st.sampled_from([b"", b"noise ", b"xx"]))
+    suffix = draw(st.sampled_from([b"", b" trailing"]))
+    return pattern, prefix + realization + suffix
+
+
+@given(case=regex_and_match())
+@settings(max_examples=300, deadline=None)
+def test_every_anchor_occurs_in_every_match(case):
+    pattern, matching_text = case
+    compiled = re.compile(pattern, re.DOTALL)
+    assert compiled.search(matching_text), "strategy built a non-match"
+    for anchor in extract_anchors(pattern):
+        assert anchor in matching_text, (pattern, anchor, matching_text)
+
+
+@given(case=regex_and_match())
+@settings(max_examples=150, deadline=None)
+def test_anchors_meet_minimum_length(case):
+    pattern, _ = case
+    for anchor in extract_anchors(pattern):
+        assert len(anchor) >= 4
+
+
+@given(case=regex_and_match())
+@settings(max_examples=150, deadline=None)
+def test_extraction_is_deterministic(case):
+    pattern, _ = case
+    assert extract_anchors(pattern) == extract_anchors(pattern)

@@ -1,0 +1,186 @@
+"""Unit tests for the benchmark support package."""
+
+import pytest
+
+from repro.bench.harness import Series, Table, percent_faster, percent_less
+from repro.bench.regions import (
+    CombinedTriangle,
+    SeparateRectangle,
+    region_report,
+)
+from repro.bench.throughput import (
+    ThroughputResult,
+    measure_scan_throughput,
+    pipeline_throughput,
+    replicated_throughput,
+)
+from repro.bench.virtualization import VirtualizationModel
+
+
+class TestThroughput:
+    def test_measure_counts_bytes_and_packets(self):
+        seen = []
+        result = measure_scan_throughput(seen.append, [b"12345", b"678"], repeat=2)
+        assert result.bytes_scanned == 16
+        assert result.packets == 4
+        assert len(seen) == 4
+        assert result.mbps > 0
+
+    def test_warmup_not_counted(self):
+        seen = []
+        result = measure_scan_throughput(
+            seen.append, [b"abc", b"def"], warmup_packets=2
+        )
+        assert len(seen) == 4  # 2 warmup + 2 timed
+        assert result.packets == 2
+
+    def test_result_math(self):
+        result = ThroughputResult(bytes_scanned=1_000_000, packets=10, seconds=1.0)
+        assert result.mbps == pytest.approx(8.0)
+        assert result.ns_per_byte == pytest.approx(1000.0)
+
+    def test_invalid_repeat(self):
+        with pytest.raises(ValueError):
+            measure_scan_throughput(lambda p: None, [], repeat=0)
+
+    def test_pipeline_is_bottleneck(self):
+        assert pipeline_throughput([900.0, 500.0, 700.0]) == 500.0
+        with pytest.raises(ValueError):
+            pipeline_throughput([])
+
+    def test_replication_adds_capacity(self):
+        assert replicated_throughput(400.0, 2) == 800.0
+        with pytest.raises(ValueError):
+            replicated_throughput(400.0, 0)
+
+
+class TestVirtualizationModel:
+    def test_standalone_unaffected(self):
+        model = VirtualizationModel()
+        assert model.throughput_factor(0) == 1.0
+
+    def test_single_vm_minor_penalty(self):
+        """Figure 8's observation: virtualization has a minor impact."""
+        model = VirtualizationModel()
+        factor = model.throughput_factor(1, working_set_bytes=30 << 20)
+        assert 0.9 < factor < 1.0
+
+    def test_four_vms_small_working_set_no_contention(self):
+        model = VirtualizationModel()
+        single = model.throughput_factor(1, working_set_bytes=1 << 20)
+        quad = model.throughput_factor(4, working_set_bytes=1 << 20)
+        assert quad == pytest.approx(single)
+
+    def test_four_vms_large_working_set_contended(self):
+        model = VirtualizationModel()
+        single = model.throughput_factor(1, working_set_bytes=30 << 20)
+        quad = model.throughput_factor(4, working_set_bytes=30 << 20)
+        assert quad < single
+
+    def test_factor_monotone_in_working_set(self):
+        model = VirtualizationModel()
+        factors = [
+            model.throughput_factor(4, working_set_bytes=ws << 20)
+            for ws in (1, 4, 16, 64)
+        ]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_effective_mbps(self):
+        model = VirtualizationModel(hypervisor_penalty=0.1)
+        assert model.effective_mbps(1000.0, 1) == pytest.approx(900.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualizationModel(hypervisor_penalty=1.5)
+        with pytest.raises(ValueError):
+            VirtualizationModel().throughput_factor(-1)
+
+
+class TestRegions:
+    def test_rectangle(self):
+        rect = SeparateRectangle(100.0, 50.0)
+        assert rect.contains(100.0, 50.0)
+        assert not rect.contains(101.0, 0.0)
+        assert rect.area == 5000.0
+        assert len(rect.corners()) == 4
+
+    def test_triangle(self):
+        tri = CombinedTriangle(80.0, machines=2)
+        assert tri.total_mbps == 160.0
+        assert tri.contains(160.0, 0.0)
+        assert tri.contains(80.0, 80.0)
+        assert not tri.contains(100.0, 100.0)
+        assert not tri.contains(-1.0, 0.0)
+
+    def test_region_report_gains(self):
+        """The paper's Figure 10(b) shape: one class can exceed 100 % of its
+        dedicated capacity by borrowing the other's idle machine."""
+        report = region_report(
+            separate_a_mbps=100.0, separate_b_mbps=50.0, combined_mbps=80.0
+        )
+        assert report.peak_a_gain == pytest.approx(1.6)
+        assert report.peak_b_gain == pytest.approx(3.2)
+        assert (160.0, 0.0) in report.gain_examples
+        assert (0.0, 160.0) in report.gain_examples
+
+    def test_triangle_may_not_cover_corner(self):
+        report = region_report(100.0, 100.0, 80.0)
+        # 100+100 = 200 > 160: the combined deployment cannot serve both
+        # classes at dedicated maxima simultaneously.
+        assert not report.triangle_covers_rectangle_corner
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeparateRectangle(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            CombinedTriangle(10.0, machines=0)
+
+
+class TestHarness:
+    def test_percent_faster(self):
+        assert percent_faster(186.0, 100.0) == pytest.approx(86.0)
+        with pytest.raises(ValueError):
+            percent_faster(1.0, 0.0)
+
+    def test_percent_less(self):
+        assert percent_less(88.0, 100.0) == pytest.approx(12.0)
+
+    def test_series(self):
+        series = Series("throughput")
+        series.append(500, 10.5)
+        series.append(1000, 8.25)
+        assert len(series) == 2
+        text = series.format(x_label="patterns", y_label="mbps")
+        assert "patterns=500" in text and "mbps=10.500" in text
+
+    def test_table(self):
+        table = Table("Table 2", ["Sets", "Patterns", "Throughput"])
+        table.add_row("Snort1", 2178, 10.5)
+        assert "Snort1" in table.format()
+        with pytest.raises(ValueError):
+            table.add_row("too", "few")
+
+
+class TestAsciiPlots:
+    def test_ascii_plot_scales_bars(self):
+        series = Series("demo", xs=[1, 2], ys=[50.0, 100.0])
+        plot = series.ascii_plot(width=10)
+        lines = plot.splitlines()
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_ascii_plot_empty(self):
+        assert "empty" in Series("none").ascii_plot()
+
+    def test_plot_series_together_shared_scale(self):
+        from repro.bench.harness import plot_series_together
+
+        a = Series("a", xs=[1], ys=[100.0])
+        b = Series("b", xs=[1], ys=[50.0])
+        plot = plot_series_together([a, b], width=10)
+        assert "##########" in plot  # a at full scale
+        assert "#####" in plot  # b at half scale
+
+    def test_zero_values_render(self):
+        series = Series("zeros", xs=[1], ys=[0.0])
+        assert "|" in series.ascii_plot()

@@ -1,0 +1,114 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, read_pattern_file, write_pattern_file
+from repro.core.patterns import PatternKind
+from repro.workloads.traces import load_trace
+
+
+class TestPatternFiles:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "p.txt"
+        count = write_pattern_file(
+            path, [b"literal-one", b"\x00binary\xff"], regexes=[rb"reg\d+ex"]
+        )
+        assert count == 3
+        patterns = read_pattern_file(path)
+        assert [p.data for p in patterns] == [
+            b"literal-one",
+            b"\x00binary\xff",
+            rb"reg\d+ex",
+        ]
+        assert patterns[2].kind is PatternKind.REGEX
+        assert [p.pattern_id for p in patterns] == [0, 1, 2]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("# comment\n\naGVsbG8=\n")
+        patterns = read_pattern_file(path)
+        assert [p.data for p in patterns] == [b"hello"]
+
+    def test_bad_base64_reported_with_line(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("!!!notbase64!!!\n")
+        with pytest.raises(ValueError, match=":1:"):
+            read_pattern_file(path)
+
+
+class TestCommands:
+    def test_generate_patterns(self, tmp_path, capsys):
+        out = tmp_path / "pats.txt"
+        code = main(
+            [
+                "generate-patterns",
+                "--style", "snort",
+                "--count", "50",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert len(read_pattern_file(out)) == 50
+        assert "50 snort-like patterns" in capsys.readouterr().out
+
+    def test_generate_trace_with_injection(self, tmp_path, capsys):
+        pats = tmp_path / "pats.txt"
+        main(["generate-patterns", "--count", "30", "--out", str(pats)])
+        trace_path = tmp_path / "t.rtrc"
+        code = main(
+            [
+                "generate-trace",
+                "--packets", "40",
+                "--patterns", str(pats),
+                "--match-rate", "0.5",
+                "--flows", "4",
+                "--out", str(trace_path),
+            ]
+        )
+        assert code == 0
+        trace = load_trace(trace_path)
+        assert len(trace) == 40
+        assert trace.flow_ids is not None
+
+    @pytest.mark.parametrize("engine_args", [["--engine", "ac"],
+                                             ["--engine", "ac", "--layout", "full"],
+                                             ["--engine", "wm"]])
+    def test_scan_pipeline(self, tmp_path, capsys, engine_args):
+        pats = tmp_path / "pats.txt"
+        trace_path = tmp_path / "t.rtrc"
+        main(["generate-patterns", "--count", "30", "--out", str(pats)])
+        main(
+            [
+                "generate-trace", "--packets", "30",
+                "--patterns", str(pats), "--match-rate", "0.9",
+                "--out", str(trace_path),
+            ]
+        )
+        code = main(
+            ["scan", "--patterns", str(pats), "--trace", str(trace_path)]
+            + engine_args
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out
+        assert "matched packets:" in out
+
+    def test_scan_rejects_regex_only_file(self, tmp_path, capsys):
+        pats = tmp_path / "p.txt"
+        write_pattern_file(pats, [], regexes=[rb"\d+"])
+        trace_path = tmp_path / "t.rtrc"
+        main(["generate-trace", "--packets", "5", "--out", str(trace_path)])
+        code = main(
+            ["scan", "--patterns", str(pats), "--trace", str(trace_path)]
+        )
+        assert code == 2
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "MATCHES" in out
+        assert "clean" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

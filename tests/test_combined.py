@@ -1,0 +1,172 @@
+"""Unit tests for the combined virtual-DPI automaton (Section 5.1)."""
+
+import pytest
+
+from repro.core.combined import CombinedAutomaton
+from repro.core.patterns import Pattern, PatternKind
+from tests.conftest import PAPER_SET_0, PAPER_SET_1
+
+LAYOUTS = ["sparse", "full"]
+
+
+def _resolve_all(automaton, result):
+    """Expand raw (state, cnt) matches to ((mb, pid), cnt) triples."""
+    expanded = []
+    for state, cnt in result.raw_matches:
+        for pair in automaton.match_entry(state):
+            expanded.append((pair, cnt))
+    return sorted(expanded)
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+class TestPaperExample:
+    """The paper's Figure 7 construction for P0 and P1."""
+
+    def test_nine_accepting_states(self, paper_pattern_sets, layout):
+        automaton = CombinedAutomaton(paper_pattern_sets, layout=layout)
+        # 10 patterns, "BE" shared -> 9 distinct patterns, each with its own
+        # accepting state and no extra suffix-only accepting states here.
+        assert automaton.num_distinct_patterns == 9
+        assert automaton.num_accepting == 9
+
+    def test_accepting_states_are_low_ids(self, paper_pattern_sets, layout):
+        automaton = CombinedAutomaton(paper_pattern_sets, layout=layout)
+        # The paper's trick: accept test is `state < f`.
+        for state in range(automaton.num_states):
+            entry_exists = state < automaton.num_accepting
+            assert automaton.is_accepting(state) == entry_exists
+
+    def test_shared_pattern_has_both_referrers(self, paper_pattern_sets, layout):
+        automaton = CombinedAutomaton(paper_pattern_sets, layout=layout)
+        result = automaton.scan(b"BE")
+        # One accepting state is reached (at position 2); its match entry
+        # carries BE for both middleboxes plus the suffix pattern E.
+        assert len(result.raw_matches) == 1
+        entries = [
+            automaton.match_entry(state) for state, _cnt in result.raw_matches
+        ]
+        flattened = {pair for entry in entries for pair in entry}
+        # BE is pattern 1 in both sets; E is pattern 0 of set 0 only.
+        assert (0, 1) in flattened
+        assert (1, 1) in flattened
+        assert (0, 0) in flattened
+
+    def test_bitmaps_reflect_referrers(self, paper_pattern_sets, layout):
+        automaton = CombinedAutomaton(paper_pattern_sets, layout=layout)
+        for state in range(automaton.num_accepting):
+            bitmap = automaton.bitmap_of_state(state)
+            expected = 0
+            for middlebox_id, _pid in automaton.match_entry(state):
+                expected |= 1 << middlebox_id
+            assert bitmap == expected
+
+    def test_scan_positions(self, paper_pattern_sets, layout):
+        automaton = CombinedAutomaton(paper_pattern_sets, layout=layout)
+        result = automaton.scan(b"XCDBCABX")
+        matched = _resolve_all(automaton, result)
+        # CDBCAB (set 0, id 5) ends at position 7.
+        assert ((0, 5), 7) in matched
+
+    def test_match_equivalence_with_private_automata(
+        self, paper_pattern_sets, layout
+    ):
+        """Core invariant: the merged DFA reports, per middlebox, exactly
+        what that middlebox's private DFA reports."""
+        from repro.core.aho_corasick import AhoCorasick
+
+        automaton = CombinedAutomaton(paper_pattern_sets, layout=layout)
+        text = b"ABEDAECDBCABCDBCAACBDXBE"
+        result = automaton.scan(text)
+        merged: dict = {0: set(), 1: set()}
+        for state, cnt in result.raw_matches:
+            for middlebox_id, pattern_id in automaton.match_entry(state):
+                merged[middlebox_id].add((cnt, pattern_id))
+        for middlebox_id, patterns in paper_pattern_sets.items():
+            private = AhoCorasick([p.data for p in patterns])
+            expected = set(private.scan(text)[0])
+            assert merged[middlebox_id] == expected, f"middlebox {middlebox_id}"
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+class TestActiveBitmapFiltering:
+    def test_only_active_middleboxes_reported(self, paper_pattern_sets, layout):
+        automaton = CombinedAutomaton(paper_pattern_sets, layout=layout)
+        only_1 = automaton.bitmask_of([1])
+        result = automaton.scan(b"ABEDAE", active_bitmap=only_1)
+        for state, _cnt in result.raw_matches:
+            assert automaton.bitmap_of_state(state) & only_1
+        resolved = {
+            pair
+            for state, _ in result.raw_matches
+            for pair, _length in automaton.resolve(state, only_1)
+        }
+        assert all(middlebox_id == 1 for middlebox_id, _ in resolved)
+        # EDAE and BE belong to middlebox 1.
+        assert (1, 0) in resolved
+        assert (1, 1) in resolved
+
+    def test_zero_bitmap_reports_nothing(self, paper_pattern_sets, layout):
+        automaton = CombinedAutomaton(paper_pattern_sets, layout=layout)
+        result = automaton.scan(b"ABEDAECDBCAB", active_bitmap=0)
+        assert result.raw_matches == []
+
+    def test_bitmask_of_unknown_middlebox(self, paper_pattern_sets, layout):
+        automaton = CombinedAutomaton(paper_pattern_sets, layout=layout)
+        with pytest.raises(KeyError):
+            automaton.bitmask_of([7])
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+class TestScanControls:
+    def test_limit_truncates_scan(self, paper_pattern_sets, layout):
+        automaton = CombinedAutomaton(paper_pattern_sets, layout=layout)
+        result = automaton.scan(b"XXXXXBE", limit=5)
+        assert result.bytes_scanned == 5
+        assert result.raw_matches == []
+
+    def test_resume_from_state(self, paper_pattern_sets, layout):
+        automaton = CombinedAutomaton(paper_pattern_sets, layout=layout)
+        first = automaton.scan(b"CDBC")
+        second = automaton.scan(b"AB", state=first.end_state)
+        matched = _resolve_all(automaton, second)
+        assert ((0, 5), 2) in matched  # CDBCAB completes 2 bytes in
+
+    def test_suffix_closure_in_match_entry(self, layout):
+        sets = {
+            0: [Pattern(0, b"DEF")],
+            1: [Pattern(0, b"ABCDEF")],
+        }
+        automaton = CombinedAutomaton(sets, layout=layout)
+        result = automaton.scan(b"ABCDEF")
+        all_pairs = {
+            pair for state, _ in result.raw_matches
+            for pair in automaton.match_entry(state)
+        }
+        assert (0, 0) in all_pairs and (1, 0) in all_pairs
+        # The ABCDEF accepting state's entry contains the suffix DEF too.
+        deep_state = [
+            s for s, _ in result.raw_matches if len(automaton.match_entry(s)) == 2
+        ]
+        assert deep_state, "expected a state carrying both patterns"
+
+
+class TestConstructionErrors:
+    def test_regex_pattern_rejected(self):
+        sets = {0: [Pattern(0, b"a+b", kind=PatternKind.REGEX)]}
+        with pytest.raises(ValueError, match="literal patterns only"):
+            CombinedAutomaton(sets)
+
+    def test_negative_middlebox_id_rejected(self):
+        with pytest.raises(ValueError):
+            CombinedAutomaton({-1: [Pattern(0, b"abcd")]})
+
+    def test_stats_reported(self, paper_pattern_sets):
+        automaton = CombinedAutomaton(paper_pattern_sets, layout="full")
+        stats = automaton.stats
+        assert stats.num_patterns == 9
+        assert stats.num_accepting_states == 9
+        assert stats.memory_bytes > 0
+
+    def test_all_middleboxes_bitmap(self, paper_pattern_sets):
+        automaton = CombinedAutomaton(paper_pattern_sets)
+        assert automaton.all_middleboxes_bitmap == 0b11

@@ -1,0 +1,239 @@
+"""Unit tests for the DPI controller (Section 4.1)."""
+
+import pytest
+
+from repro.core.controller import DPIController
+from repro.core.messages import (
+    AddPatternsMessage,
+    RegisterMiddleboxMessage,
+    RemovePatternsMessage,
+    UnregisterMiddleboxMessage,
+)
+from repro.core.patterns import Pattern
+from repro.net.steering import PolicyChain
+
+
+def register(controller, middlebox_id, name, patterns=(), **kwargs):
+    ack = controller.handle_message(
+        RegisterMiddleboxMessage(middlebox_id=middlebox_id, name=name, **kwargs)
+    )
+    assert ack.ok, ack.detail
+    if patterns:
+        ack = controller.handle_message(
+            AddPatternsMessage(
+                middlebox_id=middlebox_id,
+                patterns=[Pattern(i, p) for i, p in enumerate(patterns)],
+            )
+        )
+        assert ack.ok, ack.detail
+
+
+class TestRegistration:
+    def test_register_and_profile(self):
+        controller = DPIController()
+        register(controller, 1, "ids", stateful=True, read_only=True)
+        profile = controller.profile_of(1)
+        assert profile.stateful and profile.read_only
+        assert controller.middlebox_ids == [1]
+
+    def test_duplicate_registration_rejected(self):
+        controller = DPIController()
+        register(controller, 1, "ids")
+        ack = controller.handle_message(RegisterMiddleboxMessage(1, "other"))
+        assert not ack.ok
+        assert "already registered" in ack.detail
+
+    def test_json_channel(self):
+        controller = DPIController()
+        ack = controller.handle_message(
+            RegisterMiddleboxMessage(2, "av").to_json()
+        )
+        assert ack.ok
+
+    def test_inherit_pattern_set(self):
+        """A middlebox may inherit the set of an already-registered one."""
+        controller = DPIController()
+        register(controller, 1, "ids", patterns=[b"aaaa", b"bbbb"])
+        register(controller, 2, "ids2", inherit_from=1)
+        inherited = controller.pattern_set_of(2)
+        assert sorted(p.data for p in inherited) == [b"aaaa", b"bbbb"]
+        # Inherited patterns are shared in the registry, not duplicated.
+        assert len(controller.registry) == 2
+
+    def test_inherit_from_unknown_rejected(self):
+        controller = DPIController()
+        ack = controller.handle_message(
+            RegisterMiddleboxMessage(2, "x", inherit_from=99)
+        )
+        assert not ack.ok
+        assert controller.middlebox_ids == []
+
+    def test_unregister_releases_patterns(self):
+        controller = DPIController()
+        register(controller, 1, "ids", patterns=[b"aaaa"])
+        controller.handle_message(UnregisterMiddleboxMessage(1))
+        assert controller.middlebox_ids == []
+        assert len(controller.registry) == 0
+
+    def test_unregister_unknown_rejected(self):
+        controller = DPIController()
+        ack = controller.handle_message(UnregisterMiddleboxMessage(9))
+        assert not ack.ok
+
+
+class TestPatternManagement:
+    def test_add_and_remove(self):
+        controller = DPIController()
+        register(controller, 1, "ids", patterns=[b"aaaa", b"bbbb"])
+        ack = controller.handle_message(
+            RemovePatternsMessage(middlebox_id=1, pattern_ids=[0])
+        )
+        assert ack.ok
+        assert len(controller.pattern_set_of(1)) == 1
+        assert len(controller.registry) == 1
+
+    def test_shared_pattern_survives_one_removal(self):
+        controller = DPIController()
+        register(controller, 1, "ids", patterns=[b"shared"])
+        register(controller, 2, "av", patterns=[b"shared"])
+        controller.handle_message(RemovePatternsMessage(1, [0]))
+        assert len(controller.registry) == 1
+        controller.handle_message(RemovePatternsMessage(2, [0]))
+        assert len(controller.registry) == 0
+
+    def test_add_to_unknown_middlebox_rejected(self):
+        controller = DPIController()
+        ack = controller.handle_message(
+            AddPatternsMessage(middlebox_id=7, patterns=[Pattern(0, b"aaaa")])
+        )
+        assert not ack.ok
+
+
+class TestChains:
+    def _controller_with_chains(self):
+        controller = DPIController()
+        register(controller, 1, "ids", patterns=[b"aaaa"])
+        register(controller, 2, "av", patterns=[b"bbbb"])
+        controller.policy_chains_changed(
+            {
+                "c1": PolicyChain("c1", ("l2l4_fw", "ids"), chain_id=100),
+                "c2": PolicyChain("c2", ("ids", "av"), chain_id=101),
+            }
+        )
+        return controller
+
+    def test_chain_middlebox_ids(self):
+        controller = self._controller_with_chains()
+        assert controller.chain_middlebox_ids(100) == (1,)
+        assert controller.chain_middlebox_ids(101) == (1, 2)
+
+    def test_chain_map_subset(self):
+        controller = self._controller_with_chains()
+        assert controller.chain_map([100]) == {100: (1,)}
+
+    def test_non_dpi_types_ignored(self):
+        controller = self._controller_with_chains()
+        # l2l4_fw never registered with the DPI service.
+        assert 100 in controller.chain_map()
+        assert controller.chain_middlebox_ids(100) == (1,)
+
+
+class TestInstances:
+    def _controller(self):
+        controller = DPIController()
+        register(controller, 1, "ids", patterns=[b"attack-sig"], stateful=True)
+        register(controller, 2, "av", patterns=[b"virus-sig"], stateful=True)
+        controller.policy_chains_changed(
+            {"c": PolicyChain("c", ("ids", "av"), chain_id=100)}
+        )
+        return controller
+
+    def test_create_instance_and_scan(self):
+        controller = self._controller()
+        instance = controller.create_instance("dpi-1")
+        output = instance.inspect(b"an attack-sig and virus-sig", 100)
+        assert output.matches[1] == [(0, 13)]
+        assert output.matches[2] == [(0, 27)]
+
+    def test_duplicate_instance_name_rejected(self):
+        controller = self._controller()
+        controller.create_instance("dpi-1")
+        with pytest.raises(ValueError):
+            controller.create_instance("dpi-1")
+
+    def test_instance_chain_filter(self):
+        controller = self._controller()
+        controller.policy_chains_changed(
+            {
+                "c": PolicyChain("c", ("ids", "av"), chain_id=100),
+                "d": PolicyChain("d", ("ids",), chain_id=101),
+            }
+        )
+        instance = controller.create_instance("dpi-d", chain_ids=[101])
+        assert 101 in instance.scanner.chain_map
+        assert 100 not in instance.scanner.chain_map
+        # Only the IDS's patterns are loaded.
+        assert list(instance.config.pattern_sets) == [1]
+
+    def test_refresh_after_pattern_change(self):
+        controller = self._controller()
+        instance = controller.create_instance("dpi-1")
+        controller.add_patterns(1, [Pattern(1, b"new-threat")])
+        controller.refresh_instances()
+        output = instance.inspect(b"a new-threat arrives", 100)
+        assert (1, 12) in output.matches[1]
+
+    def test_remove_instance(self):
+        controller = self._controller()
+        controller.create_instance("dpi-1")
+        controller.remove_instance("dpi-1")
+        assert controller.instances == {}
+        with pytest.raises(KeyError):
+            controller.remove_instance("dpi-1")
+
+    def test_collect_telemetry(self):
+        controller = self._controller()
+        instance = controller.create_instance("dpi-1")
+        instance.inspect(b"data", 100)
+        telemetry = controller.collect_telemetry()
+        assert telemetry["dpi-1"]["packets_scanned"] == 1
+
+    def test_migrate_flow(self):
+        controller = self._controller()
+        source = controller.create_instance("dpi-1")
+        target = controller.create_instance("dpi-2")
+        source.inspect(b"partial attack-si", 100, flow_key="f")
+        assert controller.migrate_flow("f", "dpi-1", "dpi-2")
+        # The scan completes on the target with the carried state.
+        output = target.inspect(b"g", 100, flow_key="f")
+        assert (0, 18) in output.matches[1]
+        # And the source no longer holds the flow.
+        assert source.export_flow("f") is None
+
+    def test_migrate_unknown_flow(self):
+        controller = self._controller()
+        controller.create_instance("dpi-1")
+        controller.create_instance("dpi-2")
+        assert not controller.migrate_flow("ghost", "dpi-1", "dpi-2")
+
+
+class TestChainNames:
+    def test_chain_name_lookup(self):
+        controller = DPIController()
+        register(controller, 1, "ids", patterns=[b"aaaa"])
+        controller.policy_chains_changed(
+            {"edge": PolicyChain("edge", ("ids",), chain_id=300)}
+        )
+        assert controller.chain_name_of(300) == "edge"
+        assert controller.chain_name_of(999) is None
+
+    def test_chain_name_uses_visible_tag(self):
+        controller = DPIController()
+        register(controller, 1, "ids", patterns=[b"aaaa"])
+        controller.policy_chains_changed(
+            {"edge": PolicyChain("edge", ("fw", "dpi", "ids"), chain_id=400)}
+        )
+        # The DPI sits at hop 1: the visible tag is base + 1.
+        assert controller.chain_name_of(401) == "edge"
+        assert controller.chain_name_of(400) is None
+        assert controller.chain_middlebox_ids(401) == (1,)

@@ -1,0 +1,78 @@
+"""Unit tests for the active-flow table."""
+
+from repro.core.flow_table import FlowTable
+
+
+class TestLookup:
+    def test_new_flow_is_none(self):
+        table = FlowTable(initial_state=7)
+        assert table.lookup("flow") is None
+
+    def test_lookup_or_create_uses_initial_state(self):
+        table = FlowTable(initial_state=7)
+        entry = table.lookup_or_create("flow")
+        assert entry.state == 7
+        assert entry.offset == 0
+
+    def test_update_and_lookup(self):
+        table = FlowTable()
+        table.update("flow", state=12, offset=1460, now=1.0)
+        entry = table.lookup("flow")
+        assert (entry.state, entry.offset, entry.last_seen) == (12, 1460, 1.0)
+        assert entry.packets == 1
+
+    def test_update_counts_packets(self):
+        table = FlowTable()
+        table.update("flow", 1, 100)
+        table.update("flow", 2, 200)
+        assert table.lookup("flow").packets == 2
+
+    def test_contains_and_len(self):
+        table = FlowTable()
+        table.update("a", 0, 0)
+        table.update("b", 0, 0)
+        assert "a" in table and "b" in table and "c" not in table
+        assert len(table) == 2
+
+    def test_remove(self):
+        table = FlowTable()
+        table.update("flow", 3, 30)
+        removed = table.remove("flow")
+        assert removed.state == 3
+        assert table.remove("flow") is None
+
+
+class TestEviction:
+    def test_evict_idle(self):
+        table = FlowTable()
+        table.update("old", 1, 10, now=0.0)
+        table.update("new", 2, 20, now=9.0)
+        evicted = table.evict_idle(now=10.0, max_idle=5.0)
+        assert evicted == 1
+        assert "old" not in table and "new" in table
+
+    def test_evict_none_when_fresh(self):
+        table = FlowTable()
+        table.update("flow", 1, 10, now=10.0)
+        assert table.evict_idle(now=11.0, max_idle=5.0) == 0
+
+
+class TestMigration:
+    def test_export_import_round_trip(self):
+        source = FlowTable()
+        source.update("flow", state=42, offset=2920, now=3.0)
+        exported = source.export_flow("flow")
+        target = FlowTable()
+        target.import_flow("flow", exported)
+        entry = target.lookup("flow")
+        assert (entry.state, entry.offset) == (42, 2920)
+        assert entry.packets == source.lookup("flow").packets
+
+    def test_export_unknown_flow(self):
+        assert FlowTable().export_flow("ghost") is None
+
+    def test_flow_keys(self):
+        table = FlowTable()
+        table.update("a", 0, 0)
+        table.update("b", 0, 0)
+        assert sorted(table.flow_keys()) == ["a", "b"]

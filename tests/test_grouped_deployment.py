@@ -1,0 +1,124 @@
+"""Integration tests: chain-grouped instance deployment (Section 4.3)."""
+
+import pytest
+
+from repro.core.controller import DPIController
+from repro.core.deployment import DecisionKind, DeploymentPlanner
+from repro.core.messages import AddPatternsMessage, RegisterMiddleboxMessage
+from repro.core.patterns import Pattern
+from repro.net.steering import PolicyChain
+
+
+def build_controller():
+    """Four chains over four middleboxes: two HTTP-ish, two FTP-ish."""
+    controller = DPIController()
+    signatures = {
+        1: ("http_ids", b"http-threat-sig"),
+        2: ("http_fw", b"http-block-sig!"),
+        3: ("ftp_ids", b"ftp-threat-sig!"),
+        4: ("ftp_av", b"ftp-virus-sig!!"),
+    }
+    for middlebox_id, (name, signature) in signatures.items():
+        controller.handle_message(
+            RegisterMiddleboxMessage(middlebox_id=middlebox_id, name=name)
+        )
+        controller.handle_message(
+            AddPatternsMessage(middlebox_id, [Pattern(0, signature)])
+        )
+    controller.policy_chains_changed(
+        {
+            "h1": PolicyChain("h1", ("http_ids",), chain_id=100),
+            "h2": PolicyChain("h2", ("http_ids", "http_fw"), chain_id=101),
+            "f1": PolicyChain("f1", ("ftp_ids",), chain_id=102),
+            "f2": PolicyChain("f2", ("ftp_ids", "ftp_av"), chain_id=103),
+        }
+    )
+    return controller
+
+
+class TestDeployGrouped:
+    def test_two_groups_split_http_from_ftp(self):
+        controller = build_controller()
+        deployed = controller.deploy_grouped(max_groups=2)
+        assert len(deployed) == 2
+        groups = {frozenset(chains) for chains in deployed.values()}
+        assert frozenset({100, 101}) in groups
+        assert frozenset({102, 103}) in groups
+
+    def test_instances_specialized(self):
+        controller = build_controller()
+        deployed = controller.deploy_grouped(max_groups=2)
+        for name, chain_ids in deployed.items():
+            instance = controller.instances[name]
+            assert set(instance.scanner.chain_map) == set(chain_ids)
+            # The HTTP group never carries FTP patterns and vice versa.
+            loaded = set(instance.config.pattern_sets)
+            if 100 in chain_ids:
+                assert loaded == {1, 2}
+            else:
+                assert loaded == {3, 4}
+
+    def test_group_instances_scan_their_chains(self):
+        controller = build_controller()
+        deployed = controller.deploy_grouped(max_groups=2)
+        http_instance = next(
+            controller.instances[name]
+            for name, chains in deployed.items()
+            if 100 in chains
+        )
+        output = http_instance.inspect(b"a http-threat-sig flows", 100)
+        assert output.matches[1] == [(0, 17)]
+        with pytest.raises(KeyError):
+            http_instance.inspect(b"x", 102)
+
+    def test_single_group_carries_everything(self):
+        controller = build_controller()
+        deployed = controller.deploy_grouped(max_groups=1)
+        (only,) = deployed.values()
+        assert sorted(only) == [100, 101, 102, 103]
+
+    def test_no_chains_rejected(self):
+        controller = DPIController()
+        with pytest.raises(ValueError):
+            controller.deploy_grouped(max_groups=2)
+
+
+class TestLoadDrivenPlanning:
+    def test_load_samples_window_deltas(self):
+        controller = build_controller()
+        controller.deploy_grouped(max_groups=2)
+        names = sorted(controller.instances)
+        first = controller.load_samples(window_seconds=1.0)
+        assert {s.instance_name for s in first} == set(names)
+        # Generate some load on one instance.
+        hot = controller.instances[names[0]]
+        chain_id = next(iter(hot.scanner.chain_map))
+        for _ in range(10):
+            hot.inspect(b"x" * 2000, chain_id)
+        second = {s.instance_name: s for s in controller.load_samples(1.0)}
+        assert second[names[0]].bytes_scanned == 20000
+        assert second[names[1]].bytes_scanned == 0
+
+    def test_planner_consumes_controller_samples(self):
+        controller = build_controller()
+        controller.deploy_grouped(max_groups=2)
+        names = sorted(controller.instances)
+        hot = controller.instances[names[0]]
+        chain_id = next(iter(hot.scanner.chain_map))
+        for _ in range(5):
+            hot.inspect(b"y" * 1000, chain_id)
+        # A tiny window makes the busy instance look saturated.
+        samples = controller.load_samples(window_seconds=1e-9)
+        planner = DeploymentPlanner()
+        decisions = planner.plan(samples)
+        assert decisions
+        assert decisions[0].instance_name == names[0]
+        assert decisions[0].kind in (
+            DecisionKind.MIGRATE_FLOWS,
+            DecisionKind.SCALE_OUT,
+        )
+
+    def test_invalid_window(self):
+        controller = build_controller()
+        with pytest.raises(ValueError):
+            controller.load_samples(0)

@@ -1,0 +1,125 @@
+"""Unit tests for hosts and network functions."""
+
+import pytest
+
+from repro.net.host import Host, NetworkFunction, RecordingFunction
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.links import Link
+from repro.net.packet import make_tcp_packet
+from repro.net.simulator import Simulator
+
+
+def make_host(simulator, index=0, function=None):
+    return Host(
+        simulator,
+        f"h{index}",
+        mac=MACAddress.from_index(index),
+        ip=IPv4Address.from_index(index),
+        function=function,
+    )
+
+
+def wire(simulator, host_a, host_b):
+    link = Link(simulator)
+    host_a.attach_link(1, link)
+    host_b.attach_link(1, link)
+    link.attach(host_a, 1, host_b, 1)
+    return link
+
+
+def make_packet(src, dst, payload=b"ping"):
+    return make_tcp_packet(
+        src.mac, dst.mac, src.ip, dst.ip, 1000, 2000, payload=payload
+    )
+
+
+class TestHostBasics:
+    def test_default_function_records(self):
+        sim = Simulator()
+        a, b = make_host(sim, 0), make_host(sim, 1)
+        wire(sim, a, b)
+        a.send(make_packet(a, b))
+        sim.run()
+        assert len(b.received_packets) == 1
+        assert b.stats.packets_received == 1
+        assert a.stats.packets_sent == 1
+
+    def test_send_without_link_raises(self):
+        sim = Simulator()
+        a = make_host(sim, 0)
+        with pytest.raises(RuntimeError):
+            a.send(make_packet(a, a))
+
+    def test_second_link_rejected(self):
+        sim = Simulator()
+        a, b = make_host(sim, 0), make_host(sim, 1)
+        wire(sim, a, b)
+        with pytest.raises(ValueError):
+            a.attach_link(2, Link(sim))
+
+    def test_byte_counters(self):
+        sim = Simulator()
+        a, b = make_host(sim, 0), make_host(sim, 1)
+        wire(sim, a, b)
+        packet = make_packet(a, b, payload=b"x" * 100)
+        a.send(packet)
+        sim.run()
+        assert a.stats.bytes_sent == packet.wire_length
+        assert b.stats.bytes_received == packet.wire_length
+
+    def test_received_packets_requires_recorder(self):
+        class Forwarder(NetworkFunction):
+            def process(self, packet):
+                return []
+
+        sim = Simulator()
+        host = make_host(sim, 0, function=Forwarder())
+        with pytest.raises(TypeError):
+            host.received_packets
+
+
+class TestFunctionBehaviour:
+    def test_function_responses_are_sent(self):
+        class Echo(NetworkFunction):
+            def process(self, packet):
+                reply = make_tcp_packet(
+                    packet.eth.dst, packet.eth.src,
+                    packet.ip.dst, packet.ip.src,
+                    packet.l4.dst_port, packet.l4.src_port,
+                    payload=b"echo:" + packet.payload,
+                )
+                return [reply]
+
+        sim = Simulator()
+        a = make_host(sim, 0)
+        b = make_host(sim, 1, function=Echo())
+        wire(sim, a, b)
+        a.send(make_packet(a, b, payload=b"hello"))
+        sim.run()
+        assert len(a.received_packets) == 1
+        assert a.received_packets[0].payload == b"echo:hello"
+
+    def test_set_function_rebinds(self):
+        sim = Simulator()
+        a, b = make_host(sim, 0), make_host(sim, 1)
+        wire(sim, a, b)
+        replacement = RecordingFunction()
+        b.set_function(replacement)
+        assert replacement.host is b
+        a.send(make_packet(a, b))
+        sim.run()
+        assert len(replacement.received) == 1
+
+    def test_multiple_responses_preserve_order(self):
+        class Duplicator(NetworkFunction):
+            def process(self, packet):
+                clone = packet.copy()
+                return [packet, clone]
+
+        sim = Simulator()
+        a = make_host(sim, 0)
+        middle = make_host(sim, 1, function=Duplicator())
+        wire(sim, a, middle)
+        a.send(make_packet(a, middle))
+        sim.run()
+        assert middle.stats.packets_sent == 2

@@ -1,0 +1,120 @@
+"""Unit tests for the legacy (embedded DPI) baseline and the plugin."""
+
+import pytest
+
+from repro.core.patterns import Pattern, PatternKind
+from repro.core.reports import MatchReport
+from repro.middleboxes.base import Action, Rule
+from repro.middleboxes.legacy import LegacyChainFunction, LegacyDPIMiddlebox
+from repro.middleboxes.plugin import DPIResultsPlugin
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.packet import make_tcp_packet
+
+
+def make_packet(payload=b"data"):
+    return make_tcp_packet(
+        MACAddress.from_index(0),
+        MACAddress.from_index(1),
+        IPv4Address("10.0.0.1"),
+        IPv4Address("10.0.0.2"),
+        1234,
+        80,
+        payload=payload,
+    )
+
+
+def build_legacy(action=Action.ALERT):
+    middlebox = LegacyDPIMiddlebox(middlebox_id=1, name="snort")
+    middlebox.add_literal_rule(0, b"exploit", action=action)
+    middlebox.add_regex_rule(1, rb"worm\d{2}", action=action)
+    middlebox.build_engine()
+    return middlebox
+
+
+class TestLegacyMiddlebox:
+    def test_scan_literal(self):
+        middlebox = build_legacy()
+        matches = middlebox.scan(b"an exploit here")
+        assert (0, 10) in matches
+
+    def test_scan_regex(self):
+        middlebox = build_legacy()
+        matches = middlebox.scan(b"worm42 detected")
+        assert (1, 6) in matches
+
+    def test_process_packet_fires_rules(self):
+        middlebox = build_legacy()
+        verdict = middlebox.process_packet(make_packet(b"the exploit"))
+        assert verdict is Action.ALERT
+        assert middlebox.stats.rules_fired == 1
+
+    def test_bytes_scanned_accumulates(self):
+        middlebox = build_legacy()
+        middlebox.scan(b"12345")
+        middlebox.scan(b"1234567890")
+        assert middlebox.bytes_scanned == 15
+
+    def test_scan_before_build_raises(self):
+        middlebox = LegacyDPIMiddlebox(middlebox_id=1)
+        middlebox.add_literal_rule(0, b"sig1")
+        with pytest.raises(RuntimeError):
+            middlebox.scan(b"data")
+
+    def test_stateful_legacy_scan(self):
+        middlebox = LegacyDPIMiddlebox(middlebox_id=1)
+        middlebox.STATEFUL = True
+        middlebox.add_literal_rule(0, b"crosses")
+        middlebox.build_engine()
+        assert middlebox.scan(b"xxcro", flow_key="f") == []
+        matches = middlebox.scan(b"sses", flow_key="f")
+        assert (0, 9) in matches
+
+    def test_chain_function_forwards_and_drops(self):
+        middlebox = build_legacy(action=Action.DROP)
+        function = LegacyChainFunction(middlebox)
+        clean = make_packet(b"clean")
+        assert function.process(clean) == [clean]
+        bad = make_packet(b"exploit")
+        assert function.process(bad) == []
+
+    def test_chain_function_ignores_result_packets(self):
+        function = LegacyChainFunction(build_legacy())
+        packet = make_packet()
+        packet.describes_packet_id = 5
+        assert function.process(packet) == [packet]
+
+
+class TestPlugin:
+    def test_plugin_bypasses_scanning(self):
+        """The paper's Snort plugin: rule logic runs off service reports,
+        the embedded engine stays idle."""
+        middlebox = build_legacy()
+        plugin = DPIResultsPlugin(middlebox)
+        report = MatchReport.from_matches({1: [(0, 10)]})
+        verdict = plugin.consume_report(make_packet(b"an exploit here"), report)
+        assert verdict is Action.ALERT
+        assert middlebox.stats.rules_fired == 1
+        # The engine never scanned: bytes_scanned untouched.
+        assert middlebox.bytes_scanned == 0
+        assert plugin.bypassed_scans == 1
+        assert plugin.bypassed_bytes == len(b"an exploit here")
+
+    def test_plugin_equivalent_to_scanning(self):
+        """Rule outcomes agree between embedded scan and plugin+report."""
+        scanning = build_legacy()
+        plugged = DPIResultsPlugin(build_legacy())
+        payload = b"the exploit and worm07"
+        scan_verdict = scanning.process_packet(make_packet(payload))
+        matches = scanning.scan(payload)
+        report = MatchReport.from_matches({1: matches})
+        plugin_verdict = plugged.consume_report(make_packet(payload), report)
+        assert scan_verdict == plugin_verdict
+        assert (
+            plugged.middlebox.stats.rules_fired == 1 + 1  # both rules
+        ) == (scanning.stats.rules_fired == 2)
+
+    def test_plugin_unmarked(self):
+        plugin = DPIResultsPlugin(build_legacy())
+        verdict = plugin.consume_unmarked(make_packet(b"clean"))
+        assert verdict is Action.FORWARD
+        assert plugin.middlebox.stats.packets_processed == 1

@@ -1,0 +1,76 @@
+"""Unit tests for the JSON control-plane messages."""
+
+import json
+
+import pytest
+
+from repro.core.messages import (
+    AckMessage,
+    AddPatternsMessage,
+    ControlMessage,
+    RegisterMiddleboxMessage,
+    RemovePatternsMessage,
+    UnregisterMiddleboxMessage,
+)
+from repro.core.patterns import Pattern, PatternKind
+
+
+class TestRoundTrips:
+    def test_register(self):
+        message = RegisterMiddleboxMessage(
+            middlebox_id=3,
+            name="ids",
+            stateful=True,
+            read_only=True,
+            stopping_condition=2048,
+        )
+        restored = ControlMessage.from_json(message.to_json())
+        assert restored == message
+
+    def test_register_with_inherit(self):
+        message = RegisterMiddleboxMessage(middlebox_id=4, name="ids2", inherit_from=3)
+        restored = ControlMessage.from_json(message.to_json())
+        assert restored.inherit_from == 3
+
+    def test_unregister(self):
+        message = UnregisterMiddleboxMessage(middlebox_id=3)
+        assert ControlMessage.from_json(message.to_json()) == message
+
+    def test_add_patterns_binary_safe(self):
+        patterns = [
+            Pattern(0, b"\x00\xff binary \x7f"),
+            Pattern(1, rb"reg\d+ex", kind=PatternKind.REGEX),
+        ]
+        message = AddPatternsMessage(middlebox_id=2, patterns=patterns)
+        restored = ControlMessage.from_json(message.to_json())
+        assert restored.patterns == patterns
+
+    def test_remove_patterns(self):
+        message = RemovePatternsMessage(middlebox_id=2, pattern_ids=[1, 5, 9])
+        restored = ControlMessage.from_json(message.to_json())
+        assert restored.pattern_ids == [1, 5, 9]
+
+    def test_ack(self):
+        message = AckMessage(ok=False, detail="boom")
+        assert ControlMessage.from_json(message.to_json()) == message
+
+
+class TestWireFormat:
+    def test_type_discriminator_present(self):
+        payload = json.loads(RegisterMiddleboxMessage(1, "x").to_json())
+        assert payload["type"] == "register"
+
+    def test_json_is_valid_and_sorted(self):
+        text = AddPatternsMessage(1, [Pattern(0, b"abcd")]).to_json()
+        payload = json.loads(text)
+        assert "patterns" in payload
+        # base64 payloads keep the wire format ASCII-only.
+        assert text.isascii()
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown message type"):
+            ControlMessage.from_json('{"type": "bogus"}')
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ValueError, match="no 'type'"):
+            ControlMessage.from_json('{"middlebox_id": 1}')

@@ -1,0 +1,275 @@
+"""Unit tests for the concrete middlebox types (paper Table 1)."""
+
+import pytest
+
+from repro.core.reports import MatchReport
+from repro.middleboxes.analytics import UNKNOWN_PROTOCOL, ProtocolAnalytics
+from repro.middleboxes.antivirus import AntiVirus
+from repro.middleboxes.base import Action
+from repro.middleboxes.dlp import LeakagePreventionSystem
+from repro.middleboxes.firewall import AclEntry, L2L4Firewall, L7Firewall
+from repro.middleboxes.ids import IntrusionDetectionSystem
+from repro.middleboxes.ips import IntrusionPreventionSystem
+from repro.middleboxes.load_balancer import L7LoadBalancer
+from repro.middleboxes.traffic_shaper import TrafficShaper
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.packet import make_tcp_packet
+
+
+def make_packet(payload=b"data", src_port=1234):
+    return make_tcp_packet(
+        MACAddress.from_index(0),
+        MACAddress.from_index(1),
+        IPv4Address("10.0.0.1"),
+        IPv4Address("10.0.0.2"),
+        src_port,
+        80,
+        payload=payload,
+    )
+
+
+def report_for(middlebox_id, matches):
+    return MatchReport.from_matches({middlebox_id: matches})
+
+
+class TestIDS:
+    def test_read_only_and_stateful(self):
+        assert IntrusionDetectionSystem.READ_ONLY
+        assert IntrusionDetectionSystem.STATEFUL
+
+    def test_alert_with_severity(self):
+        ids = IntrusionDetectionSystem(1)
+        ids.add_signature(0, b"exploit", severity="high")
+        verdict = ids.consume_report(make_packet(), report_for(1, [(0, 7)]))
+        assert verdict is Action.ALERT
+        assert ids.alerts[0].severity == "high"
+        assert ids.alerts_by_severity()["high"]
+
+    def test_ids_never_drops(self):
+        ids = IntrusionDetectionSystem(1)
+        ids.add_signature(0, b"exploit")
+        verdict = ids.consume_report(make_packet(), report_for(1, [(0, 7)]))
+        assert verdict is not Action.DROP
+
+
+class TestIPS:
+    def test_block_signature_drops(self):
+        ips = IntrusionPreventionSystem(2)
+        ips.add_block_signature(0, b"exploit")
+        packet = make_packet()
+        verdict = ips.consume_report(packet, report_for(2, [(0, 7)]))
+        assert verdict is Action.DROP
+        assert ips.blocked_packet_ids == [packet.packet_id]
+
+    def test_watch_signature_alerts_only(self):
+        ips = IntrusionPreventionSystem(2)
+        ips.add_watch_signature(0, b"recon")
+        verdict = ips.consume_report(make_packet(), report_for(2, [(0, 5)]))
+        assert verdict is Action.ALERT
+        assert ips.blocked_packet_ids == []
+
+    def test_ips_not_read_only(self):
+        assert not IntrusionPreventionSystem.READ_ONLY
+
+
+class TestAntiVirus:
+    def test_detection_quarantines_flow(self):
+        av = AntiVirus(3)
+        av.add_signature(0, b"virus-signature")
+        packet = make_packet(src_port=5000)
+        verdict = av.consume_report(packet, report_for(3, [(0, 15)]))
+        assert verdict is Action.DROP
+        assert len(av.quarantined_flows) == 1
+        # Clean follow-up on the same flow is dropped too.
+        follow_up = make_packet(b"clean", src_port=5000)
+        assert av.consume_unmarked(follow_up) is Action.DROP
+
+    def test_other_flows_unaffected(self):
+        av = AntiVirus(3)
+        av.add_signature(0, b"virus-signature")
+        av.consume_report(make_packet(src_port=5000), report_for(3, [(0, 15)]))
+        other = make_packet(b"clean", src_port=6000)
+        assert av.consume_unmarked(other) is Action.FORWARD
+
+    def test_release_quarantine(self):
+        av = AntiVirus(3)
+        av.add_signature(0, b"virus-signature")
+        packet = make_packet(src_port=5000)
+        av.consume_report(packet, report_for(3, [(0, 15)]))
+        flow_key = list(av.quarantined_flows)[0]
+        assert av.release(flow_key)
+        assert not av.release(flow_key)
+        assert av.consume_unmarked(make_packet(src_port=5000)) is Action.FORWARD
+
+    def test_short_signature_rejected(self):
+        av = AntiVirus(3)
+        with pytest.raises(ValueError):
+            av.add_signature(0, b"short")
+
+
+class TestFirewalls:
+    def test_l2l4_first_match_wins(self):
+        firewall = L2L4Firewall()
+        firewall.add_entry(AclEntry(action=Action.DROP, dst_port=80))
+        firewall.add_entry(AclEntry(action=Action.FORWARD))
+        assert firewall.decide(make_packet()) is Action.DROP
+        assert firewall.stats.packets_dropped == 1
+
+    def test_l2l4_default_action(self):
+        deny_all = L2L4Firewall(default_action=Action.DROP)
+        assert deny_all.decide(make_packet()) is Action.DROP
+
+    def test_l2l4_field_matching(self):
+        entry = AclEntry(
+            action=Action.DROP,
+            src_ip=IPv4Address("10.0.0.1"),
+            protocol=6,
+        )
+        assert entry.matches(make_packet())
+        other = AclEntry(action=Action.DROP, src_ip=IPv4Address("9.9.9.9"))
+        assert not other.matches(make_packet())
+
+    def test_l7_block_pattern(self):
+        firewall = L7Firewall(4)
+        firewall.add_block_pattern(0, b"/etc/passwd")
+        verdict = firewall.consume_report(make_packet(), report_for(4, [(0, 30)]))
+        assert verdict is Action.DROP
+
+    def test_l7_has_stopping_condition(self):
+        assert L7Firewall.STOPPING_CONDITION == 2048
+
+
+class TestDLP:
+    def test_prevent_profile_blocks(self):
+        dlp = LeakagePreventionSystem(5, prevent=True)
+        dlp.add_marker(0, b"CONFIDENTIAL")
+        verdict = dlp.consume_report(make_packet(), report_for(5, [(0, 12)]))
+        assert verdict is Action.DROP
+        assert dlp.incidents[0].blocked
+
+    def test_detect_profile_logs_only(self):
+        dlp = LeakagePreventionSystem(5, prevent=False)
+        dlp.add_marker(0, b"CONFIDENTIAL")
+        verdict = dlp.consume_report(make_packet(), report_for(5, [(0, 12)]))
+        assert verdict is Action.ALERT
+        assert not dlp.incidents[0].blocked
+
+    def test_identifier_format_is_regex(self):
+        from repro.core.patterns import PatternKind
+
+        dlp = LeakagePreventionSystem(5)
+        dlp.add_identifier_format(1, rb"\d{4}-\d{4}-\d{4}-\d{4}")
+        assert dlp.patterns[0].kind is PatternKind.REGEX
+
+
+class TestTrafficShaper:
+    def _shaper(self):
+        shaper = TrafficShaper(6)
+        shaper.add_class("p2p", rate_bps=8_000, burst_bytes=2000)
+        shaper.add_app_pattern(0, b"BitTorrent protocol", "p2p")
+        return shaper
+
+    def test_classification(self):
+        shaper = self._shaper()
+        packet = make_packet(src_port=7000)
+        shaper.consume_report(packet, report_for(6, [(0, 19)]))
+        from repro.net.flows import FiveTuple
+
+        flow_key = FiveTuple.of(packet).bidirectional_key()
+        assert shaper.class_of_flow(flow_key) == "p2p"
+
+    def test_shaping_drops_over_rate(self):
+        shaper = self._shaper()
+        packet = make_packet(b"x" * 1500, src_port=7000)
+        shaper.consume_report(packet, report_for(6, [(0, 19)]))
+        verdicts = [shaper.shape(packet, now=0.0) for _ in range(5)]
+        assert Action.DROP in verdicts
+        assert shaper.shaped_drops > 0
+
+    def test_bucket_refills_over_time(self):
+        shaper = self._shaper()
+        packet = make_packet(b"x" * 1500, src_port=7000)
+        shaper.consume_report(packet, report_for(6, [(0, 19)]))
+        while shaper.shape(packet, now=0.0) is Action.FORWARD:
+            pass
+        # After enough time, tokens return (8 kbps = 1 kB/s).
+        assert shaper.shape(packet, now=10.0) is Action.FORWARD
+
+    def test_default_class_unshaped(self):
+        shaper = self._shaper()
+        clean = make_packet(b"x" * 1500, src_port=8000)
+        assert all(
+            shaper.shape(clean, now=0.0) is Action.FORWARD for _ in range(100)
+        )
+
+    def test_unknown_class_rejected(self):
+        shaper = self._shaper()
+        with pytest.raises(KeyError):
+            shaper.add_app_pattern(1, b"marker-xyz", "no-such-class")
+
+
+class TestLoadBalancer:
+    def _balancer(self):
+        balancer = L7LoadBalancer(7)
+        balancer.add_pool("api", ["api-1", "api-2"])
+        balancer.add_content_rule(0, b"GET /api/", "api")
+        return balancer
+
+    def test_round_robin_assignment(self):
+        balancer = self._balancer()
+        backends = []
+        for port in (9000, 9001):
+            packet = make_packet(b"GET /api/x", src_port=port)
+            balancer.consume_report(packet, report_for(7, [(0, 9)]))
+            backends.append(balancer.backend_of(packet))
+        assert set(backends) == {"api-1", "api-2"}
+        assert balancer.backend_loads() == {"api-1": 1, "api-2": 1}
+
+    def test_sticky_flows(self):
+        balancer = self._balancer()
+        packet = make_packet(b"GET /api/x", src_port=9000)
+        balancer.consume_report(packet, report_for(7, [(0, 9)]))
+        first = balancer.backend_of(packet)
+        balancer.consume_report(packet, report_for(7, [(0, 9)]))
+        assert balancer.backend_of(packet) == first
+
+    def test_unclassified_flow_has_no_backend(self):
+        balancer = self._balancer()
+        assert balancer.backend_of(make_packet(src_port=9100)) is None
+
+    def test_empty_pool_rejected(self):
+        balancer = self._balancer()
+        with pytest.raises(ValueError):
+            balancer.add_pool("empty", [])
+
+    def test_rule_for_unknown_pool_rejected(self):
+        balancer = self._balancer()
+        with pytest.raises(KeyError):
+            balancer.add_content_rule(1, b"marker", "ghost")
+
+
+class TestAnalytics:
+    def test_protocol_attribution(self):
+        analytics = ProtocolAnalytics(8)
+        analytics.add_protocol_banner(0, b"SSH-2.0", "ssh")
+        packet = make_packet(b"SSH-2.0-OpenSSH")
+        analytics.consume_report(packet, report_for(8, [(0, 7)]))
+        assert analytics.counters["ssh"].packets == 1
+
+    def test_unknown_protocol_counted(self):
+        analytics = ProtocolAnalytics(8)
+        analytics.consume_unmarked(make_packet(b"mystery"))
+        assert analytics.counters[UNKNOWN_PROTOCOL].packets == 1
+
+    def test_protocol_share_sums_to_one(self):
+        analytics = ProtocolAnalytics(8)
+        analytics.add_protocol_banner(0, b"SSH-2.0", "ssh")
+        analytics.consume_report(
+            make_packet(b"SSH-2.0"), report_for(8, [(0, 7)])
+        )
+        analytics.consume_unmarked(make_packet(b"other traffic"))
+        share = analytics.protocol_share()
+        assert sum(share.values()) == pytest.approx(1.0)
+
+    def test_empty_share(self):
+        assert ProtocolAnalytics(8).protocol_share() == {}

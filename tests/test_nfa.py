@@ -1,0 +1,186 @@
+"""Unit and property tests for the Thompson-NFA regex engine."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nfa import MAX_COUNTED_REPEATS, RegexNFA, RegexSyntaxError
+
+
+def re_match_ends(pattern: bytes, data: bytes) -> list[int]:
+    """Oracle: every end offset where some non-empty match of *pattern*
+    ends, computed with the stdlib engine."""
+    compiled = re.compile(rb"(?:" + pattern + rb")\Z", re.DOTALL)
+    ends = []
+    for end in range(1, len(data) + 1):
+        prefix = data[:end]
+        # Try every start; a match ending at `end` exists iff the anchored
+        # pattern matches some suffix of the prefix (non-empty).
+        if any(
+            compiled.match(prefix, start) for start in range(end)
+        ):
+            ends.append(end)
+    return ends
+
+
+class TestBasics:
+    def test_plain_literal(self):
+        nfa = RegexNFA(rb"abc")
+        assert nfa.match_ends(b"xxabcyyabc") == [5, 10]
+
+    def test_no_match(self):
+        assert not RegexNFA(rb"abc").search(b"xyz")
+
+    def test_dot(self):
+        assert RegexNFA(rb"a.c").match_ends(b"abc azc") == [3, 7]
+
+    def test_alternation(self):
+        nfa = RegexNFA(rb"cat|dog")
+        assert nfa.match_ends(b"cat dog") == [3, 7]
+
+    def test_groups(self):
+        nfa = RegexNFA(rb"a(bc)+d")
+        assert nfa.search(b"abcbcd")
+        assert not nfa.search(b"ad")
+
+    def test_non_capturing_group(self):
+        assert RegexNFA(rb"(?:ab)+").search(b"abab")
+
+    def test_named_group(self):
+        assert RegexNFA(rb"(?P<name>ab)c").search(b"abc")
+
+    def test_classes(self):
+        nfa = RegexNFA(rb"[abc]x")
+        assert nfa.match_ends(b"ax bx cx dx") == [2, 5, 8]
+
+    def test_class_range(self):
+        assert RegexNFA(rb"[a-f]+z").search(b"deadbeefz")
+
+    def test_negated_class(self):
+        nfa = RegexNFA(rb"a[^0-9]b")
+        assert nfa.search(b"axb")
+        assert not nfa.search(b"a5b")
+
+    def test_escape_classes(self):
+        assert RegexNFA(rb"\d{3}").search(b"abc123")
+        assert RegexNFA(rb"\s\w").search(b"a b")
+        assert not RegexNFA(rb"\d").search(b"abc")
+
+    def test_hex_escape(self):
+        assert RegexNFA(rb"\x00\xff").search(b"a\x00\xffb")
+
+    def test_quantifiers(self):
+        assert RegexNFA(rb"ab?c").match_ends(b"ac abc") == [2, 6]
+        assert RegexNFA(rb"ab*c").search(b"abbbbc")
+        assert RegexNFA(rb"ab+c").search(b"abc")
+        assert not RegexNFA(rb"ab+c").search(b"ac")
+
+    def test_counted_repeats(self):
+        nfa = RegexNFA(rb"a{3}")
+        assert nfa.match_ends(b"aaaa") == [3, 4]
+        assert RegexNFA(rb"a{2,4}b").search(b"aaab")
+        assert not RegexNFA(rb"a{2,4}b").search(b"ab")
+        assert RegexNFA(rb"a{2,}b").search(b"aaaaaab")
+
+    def test_lazy_quantifiers_same_ends(self):
+        greedy = RegexNFA(rb"a.+b")
+        lazy = RegexNFA(rb"a.+?b")
+        data = b"a12b34b"
+        assert greedy.match_ends(data) == lazy.match_ends(data)
+
+    def test_overlapping_matches_all_reported(self):
+        # Every end with *some* match ending there is reported.
+        assert RegexNFA(rb"aa").match_ends(b"aaaa") == [2, 3, 4]
+
+    def test_paper_example(self):
+        nfa = RegexNFA(rb"regular\s*expression\s*\d+")
+        assert nfa.search(b"regular  expression 42")
+        # All-ends semantics: every extra digit extends a match
+        # ("...4" ends at 20, "...42" at 21).
+        assert nfa.match_ends(b"regular expression 42") == [20, 21]
+
+
+class TestErrors:
+    CASES = [
+        rb"(unclosed",
+        rb"closed)",
+        rb"*dangling",
+        rb"x{3,1}",
+        rb"x{bad}",
+        rb"x{",
+        rb"[unclosed",
+        rb"[z-a]",
+        rb"(?=lookahead)x",
+        rb"(a)\1",
+        rb"^anchored",
+        rb"tail$",
+        rb"\bboundary",
+        rb"a**",  # quantifier on quantifier... actually a* then * dangles
+    ]
+
+    @pytest.mark.parametrize("pattern", CASES)
+    def test_rejected(self, pattern):
+        with pytest.raises(RegexSyntaxError):
+            RegexNFA(pattern)
+
+    def test_empty_matching_pattern_rejected(self):
+        with pytest.raises(RegexSyntaxError, match="empty string"):
+            RegexNFA(rb"a*")
+
+    def test_repeat_cap(self):
+        with pytest.raises(RegexSyntaxError):
+            RegexNFA(b"a{%d}" % (MAX_COUNTED_REPEATS + 1))
+
+    def test_str_pattern_accepted(self):
+        assert RegexNFA("abc").search(b"abc")
+
+
+class TestAgainstStdlibOracle:
+    CASES = [
+        (rb"ab+c", b"xabcabbbc"),
+        (rb"a(b|c)d", b"abd acd aed"),
+        (rb"[0-9]{2}", b"year 2014!"),
+        (rb"x.?y", b"xy xay xaay"),
+        (rb"(ab|ba)+", b"ababba"),
+        (rb"\w+@\w+", b"mail bob@example now"),
+    ]
+
+    @pytest.mark.parametrize("pattern,data", CASES)
+    def test_all_ends_match_oracle(self, pattern, data):
+        assert RegexNFA(pattern).match_ends(data) == re_match_ends(pattern, data)
+
+
+# Random expressions over a tiny grammar, checked against the oracle.
+_atom = st.sampled_from([b"a", b"b", b"c", b".", b"[ab]", b"[^a]", b"\\d"])
+_quant = st.sampled_from([b"", b"?", b"*", b"+", b"{2}", b"{1,2}"])
+
+
+@st.composite
+def random_regex(draw):
+    pieces = []
+    for _ in range(draw(st.integers(1, 4))):
+        atom = draw(_atom)
+        quantifier = draw(_quant)
+        pieces.append(atom + quantifier)
+    pattern = b"".join(pieces)
+    if draw(st.booleans()):
+        other = b"".join(draw(_atom) for _ in range(draw(st.integers(1, 3))))
+        pattern = pattern + b"|" + other
+    return pattern
+
+
+@given(
+    pattern=random_regex(),
+    data=st.binary(min_size=0, max_size=25).map(
+        lambda raw: bytes(b % 4 + 0x61 for b in raw)  # a-d plus digits? a..d
+    ),
+)
+@settings(max_examples=200, deadline=None)
+def test_random_expressions_match_oracle(pattern, data):
+    try:
+        nfa = RegexNFA(pattern)
+    except RegexSyntaxError:
+        return  # e.g. the expression matches the empty string
+    assert nfa.match_ends(data) == re_match_ends(pattern, data)

@@ -1,0 +1,156 @@
+"""Integration tests for the service orchestrator (Section 4.3's loop)."""
+
+import pytest
+
+from repro.core.controller import DPIController
+from repro.core.deployment import DecisionKind, DeploymentPlanner
+from repro.core.instance import DPIServiceFunction
+from repro.core.orchestrator import ServiceOrchestrator
+from repro.middleboxes.base import MiddleboxChainFunction
+from repro.middleboxes.ids import IntrusionDetectionSystem
+from repro.net.controller import SDNController
+from repro.net.packet import make_tcp_packet
+from repro.net.steering import (
+    PolicyChain,
+    TrafficAssignment,
+    TrafficSteeringApplication,
+)
+from repro.net.topology import Topology
+
+SIGNATURE = b"orchestrated-threat"
+
+
+@pytest.fixture
+def orchestrated_system():
+    topo = Topology()
+    topo.add_switch("s1")
+    for name in ("user1", "user2", "mb1", "dpi_one", "dpi_spare"):
+        topo.add_host(name)
+        topo.add_link("s1", name)
+    sdn = SDNController(topo, learning=False)
+    tsa = TrafficSteeringApplication(sdn, topo)
+
+    ids = IntrusionDetectionSystem(middlebox_id=1)
+    ids.add_signature(0, SIGNATURE)
+    controller = DPIController()
+    ids.register_with(controller)
+    tsa.register_middlebox_instance("ids", "mb1")
+    tsa.register_middlebox_instance("dpi", "dpi_one")
+    tsa.add_policy_chain(PolicyChain("web", ("ids",)))
+    controller.attach_tsa(tsa)
+    tsa.assign_traffic(TrafficAssignment("user1", "user2", "web"))
+    tsa.realize()
+
+    instance = controller.create_instance("dpi-one")
+    topo.hosts["dpi_one"].set_function(DPIServiceFunction(instance))
+    topo.hosts["mb1"].set_function(MiddleboxChainFunction(ids))
+
+    orchestrator = ServiceOrchestrator(
+        controller, tsa, spare_hosts=["dpi_spare"]
+    )
+    orchestrator.register_instance("dpi-one", "dpi_one")
+    spawned = []
+
+    def install(host_name, new_instance):
+        topo.hosts[host_name].set_function(DPIServiceFunction(new_instance))
+        spawned.append((host_name, new_instance.name))
+
+    orchestrator.on_instance_spawned = install
+    return {
+        "topo": topo,
+        "tsa": tsa,
+        "controller": controller,
+        "orchestrator": orchestrator,
+        "instance": instance,
+        "spawned": spawned,
+    }
+
+
+def send(topo, payload, src_port):
+    user1, user2 = topo.hosts["user1"], topo.hosts["user2"]
+    packet = make_tcp_packet(
+        user1.mac, user2.mac, user1.ip, user2.ip, src_port, 80, payload=payload
+    )
+    user1.send(packet)
+    topo.run()
+    return packet
+
+
+class TestControlLoop:
+    def test_idle_system_no_actions(self, orchestrated_system):
+        orchestrator = orchestrated_system["orchestrator"]
+        assert orchestrator.tick(window_seconds=1.0) == []
+
+    def test_overload_scales_out_onto_spare_host(self, orchestrated_system):
+        orchestrator = orchestrated_system["orchestrator"]
+        topo = orchestrated_system["topo"]
+        orchestrator.tick(window_seconds=1.0)  # baseline window
+        for port in range(48000, 48020):
+            send(topo, b"traffic " * 50, src_port=port)
+        # A microscopic window makes the instance look saturated.
+        executed = orchestrator.tick(window_seconds=1e-9)
+        assert len(executed) == 1
+        action = executed[0]
+        assert action.kind is DecisionKind.SCALE_OUT
+        assert action.new_instance is not None
+        assert orchestrated_system["spawned"] == [
+            ("dpi_spare", action.new_instance)
+        ]
+        # The new host is registered with the TSA for future chains.
+        assert "dpi_spare" in orchestrated_system["tsa"].instances_of("dpi")
+        assert not orchestrator.spare_hosts
+
+    def test_scale_out_without_spares_reports(self, orchestrated_system):
+        orchestrator = orchestrated_system["orchestrator"]
+        orchestrator.spare_hosts.clear()
+        topo = orchestrated_system["topo"]
+        orchestrator.tick(window_seconds=1.0)
+        for port in range(48100, 48110):
+            send(topo, b"traffic " * 50, src_port=port)
+        executed = orchestrator.tick(window_seconds=1e-9)
+        assert executed[0].new_instance is None
+        assert "no spare hosts" in executed[0].detail
+
+    def test_migration_between_instances_repins_flows(self, orchestrated_system):
+        orchestrator = orchestrated_system["orchestrator"]
+        controller = orchestrated_system["controller"]
+        topo = orchestrated_system["topo"]
+        # Baseline while only dpi-one exists (the last instance is never
+        # scaled in), then bring up the idle second instance.
+        orchestrator.tick(window_seconds=1.0)
+        second = controller.create_instance("dpi-two")
+        topo.hosts["dpi_spare"].set_function(DPIServiceFunction(second))
+        orchestrator.register_instance("dpi-two", "dpi_spare")
+        orchestrator.spare_hosts.clear()
+
+        for port in range(48200, 48210):
+            send(topo, b"heavy flow " * 40, src_port=port)
+        executed = orchestrator.tick(window_seconds=1e-9)
+        migrations = [
+            a for a in executed if a.kind is DecisionKind.MIGRATE_FLOWS
+        ]
+        assert migrations, executed
+        action = migrations[0]
+        assert action.new_instance == "dpi-two"
+        assert action.migrated_flows
+        # The repinned flows now scan on dpi-two.
+        flow = action.migrated_flows[0]
+        before = second.telemetry.packets_scanned
+        send(topo, b"follow-up", src_port=flow.src_port)
+        assert second.telemetry.packets_scanned == before + 1
+
+    def test_scale_in_releases_host(self, orchestrated_system):
+        orchestrator = orchestrated_system["orchestrator"]
+        controller = orchestrated_system["controller"]
+        topo = orchestrated_system["topo"]
+        second = controller.create_instance("dpi-two")
+        orchestrator.register_instance("dpi-two", "dpi_spare")
+        orchestrator.spare_hosts.clear()
+        # Both instances idle over an enormous window: both fall under the
+        # low watermark and one is scaled in (never the last).
+        send(topo, b"light", src_port=48300)
+        executed = orchestrator.tick(window_seconds=1e9)
+        scale_ins = [a for a in executed if a.kind is DecisionKind.SCALE_IN]
+        assert len(scale_ins) == 1
+        assert len(controller.instances) == 1
+        assert orchestrator.spare_hosts or "dpi-one" not in controller.instances

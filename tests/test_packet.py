@@ -1,0 +1,148 @@
+"""Unit tests for the packet model."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.packet import (
+    EthernetHeader,
+    IPv4Header,
+    MplsLabel,
+    NSHContext,
+    Packet,
+    TCPHeader,
+    UDPHeader,
+    VlanTag,
+    make_tcp_packet,
+    make_udp_packet,
+)
+
+
+def sample_packet(payload=b"hello"):
+    return make_tcp_packet(
+        MACAddress.from_index(0),
+        MACAddress.from_index(1),
+        IPv4Address("10.0.0.1"),
+        IPv4Address("10.0.0.2"),
+        1234,
+        80,
+        payload=payload,
+    )
+
+
+class TestHeaders:
+    def test_vlan_range_checks(self):
+        with pytest.raises(ValueError):
+            VlanTag(vid=4096)
+        with pytest.raises(ValueError):
+            VlanTag(vid=1, pcp=8)
+
+    def test_mpls_range_check(self):
+        with pytest.raises(ValueError):
+            MplsLabel(label=1 << 20)
+
+    def test_ip_header_checks(self):
+        src, dst = IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2")
+        with pytest.raises(ValueError):
+            IPv4Header(src=src, dst=dst, ecn=4)
+        with pytest.raises(ValueError):
+            IPv4Header(src=src, dst=dst, ttl=300)
+
+    def test_port_checks(self):
+        with pytest.raises(ValueError):
+            TCPHeader(src_port=70000, dst_port=80)
+        with pytest.raises(ValueError):
+            UDPHeader(src_port=1, dst_port=-1)
+
+
+class TestWireLength:
+    def test_base_tcp_length(self):
+        packet = sample_packet(b"12345")
+        assert packet.wire_length == 14 + 20 + 20 + 5
+
+    def test_udp_length(self):
+        packet = make_udp_packet(
+            MACAddress.from_index(0),
+            MACAddress.from_index(1),
+            IPv4Address("10.0.0.1"),
+            IPv4Address("10.0.0.2"),
+            53,
+            53,
+            payload=b"1234",
+        )
+        assert packet.wire_length == 14 + 20 + 8 + 4
+
+    def test_tags_add_length(self):
+        packet = sample_packet(b"")
+        base = packet.wire_length
+        packet.push_vlan(VlanTag(vid=100))
+        packet.push_mpls(MplsLabel(label=5))
+        assert packet.wire_length == base + 4 + 4
+
+    def test_nsh_adds_length(self):
+        packet = sample_packet(b"")
+        base = packet.wire_length
+        packet.nsh = NSHContext(service_path=1, metadata=b"123456")
+        assert packet.wire_length == base + 8 + 6
+
+
+class TestTagStacks:
+    def test_vlan_push_pop(self):
+        packet = sample_packet()
+        packet.push_vlan(VlanTag(vid=10))
+        packet.push_vlan(VlanTag(vid=20))
+        assert packet.outer_vlan.vid == 20
+        assert packet.pop_vlan().vid == 20
+        assert packet.outer_vlan.vid == 10
+
+    def test_pop_empty_vlan_raises(self):
+        with pytest.raises(IndexError):
+            sample_packet().pop_vlan()
+
+    def test_mpls_push_pop(self):
+        packet = sample_packet()
+        packet.push_mpls(MplsLabel(label=100))
+        assert packet.outer_mpls.label == 100
+        packet.pop_mpls()
+        assert packet.outer_mpls is None
+
+    def test_pop_empty_mpls_raises(self):
+        with pytest.raises(IndexError):
+            sample_packet().pop_mpls()
+
+
+class TestMatchMark:
+    def test_mark_and_clear(self):
+        packet = sample_packet()
+        assert not packet.is_marked_matched
+        packet.mark_matched()
+        assert packet.is_marked_matched
+        assert packet.ip.ecn == 1
+        packet.clear_match_mark()
+        assert not packet.is_marked_matched
+
+
+class TestIdentityAndCopy:
+    def test_packet_ids_unique(self):
+        assert sample_packet().packet_id != sample_packet().packet_id
+
+    def test_copy_keeps_id_and_payload(self):
+        packet = sample_packet(b"payload")
+        packet.push_vlan(VlanTag(vid=7))
+        clone = packet.copy()
+        assert clone.packet_id == packet.packet_id
+        assert clone.payload is packet.payload
+        # Tag stacks are independent.
+        clone.pop_vlan()
+        assert packet.outer_vlan is not None
+
+    def test_result_packet_flag(self):
+        packet = sample_packet()
+        assert not packet.is_result_packet
+        packet.describes_packet_id = 99
+        assert packet.is_result_packet
+
+    def test_repr_mentions_kind(self):
+        packet = sample_packet()
+        assert "data" in repr(packet)
+        packet.describes_packet_id = 1
+        assert "result" in repr(packet)

@@ -1,0 +1,155 @@
+"""Unit tests for the pattern model and the global registry."""
+
+import pytest
+
+from repro.core.patterns import (
+    GlobalPatternRegistry,
+    Pattern,
+    PatternKind,
+    PatternSet,
+)
+
+
+class TestPattern:
+    def test_basic(self):
+        pattern = Pattern(pattern_id=3, data=b"abcd")
+        assert pattern.kind is PatternKind.LITERAL
+        assert len(pattern) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern(pattern_id=0, data=b"")
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern(pattern_id=-1, data=b"x")
+
+    def test_str_data_rejected(self):
+        with pytest.raises(TypeError):
+            Pattern(pattern_id=0, data="text")
+
+    def test_canonical_key_ignores_id(self):
+        a = Pattern(pattern_id=0, data=b"same")
+        b = Pattern(pattern_id=9, data=b"same")
+        assert a.canonical_key == b.canonical_key
+
+    def test_canonical_key_distinguishes_kind(self):
+        literal = Pattern(pattern_id=0, data=b"a+b")
+        regex = Pattern(pattern_id=0, data=b"a+b", kind=PatternKind.REGEX)
+        assert literal.canonical_key != regex.canonical_key
+
+
+class TestPatternSet:
+    def test_from_literals(self):
+        pattern_set = PatternSet.from_literals("snort", [b"aaaa", b"bbbb"])
+        assert len(pattern_set) == 2
+        assert pattern_set.get(0).data == b"aaaa"
+
+    def test_duplicate_id_rejected(self):
+        pattern_set = PatternSet("s")
+        pattern_set.add(Pattern(0, b"one1"))
+        with pytest.raises(ValueError):
+            pattern_set.add(Pattern(0, b"two2"))
+
+    def test_remove(self):
+        pattern_set = PatternSet.from_literals("s", [b"aaaa"])
+        removed = pattern_set.remove(0)
+        assert removed.data == b"aaaa"
+        assert len(pattern_set) == 0
+        with pytest.raises(KeyError):
+            pattern_set.remove(0)
+
+    def test_iteration_sorted_by_id(self):
+        pattern_set = PatternSet("s")
+        pattern_set.add(Pattern(5, b"five"))
+        pattern_set.add(Pattern(1, b"one1"))
+        assert [p.pattern_id for p in pattern_set] == [1, 5]
+
+    def test_literals_and_regexes_split(self):
+        pattern_set = PatternSet("s")
+        pattern_set.add(Pattern(0, b"literal"))
+        pattern_set.add(Pattern(1, b"a\\d+b", kind=PatternKind.REGEX))
+        assert [p.pattern_id for p in pattern_set.literals] == [0]
+        assert [p.pattern_id for p in pattern_set.regexes] == [1]
+
+    def test_total_bytes(self):
+        pattern_set = PatternSet.from_literals("s", [b"12345678", b"1234"])
+        assert pattern_set.total_bytes() == 12
+
+    def test_contains(self):
+        pattern_set = PatternSet.from_literals("s", [b"aaaa"])
+        assert 0 in pattern_set
+        assert 1 not in pattern_set
+
+
+class TestGlobalPatternRegistry:
+    def test_dedup_same_content(self):
+        registry = GlobalPatternRegistry()
+        id_a = registry.add(1, Pattern(10, b"shared"))
+        id_b = registry.add(2, Pattern(20, b"shared"))
+        assert id_a == id_b
+        assert len(registry) == 1
+        assert registry.referrers_of(id_a) == [(1, 10), (2, 20)]
+
+    def test_distinct_content_gets_distinct_ids(self):
+        registry = GlobalPatternRegistry()
+        id_a = registry.add(1, Pattern(0, b"one1"))
+        id_b = registry.add(1, Pattern(1, b"two2"))
+        assert id_a != id_b
+
+    def test_removal_keeps_pattern_until_last_referrer(self):
+        """The paper: a pattern is removed only when no other middlebox
+        still refers to it."""
+        registry = GlobalPatternRegistry()
+        registry.add(1, Pattern(10, b"shared"))
+        registry.add(2, Pattern(20, b"shared"))
+        freed = registry.remove(1, Pattern(10, b"shared"))
+        assert not freed
+        assert len(registry) == 1
+        freed = registry.remove(2, Pattern(20, b"shared"))
+        assert freed
+        assert len(registry) == 0
+
+    def test_remove_unknown_pattern_raises(self):
+        registry = GlobalPatternRegistry()
+        with pytest.raises(KeyError):
+            registry.remove(1, Pattern(0, b"ghost"))
+
+    def test_remove_wrong_referrer_raises(self):
+        registry = GlobalPatternRegistry()
+        registry.add(1, Pattern(0, b"solo"))
+        with pytest.raises(KeyError):
+            registry.remove(2, Pattern(0, b"solo"))
+
+    def test_remove_middlebox(self):
+        registry = GlobalPatternRegistry()
+        registry.add(1, Pattern(0, b"only-mine"))
+        registry.add(1, Pattern(1, b"shared"))
+        registry.add(2, Pattern(0, b"shared"))
+        freed = registry.remove_middlebox(1)
+        assert freed == 1  # only-mine freed; shared kept for middlebox 2
+        assert len(registry) == 1
+
+    def test_internal_ids_not_reused(self):
+        registry = GlobalPatternRegistry()
+        first = registry.add(1, Pattern(0, b"gone"))
+        registry.remove(1, Pattern(0, b"gone"))
+        second = registry.add(1, Pattern(0, b"newp"))
+        assert second != first
+
+    def test_pattern_sets_by_middlebox(self):
+        registry = GlobalPatternRegistry()
+        registry.add(1, Pattern(0, b"alpha"))
+        registry.add(1, Pattern(1, b"beta1"))
+        registry.add(2, Pattern(5, b"alpha"))
+        sets = registry.pattern_sets_by_middlebox()
+        assert sorted(p.data for p in sets[1]) == [b"alpha", b"beta1"]
+        assert [p.pattern_id for p in sets[2]] == [5]
+
+    def test_same_middlebox_two_rules_same_pattern(self):
+        """One middlebox may register the same content under two rule ids."""
+        registry = GlobalPatternRegistry()
+        internal = registry.add(1, Pattern(10, b"twice"))
+        assert registry.add(1, Pattern(11, b"twice")) == internal
+        registry.remove(1, Pattern(10, b"twice"))
+        assert len(registry) == 1

@@ -1,0 +1,113 @@
+"""Unit tests for payload preprocessing (decompression before DPI)."""
+
+import gzip
+import zlib
+
+import pytest
+
+from repro.core.preprocess import (
+    PayloadPreprocessor,
+    ScanView,
+    decompress_gzip_regions,
+    find_gzip_offsets,
+)
+
+
+def gzipped(data: bytes) -> bytes:
+    return gzip.compress(data)
+
+
+class TestGzipDetection:
+    def test_finds_stream_at_offset(self):
+        payload = b"HTTP/1.1 200 OK\r\n\r\n" + gzipped(b"hello body")
+        offsets = find_gzip_offsets(payload)
+        assert offsets == [19]
+
+    def test_multiple_streams(self):
+        payload = gzipped(b"one") + b"gap" + gzipped(b"two")
+        assert len(find_gzip_offsets(payload)) == 2
+
+    def test_magic_without_deflate_method_ignored(self):
+        payload = b"\x1f\x8b\x00junk"
+        assert find_gzip_offsets(payload) == []
+
+    def test_no_magic(self):
+        assert find_gzip_offsets(b"plain text") == []
+
+
+class TestDecompression:
+    def test_round_trip(self):
+        body = b"secret pattern inside the compressed body"
+        payload = b"headers\r\n\r\n" + gzipped(body)
+        regions = decompress_gzip_regions(payload)
+        assert len(regions) == 1
+        offset, inflated = regions[0]
+        assert inflated == body
+        assert payload[offset : offset + 2] == b"\x1f\x8b"
+
+    def test_corrupt_stream_skipped(self):
+        payload = b"\x1f\x8b\x08" + b"\x00" * 20
+        assert decompress_gzip_regions(payload) == []
+
+    def test_bomb_capped(self):
+        bomb = gzip.compress(b"\x00" * (4 << 20))  # 4 MB of zeros
+        regions = decompress_gzip_regions(bomb, max_inflated=1024)
+        assert len(regions) == 1
+        assert len(regions[0][1]) == 1024
+
+
+class TestPayloadPreprocessor:
+    def test_raw_view_always_first(self):
+        preprocessor = PayloadPreprocessor()
+        views = preprocessor.views(b"plain")
+        assert views == [ScanView(data=b"plain")]
+
+    def test_compressed_view_appended(self):
+        preprocessor = PayloadPreprocessor()
+        body = b"malware-marker-inside"
+        payload = b"HDR" + gzipped(body)
+        views = preprocessor.views(payload)
+        assert len(views) == 2
+        assert views[0].data == payload
+        assert views[1].data == body
+        assert views[1].compressed
+        assert views[1].source_offset == 3
+
+    def test_stats(self):
+        preprocessor = PayloadPreprocessor()
+        preprocessor.views(b"plain")
+        preprocessor.views(gzipped(b"body"))
+        preprocessor.views(b"\x1f\x8b\x08 corrupt")
+        stats = preprocessor.stats
+        assert stats.payloads == 3
+        assert stats.gzip_regions_inflated == 1
+        assert stats.inflate_failures == 1
+
+    def test_bomb_counter(self):
+        preprocessor = PayloadPreprocessor(max_inflated=512)
+        preprocessor.views(gzip.compress(b"\x00" * 100_000))
+        assert preprocessor.stats.bombs_stopped == 1
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            PayloadPreprocessor(max_inflated=0)
+
+
+class TestScanOnceIntegration:
+    def test_pattern_hidden_by_compression_found_in_view(self):
+        """The paper's motivation: decompress once at the service, then the
+        merged automaton scans the decompressed view for everyone."""
+        from repro.core.combined import CombinedAutomaton
+        from repro.core.patterns import Pattern
+
+        automaton = CombinedAutomaton({1: [Pattern(0, b"hidden-threat")]})
+        preprocessor = PayloadPreprocessor()
+        payload = b"HTTP/1.1 200 OK\r\n\r\n" + gzipped(b"a hidden-threat lives here")
+        # Raw scan misses it; the decompressed view finds it.
+        raw_result = automaton.scan(payload)
+        assert raw_result.raw_matches == []
+        hits = []
+        for view in preprocessor.views(payload):
+            result = automaton.scan(view.data)
+            hits.extend(result.raw_matches)
+        assert hits, "pattern not found in any scan view"

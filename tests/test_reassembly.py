@@ -1,0 +1,153 @@
+"""Unit tests for TCP stream reassembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.packet import make_tcp_packet, make_udp_packet
+from repro.net.reassembly import StreamReassembler, TCPReassembler
+
+
+class TestStreamReassembler:
+    def test_in_order_release(self):
+        stream = StreamReassembler()
+        assert stream.add_segment(0, b"abc") == b"abc"
+        assert stream.add_segment(3, b"def") == b"def"
+        assert stream.next_seq == 6
+
+    def test_gap_buffers_until_filled(self):
+        stream = StreamReassembler()
+        assert stream.add_segment(3, b"def") == b""
+        assert stream.buffered_bytes == 3
+        assert stream.add_segment(0, b"abc") == b"abcdef"
+        assert stream.buffered_bytes == 0
+
+    def test_multiple_gaps(self):
+        stream = StreamReassembler()
+        assert stream.add_segment(6, b"ghi") == b""
+        assert stream.add_segment(3, b"def") == b""
+        assert stream.add_segment(0, b"abc") == b"abcdefghi"
+
+    def test_retransmission_ignored(self):
+        stream = StreamReassembler()
+        stream.add_segment(0, b"abc")
+        assert stream.add_segment(0, b"abc") == b""
+        assert stream.stats.duplicate_segments == 1
+
+    def test_partial_overlap_trimmed(self):
+        stream = StreamReassembler()
+        stream.add_segment(0, b"abc")
+        # Retransmission of [1..3) plus fresh [3..5).
+        assert stream.add_segment(1, b"bcde") == b"de"
+
+    def test_overlapping_pending_segments(self):
+        stream = StreamReassembler()
+        assert stream.add_segment(2, b"cdef") == b""
+        assert stream.add_segment(4, b"ef") == b""
+        assert stream.add_segment(0, b"ab") == b"abcdef"
+
+    def test_empty_segment(self):
+        stream = StreamReassembler()
+        assert stream.add_segment(0, b"") == b""
+        assert stream.stats.segments == 1
+
+    def test_nonzero_initial_seq(self):
+        stream = StreamReassembler(initial_seq=1000)
+        assert stream.add_segment(1000, b"xy") == b"xy"
+        assert stream.next_seq == 1002
+
+    def test_buffer_overflow_guard(self):
+        stream = StreamReassembler()
+        stream._pending[10] = b"x" * StreamReassembler.MAX_BUFFERED_BYTES
+        with pytest.raises(BufferError):
+            stream.add_segment(10 + StreamReassembler.MAX_BUFFERED_BYTES + 5, b"y")
+
+    def test_stats_released(self):
+        stream = StreamReassembler()
+        stream.add_segment(0, b"abcd")
+        assert stream.stats.bytes_released == 4
+
+
+class TestTCPReassembler:
+    def _packet(self, seq, payload, src_port=1000):
+        return make_tcp_packet(
+            MACAddress.from_index(0),
+            MACAddress.from_index(1),
+            IPv4Address("10.0.0.1"),
+            IPv4Address("10.0.0.2"),
+            src_port,
+            80,
+            payload=payload,
+            seq=seq,
+        )
+
+    def test_flows_are_separate(self):
+        reassembler = TCPReassembler()
+        _, released_a = reassembler.add_packet(self._packet(0, b"aaa", src_port=1))
+        _, released_b = reassembler.add_packet(self._packet(0, b"bbb", src_port=2))
+        assert released_a == b"aaa" and released_b == b"bbb"
+        assert len(reassembler) == 2
+
+    def test_out_of_order_across_packets(self):
+        reassembler = TCPReassembler()
+        # The first segment anchors the stream; later segments may reorder.
+        _, anchor = reassembler.add_packet(self._packet(0, b"abc"))
+        assert anchor == b"abc"
+        _, early = reassembler.add_packet(self._packet(6, b"ghi"))
+        assert early == b""
+        _, fill = reassembler.add_packet(self._packet(3, b"def"))
+        assert fill == b"defghi"
+
+    def test_initial_seq_anchored_at_first_segment(self):
+        reassembler = TCPReassembler()
+        _, released = reassembler.add_packet(self._packet(5000, b"hello"))
+        assert released == b"hello"
+
+    def test_udp_passes_through(self):
+        reassembler = TCPReassembler()
+        packet = make_udp_packet(
+            MACAddress.from_index(0),
+            MACAddress.from_index(1),
+            IPv4Address("10.0.0.1"),
+            IPv4Address("10.0.0.2"),
+            53,
+            53,
+            payload=b"dns query",
+        )
+        _, released = reassembler.add_packet(packet)
+        assert released == b"dns query"
+        assert len(reassembler) == 0  # no stream state kept
+
+    def test_close_flow(self):
+        reassembler = TCPReassembler()
+        flow_key, _ = reassembler.add_packet(self._packet(0, b"abc"))
+        assert reassembler.close_flow(flow_key) is not None
+        assert reassembler.close_flow(flow_key) is None
+
+
+@given(
+    stream=st.binary(min_size=1, max_size=200),
+    cuts=st.lists(st.integers(min_value=1, max_value=199), max_size=8),
+    order_seed=st.integers(min_value=0, max_value=1 << 16),
+)
+@settings(max_examples=150, deadline=None)
+def test_any_segmentation_and_order_reassembles(stream, cuts, order_seed):
+    """Property: any segmentation, delivered in any order with arbitrary
+    duplication, releases exactly the original stream."""
+    import random
+
+    boundaries = sorted({0, len(stream), *[c for c in cuts if c < len(stream)]})
+    segments = [
+        (boundaries[i], stream[boundaries[i] : boundaries[i + 1]])
+        for i in range(len(boundaries) - 1)
+    ]
+    rng = random.Random(order_seed)
+    shuffled = list(segments)
+    rng.shuffle(shuffled)
+    # Duplicate a random subset (retransmissions).
+    shuffled += [s for s in segments if rng.random() < 0.3]
+    reassembler = StreamReassembler()
+    released = b"".join(reassembler.add_segment(seq, data) for seq, data in shuffled)
+    assert released == stream
+    assert reassembler.buffered_bytes == 0

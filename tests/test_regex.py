@@ -1,0 +1,176 @@
+"""Unit tests for the regex pre-filter (Section 5.3)."""
+
+import pytest
+
+from repro.core.patterns import Pattern, PatternKind
+from repro.core.regex import ANCHOR_ID_BASE, RegexPreFilter, split_matches
+
+
+def regex_pattern(pattern_id, source):
+    return Pattern(pattern_id=pattern_id, data=source, kind=PatternKind.REGEX)
+
+
+class TestRegistration:
+    def test_anchored_regex_produces_literals(self):
+        prefilter = RegexPreFilter()
+        literals = prefilter.add_regex(1, regex_pattern(0, rb"regular\s*expression"))
+        assert sorted(p.data for p in literals) == [b"expression", b"regular"]
+        assert all(p.pattern_id >= ANCHOR_ID_BASE for p in literals)
+        assert prefilter.anchored_regexes(1) == [0]
+        assert prefilter.fallback_regexes(1) == []
+
+    def test_anchorless_regex_goes_to_fallback(self):
+        prefilter = RegexPreFilter()
+        literals = prefilter.add_regex(1, regex_pattern(0, rb"\d+\s\d+"))
+        assert literals == []
+        assert prefilter.fallback_regexes(1) == [0]
+
+    def test_shared_anchor_reused(self):
+        prefilter = RegexPreFilter()
+        first = prefilter.add_regex(1, regex_pattern(0, rb"shared-anchor\d+"))
+        second = prefilter.add_regex(1, regex_pattern(1, rb"shared-anchor[a-z]+"))
+        assert len(first) == 1
+        assert second == []  # anchor already registered
+
+    def test_literal_pattern_rejected(self):
+        prefilter = RegexPreFilter()
+        with pytest.raises(ValueError):
+            prefilter.add_regex(1, Pattern(0, b"literal"))
+
+    def test_pattern_id_in_anchor_range_rejected(self):
+        prefilter = RegexPreFilter()
+        with pytest.raises(ValueError, match="reserved"):
+            prefilter.add_regex(1, regex_pattern(ANCHOR_ID_BASE, rb"abcd\d"))
+
+    def test_invalid_regex_raises(self):
+        prefilter = RegexPreFilter()
+        with pytest.raises(Exception):
+            prefilter.add_regex(1, regex_pattern(0, rb"unbalanced("))
+
+
+class TestRemoval:
+    def test_remove_returns_obsolete_anchors(self):
+        prefilter = RegexPreFilter()
+        literals = prefilter.add_regex(1, regex_pattern(0, rb"only-anchor\d"))
+        obsolete = prefilter.remove_regex(1, 0)
+        assert obsolete == [literals[0].pattern_id]
+        assert prefilter.anchored_regexes(1) == []
+
+    def test_remove_keeps_shared_anchors(self):
+        prefilter = RegexPreFilter()
+        prefilter.add_regex(1, regex_pattern(0, rb"keep-anchor\d+"))
+        prefilter.add_regex(1, regex_pattern(1, rb"keep-anchor[a-z]+"))
+        obsolete = prefilter.remove_regex(1, 0)
+        assert obsolete == []
+
+    def test_remove_fallback(self):
+        prefilter = RegexPreFilter()
+        prefilter.add_regex(1, regex_pattern(0, rb"\d+"))
+        assert prefilter.remove_regex(1, 0) == []
+        assert prefilter.fallback_regexes(1) == []
+
+    def test_remove_unknown_raises(self):
+        prefilter = RegexPreFilter()
+        with pytest.raises(KeyError):
+            prefilter.remove_regex(1, 42)
+
+
+class TestConfirmation:
+    def test_confirm_runs_engine_when_all_anchors_matched(self):
+        prefilter = RegexPreFilter()
+        literals = prefilter.add_regex(1, regex_pattern(7, rb"regular\s*expression"))
+        anchor_ids = {p.pattern_id for p in literals}
+        payload = b"a regular   expression indeed"
+        results = prefilter.confirm(1, payload, anchor_ids)
+        assert results == [(7, payload.index(b"expression") + len(b"expression"))]
+
+    def test_confirm_skips_when_anchor_missing(self):
+        prefilter = RegexPreFilter()
+        literals = prefilter.add_regex(1, regex_pattern(7, rb"regular\s*expression"))
+        one_anchor = {literals[0].pattern_id}
+        results = prefilter.confirm(1, b"regular expression", one_anchor)
+        assert results == []
+        assert prefilter.stats.confirmations_invoked == 0
+
+    def test_confirm_anchors_present_but_regex_fails(self):
+        prefilter = RegexPreFilter()
+        literals = prefilter.add_regex(1, regex_pattern(7, rb"alpha\d+beta"))
+        anchor_ids = {p.pattern_id for p in literals}
+        # Both anchors appear but not in the regex's required arrangement.
+        results = prefilter.confirm(1, b"beta then alpha", anchor_ids)
+        assert results == []
+        assert prefilter.stats.confirmations_invoked == 1
+        assert prefilter.stats.confirmations_matched == 0
+
+    def test_multiple_occurrences_all_reported(self):
+        prefilter = RegexPreFilter()
+        literals = prefilter.add_regex(1, regex_pattern(7, rb"occur\d"))
+        anchor_ids = {p.pattern_id for p in literals}
+        results = prefilter.confirm(1, b"occur1 and occur2", anchor_ids)
+        assert len(results) == 2
+
+    def test_fallback_scanned_every_packet(self):
+        prefilter = RegexPreFilter()
+        prefilter.add_regex(1, regex_pattern(3, rb"\d{4}"))
+        assert prefilter.scan_fallback(1, b"year 2014 here") == [(3, 9)]
+        assert prefilter.scan_fallback(1, b"no digits") == []
+        assert prefilter.stats.fallback_scans == 2
+
+    def test_has_regexes(self):
+        prefilter = RegexPreFilter()
+        assert not prefilter.has_regexes(1)
+        prefilter.add_regex(1, regex_pattern(0, rb"\d+"))
+        assert prefilter.has_regexes(1)
+
+    def test_middleboxes_isolated(self):
+        prefilter = RegexPreFilter()
+        literals = prefilter.add_regex(1, regex_pattern(0, rb"isolated\d"))
+        anchor_ids = {p.pattern_id for p in literals}
+        assert prefilter.confirm(2, b"isolated5", anchor_ids) == []
+
+
+class TestSplitMatches:
+    def test_split(self):
+        raw = [(3, 10), (ANCHOR_ID_BASE, 12), (5, 20), (ANCHOR_ID_BASE + 4, 30)]
+        reportable, anchors = split_matches(raw)
+        assert reportable == [(3, 10), (5, 20)]
+        assert anchors == {ANCHOR_ID_BASE, ANCHOR_ID_BASE + 4}
+
+    def test_split_empty(self):
+        reportable, anchors = split_matches([])
+        assert reportable == [] and anchors == set()
+
+
+class TestNFAFallbackEngine:
+    def test_nfa_engine_selected(self):
+        prefilter = RegexPreFilter(fallback_engine="nfa")
+        prefilter.add_regex(1, regex_pattern(0, rb"\d\d\d"))
+        matches = prefilter.scan_fallback(1, b"code 404 here")
+        assert matches == [(0, 8)]
+
+    def test_nfa_reports_all_ends(self):
+        prefilter = RegexPreFilter(fallback_engine="nfa")
+        prefilter.add_regex(1, regex_pattern(0, rb"\d+"))
+        ends = {end for _pid, end in prefilter.scan_fallback(1, b"x123")}
+        # All-ends semantics: 1, 12, 123 all end matches.
+        assert ends == {2, 3, 4}
+
+    def test_unsupported_construct_falls_back_to_re(self):
+        prefilter = RegexPreFilter(fallback_engine="nfa")
+        # Lookahead: outside the NFA subset; stdlib engine handles it.
+        prefilter.add_regex(1, regex_pattern(0, rb"(?=\d)\d\d"))
+        assert prefilter.scan_fallback(1, b"ab 42") == [(0, 5)]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            RegexPreFilter(fallback_engine="dfa")
+
+    def test_anchored_path_unaffected_by_engine(self):
+        for engine in ("re", "nfa"):
+            prefilter = RegexPreFilter(fallback_engine=engine)
+            literals = prefilter.add_regex(
+                1, regex_pattern(0, rb"needleanchor\d+")
+            )
+            anchor_ids = {p.pattern_id for p in literals}
+            results = prefilter.confirm(1, b"a needleanchor77", anchor_ids)
+            assert results == [(0, 16)]

@@ -1,0 +1,155 @@
+"""Unit and property tests for the determinized regex engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nfa import RegexNFA
+from repro.core.regex_dfa import RegexDFA, StateExplosionError
+
+
+class TestBasics:
+    def test_single_expression(self):
+        dfa = RegexDFA([rb"ab+c"])
+        assert dfa.match_ends(b"xxabbbc abc") == [7, 11]
+
+    def test_search(self):
+        dfa = RegexDFA([rb"\d{3}"])
+        assert dfa.search(b"code 404")
+        assert not dfa.search(b"no digits")
+
+    def test_multiple_expressions_attributed(self):
+        dfa = RegexDFA([rb"cat", rb"dog"])
+        matches = dfa.scan(b"cat dog cat")
+        assert (3, 0) in matches
+        assert (7, 1) in matches
+        assert (11, 0) in matches
+
+    def test_overlapping_expressions(self):
+        dfa = RegexDFA([rb"abc", rb"bc"])
+        matches = dfa.scan(b"abc")
+        assert sorted(matches) == [(3, 0), (3, 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegexDFA([])
+        with pytest.raises(ValueError):
+            RegexDFA([rb"x"], max_states=0)
+
+    def test_memory_accounting(self):
+        dfa = RegexDFA([rb"abcd"])
+        assert dfa.memory_bytes == dfa.num_states * 1024
+
+
+class TestStateExplosion:
+    def test_single_counted_expression_is_modest(self):
+        dfa = RegexDFA([rb"a.{6}b"])
+        assert dfa.num_states < 300
+
+    def test_combining_expressions_explodes(self):
+        """The paper's Section 3 claim: combining a few expressions into
+        one DFA explodes its state count."""
+        single = RegexDFA([rb"a.{6}b"]).num_states
+        double = RegexDFA([rb"a.{6}b", rb"c.{6}d"]).num_states
+        assert double > single * 2.5  # superlinear growth
+
+    def test_explosion_capped(self):
+        expressions = [
+            rb"a.{10}b",
+            rb"c.{10}d",
+            rb"e.{10}f",
+            rb"g.{10}h",
+        ]
+        with pytest.raises(StateExplosionError):
+            RegexDFA(expressions, max_states=2000)
+
+
+def _to_bytes(raw):
+    return bytes(b % 4 + 0x61 for b in raw)
+
+
+_atom = st.sampled_from([b"a", b"b", b".", b"[ab]", b"c?"])
+_suffix = st.sampled_from([b"", b"+", b"{1,2}"])
+
+
+@st.composite
+def simple_regex(draw):
+    pieces = []
+    for _ in range(draw(st.integers(1, 3))):
+        pieces.append(draw(_atom) + draw(_suffix))
+    return b"".join(pieces)
+
+
+@given(
+    pattern=simple_regex(),
+    data=st.binary(min_size=0, max_size=30).map(_to_bytes),
+)
+@settings(max_examples=150, deadline=None)
+def test_dfa_equals_nfa(pattern, data):
+    """Subset construction preserves the NFA's all-ends semantics."""
+    try:
+        nfa = RegexNFA(pattern)
+    except Exception:
+        return  # e.g. empty-matching expression
+    dfa = RegexDFA([pattern])
+    assert dfa.match_ends(data) == nfa.match_ends(data)
+
+
+@given(
+    first=simple_regex(),
+    second=simple_regex(),
+    data=st.binary(min_size=0, max_size=25).map(_to_bytes),
+)
+@settings(max_examples=100, deadline=None)
+def test_combined_dfa_equals_separate_nfas(first, second, data):
+    try:
+        nfa_first = RegexNFA(first)
+        nfa_second = RegexNFA(second)
+    except Exception:
+        return
+    dfa = RegexDFA([first, second])
+    assert dfa.match_ends(data, index=0) == nfa_first.match_ends(data)
+    assert dfa.match_ends(data, index=1) == nfa_second.match_ends(data)
+
+
+class TestMinimization:
+    def test_minimize_preserves_matches(self):
+        dfa = RegexDFA([rb"ab+c", rb"[0-9]{2}x"])
+        data = b"abbbc 42x abc"
+        expected = sorted(dfa.scan(data))
+        dfa.minimize()
+        assert sorted(dfa.scan(data)) == expected
+
+    def test_minimize_reduces_redundant_states(self):
+        # Alternation of equivalent-suffix branches leaves mergeable states.
+        dfa = RegexDFA([rb"(?:xa|ya)bcd"])
+        before = dfa.num_states
+        removed = dfa.minimize()
+        assert removed > 0
+        assert dfa.num_states == before - removed
+
+    def test_minimize_idempotent(self):
+        dfa = RegexDFA([rb"ab+c"])
+        dfa.minimize()
+        assert dfa.minimize() == 0
+
+    def test_minimize_keeps_attribution(self):
+        dfa = RegexDFA([rb"cat", rb"dog"])
+        dfa.minimize()
+        matches = dfa.scan(b"cat dog")
+        assert (3, 0) in matches and (7, 1) in matches
+
+
+@given(
+    pattern=simple_regex(),
+    data=st.binary(min_size=0, max_size=30).map(_to_bytes),
+)
+@settings(max_examples=100, deadline=None)
+def test_minimized_dfa_equals_nfa(pattern, data):
+    try:
+        nfa = RegexNFA(pattern)
+    except Exception:
+        return
+    dfa = RegexDFA([pattern])
+    dfa.minimize()
+    assert dfa.match_ends(data) == nfa.match_ends(data)

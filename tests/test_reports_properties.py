@@ -1,0 +1,57 @@
+"""Property tests: report encode/decode round-trips and run compression."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reports import MatchReport, compress_matches
+
+match_pair = st.tuples(
+    st.integers(min_value=0, max_value=0xFFFF),  # pattern id
+    st.integers(min_value=0, max_value=0xFFFFFF),  # position
+)
+match_list = st.lists(match_pair, max_size=40)
+per_middlebox = st.dictionaries(
+    st.integers(min_value=0, max_value=50), match_list, max_size=5
+)
+
+
+@given(matches=per_middlebox)
+@settings(max_examples=200, deadline=None)
+def test_report_round_trip(matches):
+    report = MatchReport.from_matches(matches)
+    decoded = MatchReport.decode(report.encode())
+    for middlebox_id, pairs in matches.items():
+        assert sorted(decoded.matches_for(middlebox_id)) == sorted(pairs)
+
+
+@given(matches=match_list)
+@settings(max_examples=200, deadline=None)
+def test_compression_preserves_matches(matches):
+    """compress + expand is the identity on duplicate-free match lists."""
+    unique = sorted(set(matches))
+    records = compress_matches(unique)
+    expanded = sorted(
+        (record.pattern_id, position)
+        for record in records
+        for position in record.positions()
+    )
+    assert expanded == unique
+
+
+@given(matches=per_middlebox)
+@settings(max_examples=100, deadline=None)
+def test_size_bytes_equals_encoded_length(matches):
+    report = MatchReport.from_matches(matches)
+    assert report.size_bytes() == len(report.encode())
+
+
+@given(
+    pattern_id=st.integers(min_value=0, max_value=0xFFFF),
+    start=st.integers(min_value=0, max_value=1000),
+    length=st.integers(min_value=1, max_value=600),
+)
+@settings(max_examples=100, deadline=None)
+def test_runs_round_trip(pattern_id, start, length):
+    run = [(pattern_id, start + offset) for offset in range(length)]
+    report = MatchReport.from_matches({0: run})
+    assert sorted(MatchReport.decode(report.encode()).matches_for(0)) == run

@@ -1,0 +1,113 @@
+"""Property tests for the virtual scanner's flow semantics (Section 5.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combined import CombinedAutomaton
+from repro.core.patterns import Pattern
+from repro.core.scanner import MiddleboxProfile, VirtualScanner
+
+CHAIN = 1
+
+
+def _to_bytes(raw):
+    return bytes(b % 3 + 0x41 for b in raw)
+
+
+pattern = st.binary(min_size=1, max_size=5).map(_to_bytes)
+pattern_list = st.lists(pattern, min_size=1, max_size=6, unique=True)
+stream_strategy = st.binary(min_size=0, max_size=60).map(_to_bytes)
+cut_list = st.lists(st.integers(min_value=1, max_value=59), max_size=6)
+
+
+def make_scanner(patterns, stateful):
+    automaton = CombinedAutomaton(
+        {0: [Pattern(i, p) for i, p in enumerate(patterns)]}
+    )
+    profiles = {0: MiddleboxProfile(0, stateful=stateful)}
+    return VirtualScanner(automaton, profiles, {CHAIN: (0,)})
+
+
+def packetize_at(stream, cuts):
+    boundaries = sorted({0, len(stream), *[c for c in cuts if c < len(stream)]})
+    return [
+        stream[boundaries[i] : boundaries[i + 1]]
+        for i in range(len(boundaries) - 1)
+    ]
+
+
+@given(patterns=pattern_list, stream=stream_strategy, cuts=cut_list)
+@settings(max_examples=150, deadline=None)
+def test_stateful_scan_is_packetization_invariant(patterns, stream, cuts):
+    """However a flow is packetized, a stateful middlebox sees exactly the
+    matches of the whole stream, at flow-relative positions."""
+    whole_scanner = make_scanner(patterns, stateful=True)
+    whole = whole_scanner.scan_packet(stream, CHAIN, flow_key="flow")
+    expected = set(whole.matches_for(0))
+
+    split_scanner = make_scanner(patterns, stateful=True)
+    collected = set()
+    for packet in packetize_at(stream, cuts):
+        result = split_scanner.scan_packet(packet, CHAIN, flow_key="flow")
+        collected |= set(result.matches_for(0))
+    assert collected == expected
+
+
+@given(patterns=pattern_list, stream=stream_strategy, cuts=cut_list)
+@settings(max_examples=150, deadline=None)
+def test_stateless_never_reports_cross_packet_matches(patterns, stream, cuts):
+    """A stateless middlebox's matches per packet equal scanning each packet
+    in isolation — no cross-packet artifacts, whatever the packetization."""
+    scanner = make_scanner(patterns, stateful=False)
+    isolated_scanner = make_scanner(patterns, stateful=False)
+    for index, packet in enumerate(packetize_at(stream, cuts)):
+        streamed = scanner.scan_packet(packet, CHAIN, flow_key="flow")
+        isolated = isolated_scanner.scan_packet(packet, CHAIN, flow_key=None)
+        assert streamed.matches_for(0) == isolated.matches_for(0), index
+
+
+@given(patterns=pattern_list, stream=stream_strategy, cuts=cut_list)
+@settings(max_examples=100, deadline=None)
+def test_mixed_chain_stateless_subset_of_packet_matches(patterns, stream, cuts):
+    """With a stateful middlebox forcing mid-DFA resumes, a stateless
+    middlebox sharing the chain still reports exactly the per-packet
+    matches."""
+    automaton = CombinedAutomaton(
+        {
+            0: [Pattern(i, p) for i, p in enumerate(patterns)],
+            1: [Pattern(i, p) for i, p in enumerate(patterns)],
+        }
+    )
+    profiles = {
+        0: MiddleboxProfile(0, stateful=False),
+        1: MiddleboxProfile(1, stateful=True),
+    }
+    scanner = VirtualScanner(automaton, profiles, {CHAIN: (0, 1)})
+    oracle = make_scanner(patterns, stateful=False)
+    for packet in packetize_at(stream, cuts):
+        result = scanner.scan_packet(packet, CHAIN, flow_key="flow")
+        isolated = oracle.scan_packet(packet, CHAIN, flow_key=None)
+        assert result.matches_for(0) == isolated.matches_for(0)
+
+
+@given(
+    patterns=pattern_list,
+    stream=stream_strategy,
+    stop=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=100, deadline=None)
+def test_stopping_condition_prunes_exactly_deep_matches(patterns, stream, stop):
+    automaton = CombinedAutomaton(
+        {0: [Pattern(i, p) for i, p in enumerate(patterns)]}
+    )
+    bounded = VirtualScanner(
+        automaton,
+        {0: MiddleboxProfile(0, stopping_condition=stop)},
+        {CHAIN: (0,)},
+    )
+    unbounded = VirtualScanner(
+        automaton, {0: MiddleboxProfile(0)}, {CHAIN: (0,)}
+    )
+    got = set(bounded.scan_packet(stream, CHAIN).matches_for(0))
+    full = set(unbounded.scan_packet(stream, CHAIN).matches_for(0))
+    assert got == {(pid, pos) for pid, pos in full if pos <= stop}

@@ -1,0 +1,126 @@
+"""Integration tests for the stream inspector (reassemble + decompress +
+scan once)."""
+
+import gzip
+
+import pytest
+
+from repro.core.instance import DPIServiceInstance, InstanceConfig
+from repro.core.patterns import Pattern
+from repro.core.scanner import MiddleboxProfile
+from repro.core.stream import StreamInspector
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.packet import make_tcp_packet
+
+CHAIN = 100
+SIGNATURE = b"exfil-marker-42"
+
+
+def make_instance(stateful=True):
+    return DPIServiceInstance(
+        InstanceConfig(
+            pattern_sets={1: [Pattern(0, SIGNATURE)]},
+            profiles={1: MiddleboxProfile(1, name="dlp", stateful=stateful)},
+            chain_map={CHAIN: (1,)},
+        )
+    )
+
+
+def packet(seq, data, src_port=4000):
+    return make_tcp_packet(
+        MACAddress.from_index(0),
+        MACAddress.from_index(1),
+        IPv4Address("10.0.0.1"),
+        IPv4Address("10.0.0.2"),
+        src_port,
+        443,
+        payload=data,
+        seq=seq,
+    )
+
+
+class TestRawStreams:
+    def test_in_order_detection(self):
+        inspector = StreamInspector(make_instance())
+        result = inspector.process_packet(packet(0, b"x" + SIGNATURE), CHAIN)
+        assert result.has_matches
+        assert result.all_matches()[1] == [(0, 1 + len(SIGNATURE))]
+
+    def test_signature_across_segments(self):
+        inspector = StreamInspector(make_instance())
+        half = len(SIGNATURE) // 2
+        first = inspector.process_packet(packet(0, SIGNATURE[:half]), CHAIN)
+        assert not first.has_matches
+        second = inspector.process_packet(
+            packet(half, SIGNATURE[half:]), CHAIN
+        )
+        assert second.has_matches
+
+    def test_out_of_order_segments_detected(self):
+        inspector = StreamInspector(make_instance())
+        stream = b"prefix " + SIGNATURE + b" suffix"
+        anchor = inspector.process_packet(packet(0, stream[:4]), CHAIN)
+        late = inspector.process_packet(packet(12, stream[12:]), CHAIN)
+        assert not late.has_matches  # still waiting for the gap
+        assert late.released_bytes == 0
+        fill = inspector.process_packet(packet(4, stream[4:12]), CHAIN)
+        assert fill.released_bytes == len(stream) - 4
+        assert fill.has_matches
+
+    def test_flows_do_not_mix(self):
+        inspector = StreamInspector(make_instance())
+        half = len(SIGNATURE) // 2
+        inspector.process_packet(packet(0, SIGNATURE[:half], src_port=1), CHAIN)
+        other = inspector.process_packet(
+            packet(half, SIGNATURE[half:], src_port=2), CHAIN
+        )
+        assert not other.has_matches
+
+
+class TestDecompression:
+    def test_signature_inside_gzip_found(self):
+        inspector = StreamInspector(make_instance())
+        payload = b"HDR " + gzip.compress(b"body " + SIGNATURE + b" end")
+        result = inspector.process_packet(packet(0, payload), CHAIN)
+        assert result.has_matches
+        kinds = [kind for kind, _ in result.outputs]
+        assert "raw" in kinds
+        assert any(kind.startswith("gzip@") for kind in kinds)
+
+    def test_decompression_disabled(self):
+        inspector = StreamInspector(make_instance(), decompress=False)
+        payload = gzip.compress(SIGNATURE)
+        result = inspector.process_packet(packet(0, payload), CHAIN)
+        assert not result.has_matches
+        assert [kind for kind, _ in result.outputs] == ["raw"]
+
+    def test_gzip_view_state_isolated_from_raw(self):
+        """Matches in a compressed region must not poison the raw stream's
+        DFA state (separate flow keys per view)."""
+        inspector = StreamInspector(make_instance())
+        part = gzip.compress(b"z" + SIGNATURE)
+        inspector.process_packet(packet(0, b"AB" + part), CHAIN)
+        follow = inspector.process_packet(
+            packet(2 + len(part), b"clean tail"), CHAIN
+        )
+        assert not follow.has_matches
+
+
+class TestLifecycle:
+    def test_close_flow_drops_state(self):
+        inspector = StreamInspector(make_instance())
+        half = len(SIGNATURE) // 2
+        result = inspector.process_packet(packet(0, SIGNATURE[:half]), CHAIN)
+        inspector.close_flow(result.flow_key)
+        # After closing, the continuation does not complete the match (the
+        # stream anchors afresh at the next segment's sequence number).
+        second = inspector.process_packet(
+            packet(half, SIGNATURE[half:]), CHAIN
+        )
+        assert not second.has_matches
+
+    def test_empty_segment_releases_nothing(self):
+        inspector = StreamInspector(make_instance())
+        result = inspector.process_packet(packet(0, b""), CHAIN)
+        assert result.released_bytes == 0
+        assert result.outputs == []

@@ -1,0 +1,124 @@
+"""Unit tests for trace file I/O."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.traces import (
+    NO_FLOW,
+    TraceFormatError,
+    load_trace,
+    save_trace,
+)
+from repro.workloads.traffic import Trace, TrafficGenerator
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, tmp_path):
+        trace = Trace(payloads=[b"one", b"two", b""])
+        path = tmp_path / "t.rtrc"
+        written = save_trace(trace, path)
+        assert written == path.stat().st_size
+        loaded = load_trace(path)
+        assert loaded.payloads == trace.payloads
+        assert loaded.flow_ids is None
+
+    def test_flow_ids_round_trip(self, tmp_path):
+        trace = Trace(payloads=[b"a", b"b"], flow_ids=[7, 9])
+        path = tmp_path / "t.rtrc"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.flow_ids == [7, 9]
+
+    def test_generated_trace_round_trip(self, tmp_path, snort_like_small):
+        generator = TrafficGenerator(seed=3)
+        trace = generator.trace(40, patterns=snort_like_small, num_flows=4)
+        path = tmp_path / "gen.rtrc"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.payloads == trace.payloads
+        assert loaded.flow_ids == trace.flow_ids
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.rtrc"
+        save_trace(Trace(payloads=[]), path)
+        assert load_trace(path).payloads == []
+
+    def test_binary_payloads(self, tmp_path):
+        trace = Trace(payloads=[bytes(range(256))])
+        path = tmp_path / "bin.rtrc"
+        save_trace(trace, path)
+        assert load_trace(path).payloads == trace.payloads
+
+
+class TestValidation:
+    def test_flow_id_range_checked(self, tmp_path):
+        trace = Trace(payloads=[b"x"], flow_ids=[NO_FLOW])
+        with pytest.raises(ValueError):
+            save_trace(trace, tmp_path / "bad.rtrc")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rtrc"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(TraceFormatError, match="magic"):
+            load_trace(path)
+
+    def test_too_short(self, tmp_path):
+        path = tmp_path / "short.rtrc"
+        path.write_bytes(b"RT")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_truncated_payload(self, tmp_path):
+        trace = Trace(payloads=[b"0123456789"])
+        path = tmp_path / "t.rtrc"
+        save_trace(trace, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-6])  # drop footer + payload tail
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_corrupt_payload_detected(self, tmp_path):
+        trace = Trace(payloads=[b"0123456789"])
+        path = tmp_path / "t.rtrc"
+        save_trace(trace, path)
+        blob = bytearray(path.read_bytes())
+        blob[-7] ^= 0xFF  # flip a payload byte, keep framing intact
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="checksum"):
+            load_trace(path)
+
+    def test_trailing_bytes_rejected(self, tmp_path):
+        trace = Trace(payloads=[b"abc"])
+        path = tmp_path / "t.rtrc"
+        save_trace(trace, path)
+        path.write_bytes(path.read_bytes() + b"junk")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_unsupported_version(self, tmp_path):
+        trace = Trace(payloads=[b"abc"])
+        path = tmp_path / "t.rtrc"
+        save_trace(trace, path)
+        blob = bytearray(path.read_bytes())
+        blob[4] = 99  # version byte
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(path)
+
+
+@given(
+    payloads=st.lists(st.binary(max_size=100), max_size=20),
+    with_flows=st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_round_trip_property(tmp_path_factory, payloads, with_flows):
+    flow_ids = list(range(len(payloads))) if with_flows else None
+    trace = Trace(payloads=payloads, flow_ids=flow_ids)
+    path = tmp_path_factory.mktemp("traces") / "prop.rtrc"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.payloads == payloads
+    assert loaded.flow_ids == flow_ids

@@ -1,0 +1,105 @@
+"""Unit and property tests for the Wu-Manber matcher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aho_corasick import AhoCorasick
+from repro.core.wu_manber import WuManber
+from tests.conftest import naive_find_all
+
+
+class TestBasics:
+    def test_single_pattern(self):
+        wm = WuManber([b"needle"])
+        assert wm.scan(b"hay needle hay needle") == [(10, 0), (21, 0)]
+
+    def test_no_match(self):
+        wm = WuManber([b"needle"])
+        assert wm.scan(b"just hay here") == []
+
+    def test_short_input(self):
+        wm = WuManber([b"needle"])
+        assert wm.scan(b"nee") == []
+        assert wm.scan(b"") == []
+
+    def test_multiple_patterns(self):
+        wm = WuManber([b"alpha", b"beta", b"phabet"])
+        matches = wm.scan(b"alphabet")
+        assert (5, 0) in matches  # alpha
+        assert (8, 2) in matches  # phabet
+
+    def test_overlapping_occurrences(self):
+        wm = WuManber([b"aba"])
+        assert wm.scan(b"ababa") == [(3, 0), (5, 0)]
+
+    def test_patterns_of_different_lengths(self):
+        wm = WuManber([b"ab", b"abcdef"])
+        matches = wm.scan(b"abcdef")
+        assert (2, 0) in matches
+        assert (6, 1) in matches
+
+    def test_duplicate_patterns_both_reported(self):
+        wm = WuManber([b"dup!", b"dup!"])
+        assert wm.scan(b"xdup!") == [(5, 0), (5, 1)]
+
+    def test_match_at_start_and_end(self):
+        wm = WuManber([b"edge"])
+        assert wm.scan(b"edge...edge") == [(4, 0), (11, 0)]
+
+    def test_binary_patterns(self):
+        wm = WuManber([b"\x00\xff\x00\x01"])
+        assert wm.scan(b"zz\x00\xff\x00\x01zz") == [(6, 0)]
+
+
+class TestValidation:
+    def test_empty_pattern_list_rejected(self):
+        with pytest.raises(ValueError):
+            WuManber([])
+
+    def test_too_short_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            WuManber([b"a"])
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            WuManber([b"abcd"], block_size=0)
+
+    def test_table_sizes_exposed(self):
+        wm = WuManber([b"abcd", b"bcde"])
+        shift_entries, hash_entries = wm.table_sizes
+        assert shift_entries > 0
+        assert hash_entries > 0
+
+
+class TestAgainstAhoCorasick:
+    def test_same_matches_on_fixed_case(self, snort_like_small):
+        patterns = snort_like_small[:100]
+        text = b"".join(patterns[:10]) + b"filler" + patterns[0]
+        wm = WuManber(patterns)
+        ac = AhoCorasick(patterns)
+        assert wm.scan(text) == sorted(ac.scan(text)[0])
+
+
+def _to_bytes(raw):
+    return bytes(b % 3 + 0x41 for b in raw)
+
+
+pattern = st.binary(min_size=2, max_size=6).map(_to_bytes)
+patterns_strategy = st.lists(pattern, min_size=1, max_size=8, unique=True)
+text_strategy = st.binary(min_size=0, max_size=60).map(_to_bytes)
+
+
+@given(patterns=patterns_strategy, text=text_strategy)
+@settings(max_examples=200, deadline=None)
+def test_wu_manber_matches_oracle(patterns, text):
+    wm = WuManber(patterns)
+    assert wm.scan(text) == naive_find_all(patterns, text)
+
+
+@given(patterns=patterns_strategy, text=text_strategy)
+@settings(max_examples=100, deadline=None)
+def test_wu_manber_equals_aho_corasick(patterns, text):
+    wm = WuManber(patterns)
+    ac = AhoCorasick(patterns)
+    assert wm.scan(text) == sorted(ac.scan(text)[0])
