@@ -20,6 +20,7 @@ import time
 from pathlib import Path
 
 from repro.core.aho_corasick import AhoCorasick
+from repro.core.kernels import KERNEL_NAMES
 from repro.core.patterns import Pattern, PatternKind
 from repro.core.wu_manber import WuManber
 from repro.workloads.patterns import generate_clamav_like, generate_snort_like
@@ -94,6 +95,24 @@ def _cmd_scan(args) -> int:
     trace = load_trace(args.trace)
     if args.engine == "ac":
         engine = AhoCorasick(literals, layout=args.layout)
+    elif args.engine == "combined":
+        from repro.core.combined import CombinedAutomaton
+
+        automaton = CombinedAutomaton(
+            {0: [Pattern(i, data) for i, data in enumerate(literals)]},
+            layout=args.layout,
+            kernel=args.kernel,
+            scan_cache_size=args.cache_size,
+        )
+
+        def count_combined(payload):
+            return sum(
+                len(automaton.match_entry(state))
+                for state, _ in automaton.scan(payload).raw_matches
+            )
+
+        engine = automaton
+        engine.count_matches = count_combined
     else:
         engine = WuManber(literals)
     started = time.perf_counter()
@@ -106,10 +125,35 @@ def _cmd_scan(args) -> int:
             matched_packets += 1
     elapsed = time.perf_counter() - started
     mbps = trace.total_bytes * 8 / elapsed / 1e6 if elapsed > 0 else float("inf")
-    print(f"engine: {args.engine}" + (f" ({args.layout})" if args.engine == "ac" else ""))
+    detail = ""
+    if args.engine == "ac":
+        detail = f" ({args.layout})"
+    elif args.engine == "combined":
+        detail = f" ({args.layout}, kernel={args.kernel})"
+    print(f"engine: {args.engine}" + detail)
     print(f"packets: {len(trace)}  bytes: {trace.total_bytes}")
     print(f"matched packets: {matched_packets}  total matches: {total_matches}")
     print(f"throughput: {mbps:.2f} Mbps")
+    return 0
+
+
+def _cmd_bench_kernels(args) -> int:
+    from repro.bench.kernels import (
+        format_results,
+        run_kernel_benchmark,
+        write_results,
+    )
+
+    results = run_kernel_benchmark(
+        pattern_count=args.pattern_count,
+        packets=args.packets,
+        rounds=args.rounds,
+        cache_size=args.cache_size,
+    )
+    print(format_results(results))
+    if args.out:
+        write_results(results, args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -178,9 +222,31 @@ def build_parser() -> argparse.ArgumentParser:
     scan = commands.add_parser("scan", help="scan a trace with an engine")
     scan.add_argument("--patterns", required=True)
     scan.add_argument("--trace", required=True)
-    scan.add_argument("--engine", choices=("ac", "wm"), default="ac")
+    scan.add_argument("--engine", choices=("ac", "wm", "combined"), default="ac")
     scan.add_argument("--layout", choices=("sparse", "full"), default="sparse")
+    scan.add_argument(
+        "--kernel",
+        choices=KERNEL_NAMES,
+        default="flat",
+        help="scan kernel for --engine combined",
+    )
+    scan.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="LRU scan-cache capacity for --engine combined (0 = off)",
+    )
     scan.set_defaults(func=_cmd_scan)
+
+    bench = commands.add_parser(
+        "bench-kernels", help="run the scan-kernel ablation benchmark"
+    )
+    bench.add_argument("--pattern-count", type=int, default=2000)
+    bench.add_argument("--packets", type=int, default=60)
+    bench.add_argument("--rounds", type=int, default=5)
+    bench.add_argument("--cache-size", type=int, default=256)
+    bench.add_argument("--out", help="write BENCH_kernels.json here")
+    bench.set_defaults(func=_cmd_bench_kernels)
 
     demo = commands.add_parser("demo", help="run a tiny end-to-end demo")
     demo.set_defaults(func=_cmd_demo)

@@ -18,36 +18,35 @@ Construction follows the paper's two steps:
 from __future__ import annotations
 
 from array import array
-from collections import deque
-from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.core.aho_corasick import AhoCorasick, AutomatonStats
+from repro.core.kernels import (
+    KERNEL_NAMES,
+    CombinedScanResult,
+    ScanCache,
+    make_kernel,
+)
 from repro.core.patterns import Pattern, PatternKind
 
-
-@dataclass
-class CombinedScanResult:
-    """Raw output of one combined-DFA scan.
-
-    ``raw_matches`` holds ``(accepting state, cnt)`` pairs, where ``cnt`` is
-    the number of bytes consumed when the accepting state was reached.  The
-    scanner layer (:mod:`repro.core.scanner`) resolves these to per-middlebox
-    match lists, applying stopping conditions and stateless pruning.
-    """
-
-    raw_matches: list
-    end_state: int
-    bytes_scanned: int
+__all__ = ["CombinedAutomaton", "CombinedScanResult"]
 
 
 class CombinedAutomaton:
-    """One DFA serving the merged pattern sets of many middleboxes."""
+    """One DFA serving the merged pattern sets of many middleboxes.
+
+    ``kernel`` selects the scan loop (see :mod:`repro.core.kernels`);
+    every kernel produces identical results, so the choice is purely a
+    speed/memory trade.  ``scan_cache_size`` > 0 enables an LRU cache of
+    whole scan results keyed by payload and scan parameters.
+    """
 
     def __init__(
         self,
         pattern_sets: Mapping[int, Iterable[Pattern]],
         layout: str = "sparse",
+        kernel: str = "reference",
+        scan_cache_size: int = 0,
     ) -> None:
         self.layout = layout
         self.middlebox_ids = sorted(pattern_sets)
@@ -73,6 +72,18 @@ class CombinedAutomaton:
         base = AhoCorasick(self._distinct_patterns, layout=layout)
         self._pattern_lengths = [len(p) for p in self._distinct_patterns]
         self._build_renumbered(base)
+
+        self._middlebox_set = frozenset(self.middlebox_ids)
+        bitmap = 0
+        for middlebox_id in self.middlebox_ids:
+            bitmap |= 1 << middlebox_id
+        #: Bitmap with every registered middlebox's bit set (precomputed).
+        self.all_middleboxes_bitmap = bitmap
+
+        if scan_cache_size < 0:
+            raise ValueError(f"negative scan cache size: {scan_cache_size}")
+        self.scan_cache = ScanCache(scan_cache_size) if scan_cache_size else None
+        self.select_kernel(kernel)
 
     # --- construction -------------------------------------------------------
 
@@ -144,25 +155,11 @@ class CombinedAutomaton:
 
     def bitmask_of(self, middlebox_ids: Iterable[int]) -> int:
         """The active-middlebox bitmap for a set of middlebox ids."""
+        known = self._middlebox_set
         bitmap = 0
         for middlebox_id in middlebox_ids:
-            if middlebox_id not in self._known_middlebox_set():
+            if middlebox_id not in known:
                 raise KeyError(f"unknown middlebox id: {middlebox_id}")
-            bitmap |= 1 << middlebox_id
-        return bitmap
-
-    def _known_middlebox_set(self) -> set:
-        cached = getattr(self, "_middlebox_set", None)
-        if cached is None:
-            cached = set(self.middlebox_ids)
-            self._middlebox_set = cached
-        return cached
-
-    @property
-    def all_middleboxes_bitmap(self) -> int:
-        """Bitmap with every registered middlebox's bit set."""
-        bitmap = 0
-        for middlebox_id in self.middlebox_ids:
             bitmap |= 1 << middlebox_id
         return bitmap
 
@@ -196,6 +193,17 @@ class CombinedAutomaton:
 
     # --- scanning ------------------------------------------------------------
 
+    def select_kernel(self, kernel: str) -> None:
+        """Install the named scan kernel (see :data:`KERNEL_NAMES`)."""
+        if kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {KERNEL_NAMES}"
+            )
+        self.kernel_name = kernel
+        self._kernel = make_kernel(self, kernel)
+        if self.scan_cache is not None:
+            self.scan_cache.clear()
+
     def next_state(self, state: int, byte: int) -> int:
         """Single DFA step (scan loops inline this for speed)."""
         if self._layout_is_full:
@@ -218,38 +226,28 @@ class CombinedAutomaton:
 
         ``active_bitmap`` restricts reported matches to the middleboxes whose
         bits are set (``None`` means all).  ``state`` resumes a stateful scan.
+        The work happens in the selected kernel; results are independent of
+        the kernel choice.
         """
         if state is None:
             state = self.root
         if active_bitmap is None:
             active_bitmap = self.all_middleboxes_bitmap
-        view = data if limit is None or limit >= len(data) else data[:limit]
-        raw_matches: list = []
-        append = raw_matches.append
-        f = self.num_accepting
-        bitmaps = self._bitmaps
-        cnt = 0
-        if self._layout_is_full:
-            delta = self._delta
-            for byte in view:
-                state = delta[state][byte]
-                cnt += 1
-                if state < f and bitmaps[state] & active_bitmap:
-                    append((state, cnt))
-        else:
-            goto = self._goto
-            fail = self._fail
-            root = self.root
-            for byte in view:
-                while byte not in goto[state] and state != root:
-                    state = fail[state]
-                state = goto[state].get(byte, root)
-                cnt += 1
-                if state < f and bitmaps[state] & active_bitmap:
-                    append((state, cnt))
-        return CombinedScanResult(
-            raw_matches=raw_matches, end_state=state, bytes_scanned=cnt
-        )
+        cache = self.scan_cache
+        if cache is None:
+            return self._kernel.scan(data, active_bitmap, state, limit)
+        payload = data if data.__class__ is bytes else bytes(data)
+        key = (payload, active_bitmap, state, limit)
+        cached = cache.get(key)
+        if cached is not None:
+            return CombinedScanResult(
+                raw_matches=cached.raw_matches,
+                end_state=cached.end_state,
+                bytes_scanned=cached.bytes_scanned,
+            )
+        result = self._kernel.scan(data, active_bitmap, state, limit)
+        cache.put(key, result)
+        return result
 
     # --- stats -------------------------------------------------------------------
 

@@ -278,7 +278,11 @@ class DPIController:
     # --- instance lifecycle ----------------------------------------------------
 
     def build_instance_config(
-        self, chain_ids=None, layout: str = "sparse"
+        self,
+        chain_ids=None,
+        layout: str = "sparse",
+        kernel: str = "flat",
+        scan_cache_size: int = 0,
     ) -> InstanceConfig:
         """The configuration for an instance serving *chain_ids* (None =
         every chain).  Only middleboxes on the selected chains are included
@@ -304,15 +308,24 @@ class DPIController:
             profiles=profiles,
             chain_map=chain_map,
             layout=layout,
+            kernel=kernel,
+            scan_cache_size=scan_cache_size,
         )
 
     def create_instance(
-        self, name: str, chain_ids=None, layout: str = "sparse"
+        self,
+        name: str,
+        chain_ids=None,
+        layout: str = "sparse",
+        kernel: str = "flat",
+        scan_cache_size: int = 0,
     ) -> DPIServiceInstance:
         """Spawn a DPI service instance from the current configuration."""
         if name in self.instances:
             raise ValueError(f"duplicate instance name: {name}")
-        config = self.build_instance_config(chain_ids, layout=layout)
+        config = self.build_instance_config(
+            chain_ids, layout=layout, kernel=kernel, scan_cache_size=scan_cache_size
+        )
         instance = DPIServiceInstance(config, name=name)
         self.instances[name] = instance
         self._instance_chain_filter[name] = (
@@ -333,13 +346,22 @@ class DPIController:
         for name, instance in self.instances.items():
             chain_ids = self._instance_chain_filter.get(name)
             instance.reconfigure(
-                self.build_instance_config(chain_ids, layout=instance.config.layout)
+                self.build_instance_config(
+                    chain_ids,
+                    layout=instance.config.layout,
+                    kernel=instance.config.kernel,
+                    scan_cache_size=instance.config.scan_cache_size,
+                )
             )
 
     # --- grouped deployment (Section 4.3) ---------------------------------
 
     def deploy_grouped(
-        self, max_groups: int, layout: str = "sparse", name_prefix: str = "dpi-group"
+        self,
+        max_groups: int,
+        layout: str = "sparse",
+        kernel: str = "flat",
+        name_prefix: str = "dpi-group",
     ) -> dict:
         """Deploy one instance per group of similar policy chains.
 
@@ -362,7 +384,7 @@ class DPIController:
         deployed = {}
         for index, chain_ids in enumerate(groups, start=1):
             name = f"{name_prefix}-{index}"
-            self.create_instance(name, chain_ids=chain_ids, layout=layout)
+            self.create_instance(name, chain_ids=chain_ids, layout=layout, kernel=kernel)
             deployed[name] = list(chain_ids)
         return deployed
 

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.combined import CombinedAutomaton
+from repro.core.kernels import KERNEL_NAMES
 from repro.core.patterns import Pattern, PatternKind
 from repro.core.regex import RegexPreFilter, split_matches
 from repro.core.reports import MatchReport
@@ -40,11 +41,24 @@ class InstanceConfig:
     profiles: dict  # middlebox id -> MiddleboxProfile
     chain_map: dict  # policy chain id -> tuple of middlebox ids
     layout: str = "sparse"
+    #: Scan kernel (see repro.core.kernels).  Instances default to the
+    #: flat-table kernel; the reference loops remain selectable.
+    kernel: str = "flat"
+    #: LRU scan-cache capacity; 0 disables caching (the default — cached
+    #: scans also skip the real per-byte work the MCA^2 stress telemetry
+    #: measures, so caching is opt-in).
+    scan_cache_size: int = 0
 
     def __post_init__(self) -> None:
         for middlebox_id in self.pattern_sets:
             if middlebox_id not in self.profiles:
                 raise KeyError(f"pattern set without profile: {middlebox_id}")
+        if self.kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNEL_NAMES}"
+            )
+        if self.scan_cache_size < 0:
+            raise ValueError(f"negative scan cache size: {self.scan_cache_size}")
 
 
 @dataclass
@@ -108,7 +122,12 @@ class DPIServiceInstance:
                 else:
                     literals.extend(self.prefilter.add_regex(middlebox_id, pattern))
             literal_sets[middlebox_id] = literals
-        self.automaton = CombinedAutomaton(literal_sets, layout=config.layout)
+        self.automaton = CombinedAutomaton(
+            literal_sets,
+            layout=config.layout,
+            kernel=config.kernel,
+            scan_cache_size=config.scan_cache_size,
+        )
         self.scanner = VirtualScanner(
             self.automaton, config.profiles, config.chain_map
         )
@@ -143,6 +162,11 @@ class DPIServiceInstance:
                     self.telemetry.regex_confirmations += len(confirmed)
                     reportable.extend(confirmed)
                 reportable.extend(self.prefilter.scan_fallback(middlebox_id, payload))
+                # confirm and scan_fallback can both report the same
+                # (pattern id, position) when a regex has anchors *and* a
+                # fallback expression; report each match once.
+                if len(reportable) > 1:
+                    reportable = list(dict.fromkeys(reportable))
             final_matches[middlebox_id] = reportable
         report = MatchReport.from_matches(final_matches)
         elapsed = time.perf_counter() - started
@@ -162,6 +186,39 @@ class DPIServiceInstance:
         return InspectionOutput(
             matches=final_matches, report=report, bytes_scanned=scan.bytes_scanned
         )
+
+    def inspect_batch(
+        self,
+        payloads,
+        chain_id: int,
+        flow_keys=None,
+        now: float = 0.0,
+    ) -> list:
+        """Inspect a batch of payloads for one policy chain, in order.
+
+        ``flow_keys`` is an optional parallel sequence (one key per
+        payload; ``None`` entries mean flowless).  Batching amortizes the
+        per-call service overhead and keeps repeated payloads hot in the
+        scan cache; results come back in submission order.
+        """
+        if flow_keys is None:
+            return [self.inspect(p, chain_id, now=now) for p in payloads]
+        payloads = list(payloads)
+        flow_keys = list(flow_keys)
+        if len(flow_keys) != len(payloads):
+            raise ValueError(
+                f"flow_keys length {len(flow_keys)} != payloads length "
+                f"{len(payloads)}"
+            )
+        return [
+            self.inspect(payload, chain_id, flow_key=flow_key, now=now)
+            for payload, flow_key in zip(payloads, flow_keys)
+        ]
+
+    def scan_cache_stats(self) -> dict | None:
+        """The automaton's scan-cache counters, or None when disabled."""
+        cache = self.automaton.scan_cache
+        return cache.stats() if cache is not None else None
 
     # --- flow migration (Section 4.3) -----------------------------------------
 

@@ -1,0 +1,439 @@
+"""Selectable scan kernels for the combined automaton (the hot path).
+
+The combined automaton's per-byte loop is where the whole service spends its
+time, so it is isolated here behind one small contract: a kernel is built
+from a :class:`~repro.core.combined.CombinedAutomaton` and exposes
+``scan(data, active_bitmap, state, limit) -> CombinedScanResult``.  Every
+kernel must produce *byte-identical* results — same raw ``(accepting state,
+cnt)`` pairs, same end state, same byte count — which the differential
+property test (``tests/test_kernels_properties.py``) enforces.
+
+Three kernels are provided:
+
+* ``"reference"`` — the original per-byte Python loops over either layout
+  (sparse goto/fail walking or per-state 256-entry rows).  Kept as the
+  executable specification the others are checked against.
+* ``"flat"`` — the full-table rows fused into one contiguous
+  ``array("i", num_states * 256)``; a DFA step is a single
+  ``delta[(state << 8) | byte]`` lookup.  The scan loop additionally runs
+  over a pre-shifted list mirror of the fused table (list subscripts and
+  integer ``+`` are specialized by CPython 3.11's adaptive interpreter,
+  ``array`` subscripts and ``|`` are not) and is unrolled eight-ways over
+  strided slices, with every loop variable bound to a local.  Works for
+  both layouts (the sparse goto/fail tables are materialized once at
+  kernel construction).
+* ``"regex"`` — a rare-byte prefilter that keeps root-start stateless scans
+  inside CPython's C machinery.  Each distinct literal contributes its
+  rarest byte (under a static traffic-frequency prior) to one anchor
+  character class, compiled once into a single ``re`` scanner; any match
+  occurrence must put an anchor byte inside its span, so the DFA only has
+  to replay short windows around anchor runs, where the suffix-closed
+  match tables built in ``CombinedAutomaton._build_renumbered`` recover
+  every overlapping/suffix match exactly.  Payloads dense in anchor bytes
+  bail out to the flat kernel up front (a C-level ``translate`` count), so
+  the worst case degrades to flat-kernel speed instead of collapsing; on
+  high-entropy signature corpora (ClamAV-like) the anchors are bytes that
+  web-ish traffic almost never carries and whole payloads are dismissed at
+  C scan speed.  Mid-flow resumes and ``limit``-bounded scans fall back to
+  the flat kernel.
+
+An optional :class:`ScanCache` (LRU over ``(payload, active_bitmap,
+start_state, limit)``) lets repeated payloads — Alexa-style trace workloads
+replay the same popular pages — skip the automaton entirely.
+"""
+
+from __future__ import annotations
+
+import re
+from array import array
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+#: Kernel names accepted by ``CombinedAutomaton`` / ``InstanceConfig``.
+KERNEL_NAMES = ("reference", "flat", "regex")
+
+
+@dataclass
+class CombinedScanResult:
+    """Raw output of one combined-DFA scan.
+
+    ``raw_matches`` holds ``(accepting state, cnt)`` pairs, where ``cnt`` is
+    the number of bytes consumed when the accepting state was reached.  The
+    scanner layer (:mod:`repro.core.scanner`) resolves these to per-middlebox
+    match lists, applying stopping conditions and stateless pruning.
+    """
+
+    raw_matches: list
+    end_state: int
+    bytes_scanned: int
+
+
+class ReferenceKernel:
+    """The original per-byte Python loops — the executable specification."""
+
+    name = "reference"
+
+    def __init__(self, automaton) -> None:
+        self._automaton = automaton
+
+    def scan(self, data, active_bitmap: int, state: int, limit) -> CombinedScanResult:
+        """Scan *data* (up to *limit* bytes) from *state*."""
+        automaton = self._automaton
+        view = data if limit is None or limit >= len(data) else data[:limit]
+        raw_matches: list = []
+        append = raw_matches.append
+        f = automaton.num_accepting
+        bitmaps = automaton._bitmaps
+        cnt = 0
+        if automaton._layout_is_full:
+            delta = automaton._delta
+            for byte in view:
+                state = delta[state][byte]
+                cnt += 1
+                if state < f and bitmaps[state] & active_bitmap:
+                    append((state, cnt))
+        else:
+            goto = automaton._goto
+            fail = automaton._fail
+            root = automaton.root
+            for byte in view:
+                while byte not in goto[state] and state != root:
+                    state = fail[state]
+                state = goto[state].get(byte, root)
+                cnt += 1
+                if state < f and bitmaps[state] & active_bitmap:
+                    append((state, cnt))
+        return CombinedScanResult(
+            raw_matches=raw_matches, end_state=state, bytes_scanned=cnt
+        )
+
+
+def _fuse_flat_table(automaton) -> array:
+    """One contiguous next-state table: entry ``(state << 8) | byte``.
+
+    For the ``full`` layout the per-state rows are fused as-is; for the
+    ``sparse`` layout the dense rows are materialized breadth-first from the
+    goto/fail tables (a state's failure state is always shallower, so its
+    row is complete before the state is visited).
+    """
+    num_states = automaton.num_states
+    if automaton._layout_is_full:
+        flat = array("i")
+        for row in automaton._delta:
+            flat.extend(row.tolist())
+        return flat
+    goto = automaton._goto
+    fail = automaton._fail
+    root = automaton.root
+    rows: list = [None] * num_states
+    root_row = array("i", [root]) * 256
+    for byte, child in goto[root].items():
+        root_row[byte] = child
+    rows[root] = root_row
+    queue = deque(goto[root].values())
+    while queue:
+        state = queue.popleft()
+        row = array("i", rows[fail[state]])
+        for byte, child in goto[state].items():
+            row[byte] = child
+        rows[state] = row
+        queue.extend(goto[state].values())
+    flat = array("i")
+    for row in rows:
+        flat.extend(row)
+    return flat
+
+
+class FlatTableKernel:
+    """Contiguous-table DFA steps, specialization-friendly and unrolled.
+
+    ``flat_table`` is the canonical fused ``array("i")``; the scan loop runs
+    over a list mirror whose entries are pre-shifted (``next_state << 8``)
+    so one step is ``state = delta[state + byte]`` with no per-byte shift,
+    and the accept test is a single compare against ``num_accepting << 8``.
+    The mirror's ints are built through one canon table so the ~256 rows
+    referencing each state share one int object.
+    """
+
+    name = "flat"
+
+    def __init__(self, automaton) -> None:
+        self._bitmaps = automaton._bitmaps
+        self.flat_table = _fuse_flat_table(automaton)
+        canon = [s << 8 for s in range(automaton.num_states)]
+        self._delta = [canon[v] for v in self.flat_table]
+        self._f8 = automaton.num_accepting << 8
+
+    def scan(self, data, active_bitmap: int, state: int, limit) -> CombinedScanResult:
+        """Scan *data* (up to *limit* bytes) from *state*."""
+        view = data if limit is None or limit >= len(data) else data[:limit]
+        raw_matches: list = []
+        append = raw_matches.append
+        delta = self._delta
+        f8 = self._f8
+        bitmaps = self._bitmaps
+        state <<= 8
+        n = len(view)
+        end = (n >> 3) << 3
+        cnt = 0
+        for b0, b1, b2, b3, b4, b5, b6, b7 in zip(
+            view[0:end:8],
+            view[1:end:8],
+            view[2:end:8],
+            view[3:end:8],
+            view[4:end:8],
+            view[5:end:8],
+            view[6:end:8],
+            view[7:end:8],
+        ):
+            state = delta[state + b0]
+            if state < f8 and bitmaps[state >> 8] & active_bitmap:
+                append((state >> 8, cnt + 1))
+            state = delta[state + b1]
+            if state < f8 and bitmaps[state >> 8] & active_bitmap:
+                append((state >> 8, cnt + 2))
+            state = delta[state + b2]
+            if state < f8 and bitmaps[state >> 8] & active_bitmap:
+                append((state >> 8, cnt + 3))
+            state = delta[state + b3]
+            if state < f8 and bitmaps[state >> 8] & active_bitmap:
+                append((state >> 8, cnt + 4))
+            state = delta[state + b4]
+            if state < f8 and bitmaps[state >> 8] & active_bitmap:
+                append((state >> 8, cnt + 5))
+            state = delta[state + b5]
+            if state < f8 and bitmaps[state >> 8] & active_bitmap:
+                append((state >> 8, cnt + 6))
+            state = delta[state + b6]
+            if state < f8 and bitmaps[state >> 8] & active_bitmap:
+                append((state >> 8, cnt + 7))
+            state = delta[state + b7]
+            if state < f8 and bitmaps[state >> 8] & active_bitmap:
+                append((state >> 8, cnt + 8))
+            cnt += 8
+        for cnt, byte in enumerate(view[end:], end + 1):
+            state = delta[state + byte]
+            if state < f8 and bitmaps[state >> 8] & active_bitmap:
+                append((state >> 8, cnt))
+        return CombinedScanResult(
+            raw_matches=raw_matches, end_state=state >> 8, bytes_scanned=n
+        )
+
+
+def _byte_rarity() -> list:
+    """Static per-byte frequency prior for web-ish network traffic.
+
+    Lower score = rarer.  Used to pick each pattern's anchor byte; only the
+    relative order matters, and a mediocre choice costs throughput, never
+    correctness (the differential tests cover arbitrary pattern bytes).
+    """
+    score = [8] * 256
+    for byte in range(0x80, 0x100):
+        score[byte] = 5
+    score[0x00] = 20
+    score[0x7F] = 8
+    for byte in b"\t\n\r":
+        score[byte] = 80
+    score[0x20] = 95
+    for byte in range(ord("a"), ord("z") + 1):
+        score[byte] = 90
+    for byte in range(ord("A"), ord("Z") + 1):
+        score[byte] = 55
+    for byte in range(ord("0"), ord("9") + 1):
+        score[byte] = 45
+    for byte in b"<>/\"'=.:,;-_()&?%+*#@[]{}|^~$!\\`":
+        score[byte] = 35
+    return score
+
+
+_BYTE_RARITY = _byte_rarity()
+
+
+class RegexPrefilterKernel:
+    """Rare-byte anchor prefilter; the DFA replays only candidate windows.
+
+    Every distinct literal contributes its rarest byte (by the static
+    :data:`_BYTE_RARITY` prior) to one anchor character class.  Any
+    occurrence of a pattern therefore contains an anchor byte, so every
+    match *end* lies within ``max_pattern_length`` bytes after some anchor
+    run found by the single compiled ``[anchors]+`` scanner.  Each merged
+    candidate region is replayed through the flat table from the root with
+    a ``max_pattern_length - 1`` byte lead-in (the DFA state at any
+    position depends only on the preceding ``max_pattern_length`` bytes),
+    which reproduces exactly the reference kernel's matches — including
+    overlapping and suffix matches, courtesy of the suffix-closed match
+    tables.  The scan's end state is replayed over the final window the
+    same way.
+
+    Anchor-dense payloads (counted up front with a C-level ``translate``)
+    and region sets covering most of the payload bail out to the flat
+    kernel, bounding the worst case — e.g. an anchor-flood attack — at
+    flat-kernel speed.  Non-root starts and bounded scans use the flat
+    kernel directly.
+    """
+
+    name = "regex"
+
+    #: Bail to the flat kernel when anchor count * window exceeds this
+    #: multiple of the payload length (regions would cover most of it).
+    _DENSITY_BAIL = 2
+
+    def __init__(self, automaton) -> None:
+        self._root = automaton.root
+        self._bitmaps = automaton._bitmaps
+        self._fallback = FlatTableKernel(automaton)
+        self._delta = self._fallback._delta
+        self._f8 = self._fallback._f8
+        patterns = automaton._distinct_patterns
+        self._window = max((len(p) for p in patterns), default=0)
+        if patterns:
+            rarity = _BYTE_RARITY
+            anchors = sorted(
+                {min(pattern, key=rarity.__getitem__) for pattern in patterns}
+            )
+            self.anchor_bytes = bytes(anchors)
+            self._scanner = re.compile(
+                b"[" + b"".join(re.escape(bytes([b])) for b in anchors) + b"]+"
+            )
+            anchor_set = set(anchors)
+            self._non_anchors = bytes(b for b in range(256) if b not in anchor_set)
+        else:
+            self.anchor_bytes = b""
+            self._scanner = None
+            self._non_anchors = bytes(range(256))
+
+    def _end_state8(self, data) -> int:
+        """The (pre-shifted) state of a root-start scan over all of *data*."""
+        start = len(data) - self._window
+        if start < 0:
+            start = 0
+        state = self._root << 8
+        delta = self._delta
+        for byte in data[start:]:
+            state = delta[state + byte]
+        return state
+
+    def scan(self, data, active_bitmap: int, state: int, limit) -> CombinedScanResult:
+        """Scan *data*; non-root starts and bounded scans use the DFA."""
+        n = len(data)
+        if state != self._root or (limit is not None and limit < n):
+            return self._fallback.scan(data, active_bitmap, state, limit)
+        if self._scanner is None:
+            return CombinedScanResult(
+                raw_matches=[], end_state=state, bytes_scanned=n
+            )
+        if data.__class__ is not bytes:
+            data = bytes(data)
+        anchor_count = len(data.translate(None, self._non_anchors))
+        if anchor_count == 0:
+            return CombinedScanResult(
+                raw_matches=[], end_state=self._end_state8(data) >> 8, bytes_scanned=n
+            )
+        window = self._window
+        if anchor_count * window * self._DENSITY_BAIL >= n:
+            return self._fallback.scan(data, active_bitmap, state, limit)
+        # Merged candidate regions: region (lo, hi] holds the match-end
+        # positions an anchor run can account for.
+        regions: list = []
+        last = None
+        for found in self._scanner.finditer(data):
+            lo = found.start()
+            hi = found.end() - 1 + window
+            if last is not None and lo <= last[1]:
+                if hi > last[1]:
+                    last[1] = hi
+            else:
+                last = [lo, hi]
+                regions.append(last)
+        raw_matches: list = []
+        append = raw_matches.append
+        delta = self._delta
+        f8 = self._f8
+        bitmaps = self._bitmaps
+        root8 = self._root << 8
+        lead = window - 1
+        for lo, hi in regions:
+            start = lo - lead
+            if start < 0:
+                start = 0
+            stop = hi if hi < n else n
+            current = root8
+            for cnt, byte in enumerate(data[start:stop], start + 1):
+                current = delta[current + byte]
+                if cnt > lo and current < f8 and bitmaps[current >> 8] & active_bitmap:
+                    append((current >> 8, cnt))
+        return CombinedScanResult(
+            raw_matches=raw_matches,
+            end_state=self._end_state8(data) >> 8,
+            bytes_scanned=n,
+        )
+
+
+_KERNELS = {
+    ReferenceKernel.name: ReferenceKernel,
+    FlatTableKernel.name: FlatTableKernel,
+    RegexPrefilterKernel.name: RegexPrefilterKernel,
+}
+
+
+def make_kernel(automaton, name: str):
+    """Build the named kernel over *automaton*."""
+    try:
+        kernel_class = _KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; expected one of {KERNEL_NAMES}"
+        ) from None
+    return kernel_class(automaton)
+
+
+class ScanCache:
+    """A small LRU cache of scan results.
+
+    Keyed by ``(payload, active_bitmap, start_state, limit)`` — everything
+    a scan's output depends on — so repeated payloads (replayed popular
+    pages in trace workloads) skip the automaton entirely.  Cached results
+    are shared; callers must treat them as immutable.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        """The cached result for *key*, or None (counts hits/misses)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, value) -> None:
+        """Insert *value*, evicting the least recently used entry if full."""
+        entries = self._entries
+        entries[key] = value
+        entries.move_to_end(key)
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss counters and current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+        }

@@ -100,16 +100,21 @@ class VirtualScanner:
                         "with no profile"
                     )
         self.flow_table = FlowTable(initial_state=automaton.root)
-        self._chain_bitmaps = {
-            chain_id: self._bitmap(middleboxes)
-            for chain_id, middleboxes in self.chain_map.items()
-        }
+        self._chain_bitmaps: dict = {}
+        self._chain_profiles: dict = {}
+        self._chain_any_stateful: dict = {}
+        for chain_id, middleboxes in self.chain_map.items():
+            self._install_chain(chain_id, middleboxes)
 
-    def _bitmap(self, middlebox_ids) -> int:
+    def _install_chain(self, chain_id: int, middlebox_ids) -> None:
+        """Precompute everything ``scan_packet`` needs per chain."""
         bitmap = 0
         for middlebox_id in middlebox_ids:
             bitmap |= 1 << middlebox_id
-        return bitmap
+        profiles = tuple(self.profiles[m] for m in middlebox_ids)
+        self._chain_bitmaps[chain_id] = bitmap
+        self._chain_profiles[chain_id] = profiles
+        self._chain_any_stateful[chain_id] = any(p.stateful for p in profiles)
 
     # --- configuration updates --------------------------------------------
 
@@ -119,14 +124,20 @@ class VirtualScanner:
             if middlebox_id not in self.profiles:
                 raise KeyError(f"no profile for middlebox {middlebox_id}")
         self.chain_map[chain_id] = tuple(middlebox_ids)
-        self._chain_bitmaps[chain_id] = self._bitmap(middlebox_ids)
+        self._install_chain(chain_id, self.chain_map[chain_id])
 
     def remove_chain(self, chain_id: int) -> None:
         """Forget a policy chain (packets for it will raise)."""
         self.chain_map.pop(chain_id, None)
         self._chain_bitmaps.pop(chain_id, None)
+        self._chain_profiles.pop(chain_id, None)
+        self._chain_any_stateful.pop(chain_id, None)
 
     # --- scanning ------------------------------------------------------------
+
+    def select_kernel(self, kernel: str) -> None:
+        """Switch the automaton's scan kernel (see :mod:`repro.core.kernels`)."""
+        self.automaton.select_kernel(kernel)
 
     def scan_limit(self, active_profiles, flow_offset: int) -> int | None:
         """The most conservative stopping condition (paper Section 5.2):
@@ -154,9 +165,9 @@ class VirtualScanner:
             active_ids = self.chain_map[chain_id]
         except KeyError:
             raise KeyError(f"unknown policy chain id: {chain_id}") from None
-        active_profiles = [self.profiles[m] for m in active_ids]
+        active_profiles = self._chain_profiles[chain_id]
         active_bitmap = self._chain_bitmaps[chain_id]
-        any_stateful = any(p.stateful for p in active_profiles)
+        any_stateful = self._chain_any_stateful[chain_id]
 
         # Restore per-flow state when a stateful middlebox is on the chain.
         start_state = self.automaton.root

@@ -112,3 +112,84 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestKernelCommands:
+    def _corpus(self, tmp_path):
+        pats = tmp_path / "pats.txt"
+        trace_path = tmp_path / "t.rtrc"
+        main(["generate-patterns", "--count", "30", "--out", str(pats)])
+        main(
+            [
+                "generate-trace", "--packets", "30",
+                "--patterns", str(pats), "--match-rate", "0.9",
+                "--out", str(trace_path),
+            ]
+        )
+        return pats, trace_path
+
+    @pytest.mark.parametrize("kernel", ["reference", "flat", "regex"])
+    def test_scan_combined_engine_kernels(self, tmp_path, capsys, kernel):
+        pats, trace_path = self._corpus(tmp_path)
+        code = main(
+            [
+                "scan", "--patterns", str(pats), "--trace", str(trace_path),
+                "--engine", "combined", "--kernel", kernel,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"kernel={kernel}" in out
+        assert "throughput:" in out
+
+    def test_scan_combined_kernels_agree_on_match_counts(
+        self, tmp_path, capsys
+    ):
+        pats, trace_path = self._corpus(tmp_path)
+        counts = {}
+        for kernel in ("reference", "flat", "regex"):
+            main(
+                [
+                    "scan", "--patterns", str(pats), "--trace",
+                    str(trace_path), "--engine", "combined",
+                    "--kernel", kernel,
+                ]
+            )
+            out = capsys.readouterr().out
+            counts[kernel] = [
+                line for line in out.splitlines() if "total matches" in line
+            ]
+        assert counts["flat"] == counts["reference"]
+        assert counts["regex"] == counts["reference"]
+
+    def test_scan_combined_with_cache(self, tmp_path, capsys):
+        pats, trace_path = self._corpus(tmp_path)
+        code = main(
+            [
+                "scan", "--patterns", str(pats), "--trace", str(trace_path),
+                "--engine", "combined", "--cache-size", "64",
+            ]
+        )
+        assert code == 0
+        assert "matched packets:" in capsys.readouterr().out
+
+    def test_bench_kernels_writes_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_kernels.json"
+        code = main(
+            [
+                "bench-kernels", "--pattern-count", "40", "--packets", "6",
+                "--rounds", "1", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "scan kernels" in stdout
+        results = json.loads(out_path.read_text())
+        assert results["benchmark"] == "scan-kernels"
+        for corpus in ("snort-like", "clamav-like"):
+            kernels = results["corpora"][corpus]["kernels"]
+            assert set(kernels) == {"reference", "flat", "regex"}
+            for numbers in kernels.values():
+                assert numbers["mbps"] > 0

@@ -201,3 +201,35 @@ class TestServiceFunction:
         instance = DPIServiceInstance(make_config())
         with pytest.raises(ValueError):
             DPIServiceFunction(instance, result_mode="pigeon")
+
+
+class TestRegexMatchDedup:
+    """A regex can register both anchors and a fallback expression; the
+    two resolution paths must not double-report the same match."""
+
+    def _instance(self):
+        config = InstanceConfig(
+            pattern_sets={
+                1: [
+                    # Anchored: "alphanum" is a >=4 byte literal anchor.
+                    Pattern(5, rb"alphanum\d*", kind=PatternKind.REGEX),
+                    # Same pattern id, no usable anchor -> fallback list.
+                    Pattern(5, rb"[a-z]+\d*", kind=PatternKind.REGEX),
+                ],
+            },
+            profiles={1: MiddleboxProfile(1, name="ids")},
+            chain_map={100: (1,)},
+        )
+        return DPIServiceInstance(config)
+
+    def test_same_match_reported_once(self):
+        instance = self._instance()
+        output = instance.inspect(b"alphanum77", 100)
+        assert output.matches[1].count((5, 10)) == 1
+
+    def test_distinct_matches_survive_dedup(self):
+        instance = self._instance()
+        output = instance.inspect(b"alphanum77 xyz9", 100)
+        positions = sorted(output.matches[1])
+        assert (5, 10) in positions and (5, 15) in positions
+        assert len(positions) == len(set(positions))

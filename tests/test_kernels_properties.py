@@ -1,0 +1,115 @@
+"""Property-based differential test: all kernels are byte-identical.
+
+Random pattern sets over a small alphabet (to force overlaps, shared
+prefixes, and suffix matches) are scanned over random payloads — from the
+root, resumed mid-flow, and under byte limits — and every kernel must
+produce exactly the reference kernel's raw matches, end state, and byte
+count.  A second property checks the same at the instance level, where raw
+matches become middlebox reports.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.combined import CombinedAutomaton
+from repro.core.instance import DPIServiceInstance, InstanceConfig
+from repro.core.kernels import KERNEL_NAMES
+from repro.core.patterns import Pattern
+from repro.core.scanner import MiddleboxProfile
+
+# A tiny alphabet plus one binary byte: overlap-heavy, and exercises the
+# regex kernel's anchor classes on both printable and non-printable bytes.
+ALPHABET = list(b"ab\x00c")
+
+pattern_bytes = st.builds(
+    bytes, st.lists(st.sampled_from(ALPHABET), min_size=1, max_size=6)
+)
+pattern_lists = st.lists(pattern_bytes, min_size=1, max_size=8)
+payloads = st.builds(
+    bytes, st.lists(st.sampled_from(ALPHABET), min_size=0, max_size=96)
+)
+
+
+def build_automaton(patterns, second_set, layout):
+    sets = {1: [Pattern(i, p) for i, p in enumerate(patterns)]}
+    if second_set:
+        sets[2] = [Pattern(i, p) for i, p in enumerate(second_set)]
+    return CombinedAutomaton(sets, layout=layout)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    patterns=pattern_lists,
+    second_set=st.one_of(st.just([]), pattern_lists),
+    payload=payloads,
+    layout=st.sampled_from(("sparse", "full")),
+    bitmap_choice=st.sampled_from(("all", "none", "first", "zero")),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=100)),
+    cut_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_kernels_scan_identically(
+    patterns, second_set, payload, layout, bitmap_choice, limit, cut_fraction
+):
+    automaton = build_automaton(patterns, second_set, layout)
+    bitmap = {
+        "all": None,
+        "none": automaton.all_middleboxes_bitmap,
+        "first": automaton.bitmask_of([1]),
+        "zero": 0,
+    }[bitmap_choice]
+
+    # A mid-flow resume state, derived with the reference kernel.
+    cut = int(len(payload) * cut_fraction)
+    automaton.select_kernel("reference")
+    resume_state = automaton.scan(payload[:cut]).end_state
+
+    expected_root = None
+    expected_resumed = None
+    for name in KERNEL_NAMES:
+        automaton.select_kernel(name)
+        root_scan = automaton.scan(payload, bitmap, None, limit)
+        resumed_scan = automaton.scan(payload[cut:], bitmap, resume_state, limit)
+        root = (root_scan.raw_matches, root_scan.end_state, root_scan.bytes_scanned)
+        resumed = (
+            resumed_scan.raw_matches,
+            resumed_scan.end_state,
+            resumed_scan.bytes_scanned,
+        )
+        if name == "reference":
+            expected_root, expected_resumed = root, resumed
+        else:
+            assert root == expected_root, name
+            assert resumed == expected_resumed, name
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    patterns=pattern_lists,
+    chunks=st.lists(payloads, min_size=1, max_size=4),
+    layout=st.sampled_from(("sparse", "full")),
+    stateful=st.booleans(),
+)
+def test_instances_report_identically(patterns, chunks, layout, stateful):
+    instances = {}
+    for name in KERNEL_NAMES:
+        config = InstanceConfig(
+            pattern_sets={1: [Pattern(i, p) for i, p in enumerate(patterns)]},
+            profiles={1: MiddleboxProfile(1, name="ids", stateful=stateful)},
+            chain_map={100: (1,)},
+            layout=layout,
+            kernel=name,
+        )
+        instances[name] = DPIServiceInstance(config)
+    for chunk in chunks:
+        outputs = {
+            name: instance.inspect(chunk, 100, flow_key="flow")
+            for name, instance in instances.items()
+        }
+        reference = outputs["reference"]
+        for name in ("flat", "regex"):
+            assert outputs[name].matches == reference.matches, name
+            assert outputs[name].report.encode() == reference.report.encode()
+            assert outputs[name].bytes_scanned == reference.bytes_scanned

@@ -208,3 +208,46 @@ class TestProfileValidation:
         result = ScanResult()
         assert not result.has_matches
         assert result.matches_for(3) == []
+
+
+class TestChainPrecompute:
+    def test_set_chain_installs_precomputed_chain_data(self):
+        scanner = make_scanner(chain=(0,))
+        scanner.set_chain(200, (0, 1))
+        result = scanner.scan_packet(b"virus evil", 200)
+        assert result.matches_for(1) == [(0, 5)]
+        # Chain 100 keeps its original (0,)-only view.
+        result = scanner.scan_packet(b"virus evil", 100)
+        assert 1 not in result.matches
+
+    def test_set_chain_replaces_existing_chain(self):
+        scanner = make_scanner(chain=(0, 1))
+        scanner.set_chain(100, (1,))
+        result = scanner.scan_packet(b"evil virus", 100)
+        assert 0 not in result.matches
+        assert result.matches_for(1) == [(0, 10)]
+
+    def test_remove_chain_drops_all_precomputed_state(self):
+        scanner = make_scanner()
+        scanner.remove_chain(100)
+        with pytest.raises(KeyError, match="unknown policy chain"):
+            scanner.scan_packet(b"x", 100)
+        assert 100 not in scanner.chain_map
+
+    def test_stateful_flag_tracks_chain_membership(self):
+        scanner = make_scanner(stateful=(True, False), chain=(1,))
+        # Chain holds only the stateless middlebox: no flow state kept.
+        scanner.scan_packet(b"att", 100, flow_key="f")
+        assert "f" not in scanner.flow_table
+        scanner.set_chain(100, (0, 1))
+        scanner.scan_packet(b"att", 100, flow_key="f")
+        assert "f" in scanner.flow_table
+
+    def test_select_kernel_passthrough(self):
+        scanner = make_scanner()
+        scanner.select_kernel("flat")
+        assert scanner.automaton.kernel_name == "flat"
+        result = scanner.scan_packet(b"an attack here", 100)
+        assert (0, 9) in result.matches_for(0)
+        with pytest.raises(ValueError):
+            scanner.select_kernel("turbo")
