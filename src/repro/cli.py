@@ -157,6 +157,32 @@ def _cmd_bench_kernels(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.telemetry.export import export_jsonl, prometheus_text
+    from repro.telemetry.report import render_report
+    from repro.telemetry.scenario import run_figure5_scenario
+
+    result = run_figure5_scenario(
+        packets=args.packets,
+        seed=args.seed,
+        kernel=args.kernel,
+        scan_cache_size=args.cache_size,
+    )
+    # Export before printing: a closed stdout pipe (`report | head`) must
+    # not cost the caller their --jsonl / --prom files.
+    exported = []
+    if args.jsonl:
+        count = export_jsonl(result.hub, args.jsonl)
+        exported.append(f"wrote {count} events to {args.jsonl}")
+    if args.prom:
+        Path(args.prom).write_text(prometheus_text(result.hub.registry))
+        exported.append(f"wrote {args.prom}")
+    print(render_report(result.hub), end="")
+    for line in exported:
+        print(line)
+    return 0
+
+
 def _cmd_demo(args) -> int:
     from repro.core.controller import DPIController
     from repro.core.messages import AddPatternsMessage, RegisterMiddleboxMessage
@@ -248,6 +274,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", help="write BENCH_kernels.json here")
     bench.set_defaults(func=_cmd_bench_kernels)
 
+    report = commands.add_parser(
+        "report",
+        help="run the figure-5 telemetry scenario and print the summary",
+    )
+    report.add_argument("--packets", type=int, default=40)
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--kernel", choices=KERNEL_NAMES, default="flat")
+    report.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="LRU scan-cache capacity for the DPI instance (0 = off)",
+    )
+    report.add_argument("--jsonl", help="also export the JSONL event log here")
+    report.add_argument(
+        "--prom", help="also export a Prometheus text-format dump here"
+    )
+    report.set_defaults(func=_cmd_report)
+
     demo = commands.add_parser("demo", help="run a tiny end-to-end demo")
     demo.set_defaults(func=_cmd_demo)
     return parser
@@ -257,7 +302,14 @@ def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early; not our error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

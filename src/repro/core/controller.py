@@ -33,6 +33,7 @@ from repro.core.messages import (
 )
 from repro.core.patterns import GlobalPatternRegistry, Pattern, PatternSet
 from repro.core.scanner import MiddleboxProfile
+from repro.telemetry import TelemetryHub
 
 
 @dataclass
@@ -46,8 +47,22 @@ class MiddleboxRecord:
 class DPIController:
     """Manages middlebox registrations, patterns, chains and instances."""
 
-    def __init__(self, dpi_service_type: str = "dpi") -> None:
+    def __init__(
+        self, dpi_service_type: str = "dpi", telemetry: TelemetryHub | None = None
+    ) -> None:
         self.dpi_service_type = dpi_service_type
+        # Always-present hub: instances publish into its registry, so load
+        # sampling and the stress monitor are purely registry-backed.  Pass
+        # a simulator-clocked hub (TelemetryHub.for_simulator) to share one
+        # timeline with the data plane; the default is wall-clocked and
+        # trace-free.
+        self.telemetry = (
+            telemetry if telemetry is not None else TelemetryHub(tracing=False)
+        )
+        self._load_window = self.telemetry.registry.window(
+            ("dpi_bytes_scanned_total", "dpi_scan_seconds_total"),
+            zero_baseline=True,
+        )
         self.registry = GlobalPatternRegistry()
         self._middleboxes: dict[int, MiddleboxRecord] = {}
         # chain id -> tuple of middlebox type names (from the TSA)
@@ -326,7 +341,7 @@ class DPIController:
         config = self.build_instance_config(
             chain_ids, layout=layout, kernel=kernel, scan_cache_size=scan_cache_size
         )
-        instance = DPIServiceInstance(config, name=name)
+        instance = DPIServiceInstance(config, name=name, telemetry=self.telemetry)
         self.instances[name] = instance
         self._instance_chain_filter[name] = (
             tuple(chain_ids) if chain_ids is not None else None
@@ -339,6 +354,7 @@ class DPIController:
         if instance is None:
             raise KeyError(f"no instance named {name}")
         self._instance_chain_filter.pop(name, None)
+        self.telemetry.registry.drop(instance=name)
         return instance
 
     def refresh_instances(self) -> None:
@@ -390,32 +406,25 @@ class DPIController:
 
     def load_samples(self, window_seconds: float) -> list:
         """Per-instance :class:`~repro.core.deployment.LoadSample` objects
-        for the telemetry accumulated since the previous call."""
+        for the registry counters accumulated since the previous call."""
         from repro.core.deployment import LoadSample
 
         if window_seconds <= 0:
             raise ValueError(f"window must be positive: {window_seconds}")
-        if not hasattr(self, "_load_windows"):
-            self._load_windows = {}
-        samples = []
-        for name, instance in self.instances.items():
-            telemetry = instance.telemetry
-            previous = self._load_windows.get(name, (0, 0.0))
-            delta_bytes = telemetry.bytes_scanned - previous[0]
-            delta_seconds = telemetry.scan_seconds - previous[1]
-            self._load_windows[name] = (
-                telemetry.bytes_scanned,
-                telemetry.scan_seconds,
+        delta = self._load_window.delta()
+        return [
+            LoadSample(
+                instance_name=name,
+                bytes_scanned=delta.value(
+                    "dpi_bytes_scanned_total", instance=name
+                ),
+                scan_seconds=delta.value(
+                    "dpi_scan_seconds_total", instance=name
+                ),
+                window_seconds=window_seconds,
             )
-            samples.append(
-                LoadSample(
-                    instance_name=name,
-                    bytes_scanned=delta_bytes,
-                    scan_seconds=delta_seconds,
-                    window_seconds=window_seconds,
-                )
-            )
-        return samples
+            for name in self.instances
+        ]
 
     # --- telemetry and migration ---------------------------------------------
 

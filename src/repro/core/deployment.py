@@ -15,7 +15,12 @@ discusses:
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
+
+#: Bound on retained planning/orchestration history windows.  Long-running
+#: control loops tick forever; unbounded history lists grow with them.
+PLAN_HISTORY_LIMIT = 128
 
 
 class DecisionKind(enum.Enum):
@@ -110,6 +115,13 @@ class LoadSample:
             return 0.0
         return self.scan_seconds / self.window_seconds
 
+    @property
+    def ns_per_byte(self) -> float:
+        """Per-byte scan cost over the window (0.0 with no traffic)."""
+        if self.bytes_scanned <= 0:
+            return 0.0
+        return self.scan_seconds * 1e9 / self.bytes_scanned
+
 
 @dataclass
 class DeploymentPlanner:
@@ -123,7 +135,10 @@ class DeploymentPlanner:
 
     high_watermark: float = 0.8
     low_watermark: float = 0.2
-    history: list = field(default_factory=list)
+    #: Recent sample windows, newest last, capped at PLAN_HISTORY_LIMIT.
+    history: deque = field(
+        default_factory=lambda: deque(maxlen=PLAN_HISTORY_LIMIT)
+    )
 
     def plan(self, samples: list) -> list:
         """Compute decisions for one observation window."""

@@ -103,11 +103,21 @@ class InspectionOutput:
 
 
 class DPIServiceInstance:
-    """The virtual DPI engine serving many middleboxes at once."""
+    """The virtual DPI engine serving many middleboxes at once.
 
-    def __init__(self, config: InstanceConfig, name: str = "dpi") -> None:
+    ``telemetry`` is an optional :class:`~repro.telemetry.TelemetryHub`;
+    when present, the instance publishes registry counters, a scan-latency
+    histogram and per-chain counters, and records ``inspect`` spans for
+    packets that carry a trace context.  Without a hub, the scan path pays
+    a single attribute check and produces byte-identical results.
+    """
+
+    def __init__(
+        self, config: InstanceConfig, name: str = "dpi", telemetry=None
+    ) -> None:
         self.name = name
         self.telemetry = InstanceTelemetry()
+        self.hub = telemetry
         self._configure(config)
 
     def _configure(self, config: InstanceConfig) -> None:
@@ -131,6 +141,52 @@ class DPIServiceInstance:
         self.scanner = VirtualScanner(
             self.automaton, config.profiles, config.chain_map
         )
+        self._bind_metrics()
+
+    def attach_telemetry(self, hub) -> None:
+        """Adopt a telemetry hub after construction and bind the metrics."""
+        self.hub = hub
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        """(Re)bind the registry metrics; reconfigure rebuilds the scanner
+        and the automaton, so the gauges must be rebound to the new
+        objects."""
+        hub = self.hub
+        if hub is None:
+            self._m_packets = None
+            self._m_bytes = None
+            self._m_matches = None
+            self._m_seconds = None
+            self._h_latency = None
+            self._tracer = None
+            return
+        registry = hub.registry
+        name = self.name
+        self._m_packets = registry.counter("dpi_packets_scanned_total", instance=name)
+        self._m_bytes = registry.counter("dpi_bytes_scanned_total", instance=name)
+        self._m_matches = registry.counter("dpi_matches_total", instance=name)
+        self._m_seconds = registry.counter("dpi_scan_seconds_total", instance=name)
+        self._h_latency = registry.histogram(
+            "dpi_scan_latency_seconds", instance=name
+        )
+        scanner = self.scanner
+        registry.gauge_callback(
+            "dpi_active_flows", lambda: len(scanner.flow_table), instance=name
+        )
+        cache = self.automaton.scan_cache
+        if cache is not None:
+            registry.gauge_callback(
+                "dpi_scan_cache_hits", lambda: cache.hits, instance=name
+            )
+            registry.gauge_callback(
+                "dpi_scan_cache_misses", lambda: cache.misses, instance=name
+            )
+            registry.gauge_callback(
+                "dpi_scan_cache_evictions", lambda: cache.evictions, instance=name
+            )
+        scanner.bind_metrics(registry, name)
+        self._tracer = hub.tracer
 
     def reconfigure(self, config: InstanceConfig) -> None:
         """Adopt a new configuration.
@@ -149,8 +205,17 @@ class DPIServiceInstance:
         chain_id: int,
         flow_key=None,
         now: float = 0.0,
+        trace_parent=None,
     ) -> InspectionOutput:
-        """Scan one packet payload for its policy chain and build the report."""
+        """Scan one packet payload for its policy chain and build the report.
+
+        ``trace_parent`` is an optional ``(trace id, span id)`` context; when
+        the instance has a tracing telemetry hub, the scan is recorded as an
+        ``inspect`` span under it.
+        """
+        telemetry_on = self._m_packets is not None
+        cache = self.automaton.scan_cache if telemetry_on else None
+        cache_hits_before = cache.hits if cache is not None else 0
         started = time.perf_counter()
         scan = self.scanner.scan_packet(payload, chain_id, flow_key=flow_key, now=now)
         final_matches: dict = {}
@@ -183,6 +248,29 @@ class DPIServiceInstance:
         if flow_key is not None:
             work = telemetry.flow_work.get(flow_key, 0.0)
             telemetry.flow_work[flow_key] = work + elapsed
+        if telemetry_on:
+            self._m_packets.inc()
+            self._m_bytes.inc(scan.bytes_scanned)
+            self._m_seconds.inc(elapsed)
+            self._h_latency.observe(elapsed)
+            if total:
+                self._m_matches.inc(total)
+            tracer = self._tracer
+            if tracer is not None and trace_parent is not None and trace_parent[0]:
+                at = tracer.now()
+                tracer.record(
+                    "inspect",
+                    parent=trace_parent,
+                    start=at,
+                    end=at,
+                    instance=self.name,
+                    chain=chain_id,
+                    kernel=self.config.kernel,
+                    bytes=scan.bytes_scanned,
+                    matches=total,
+                    elapsed_seconds=elapsed,
+                    cache_hit=(cache is not None and cache.hits > cache_hits_before),
+                )
         return InspectionOutput(
             matches=final_matches, report=report, bytes_scanned=scan.bytes_scanned
         )
@@ -298,7 +386,11 @@ class DPIServiceFunction(NetworkFunction):
         flow_key = FiveTuple.of(packet)
         now = self.host.simulator.now if hasattr(self, "host") else 0.0
         output = self.instance.inspect(
-            packet.payload, chain_id, flow_key=flow_key, now=now
+            packet.payload,
+            chain_id,
+            flow_key=flow_key,
+            now=now,
+            trace_parent=packet.trace,
         )
         self.packets_forwarded += 1
         if output.report.is_empty:

@@ -403,6 +403,7 @@ class ScanCache:
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -424,6 +425,7 @@ class ScanCache:
         entries.move_to_end(key)
         if len(entries) > self.capacity:
             entries.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
@@ -434,6 +436,7 @@ class ScanCache:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "entries": len(self._entries),
             "capacity": self.capacity,
         }

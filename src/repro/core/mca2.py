@@ -16,9 +16,12 @@ flows there.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.controller import DPIController
+
+#: The registry counters one load window tracks.
+_WINDOW_COUNTERS = ("dpi_bytes_scanned_total", "dpi_scan_seconds_total")
 
 
 @dataclass(frozen=True)
@@ -47,14 +50,6 @@ class MitigationAction:
     dedicated_created: bool
 
 
-@dataclass
-class _InstanceWindow:
-    """Last-seen counters, for per-window deltas."""
-
-    bytes_scanned: int = 0
-    scan_seconds: float = 0.0
-
-
 class StressMonitor:
     """The central stress monitor (the DPI controller's MCA^2 role)."""
 
@@ -76,7 +71,9 @@ class StressMonitor:
         self.min_window_bytes = min_window_bytes
         self.heavy_flows_per_mitigation = heavy_flows_per_mitigation
         self._baselines: dict[str, float] = {}
-        self._windows: dict[str, _InstanceWindow] = {}
+        # Per-instance delta windows over the controller's metrics registry
+        # (instances publish their counters there).
+        self._windows: dict = {}
         self._dedicated: list[str] = []
         self.events: list[StressEvent] = []
         self.actions: list[MitigationAction] = []
@@ -87,13 +84,19 @@ class StressMonitor:
     # --- calibration ------------------------------------------------------
 
     def _window_delta(self, name: str) -> tuple[int, float]:
-        telemetry = self.controller.instances[name].telemetry
-        window = self._windows.setdefault(name, _InstanceWindow())
-        delta_bytes = telemetry.bytes_scanned - window.bytes_scanned
-        delta_seconds = telemetry.scan_seconds - window.scan_seconds
-        window.bytes_scanned = telemetry.bytes_scanned
-        window.scan_seconds = telemetry.scan_seconds
-        return delta_bytes, delta_seconds
+        window = self._windows.get(name)
+        if window is None:
+            # Zero baseline: the first delta covers everything the instance
+            # has scanned so far, like a freshly opened window always did.
+            window = self.controller.telemetry.registry.window(
+                _WINDOW_COUNTERS, zero_baseline=True
+            )
+            self._windows[name] = window
+        delta = window.delta()
+        return (
+            delta.value("dpi_bytes_scanned_total", instance=name),
+            delta.value("dpi_scan_seconds_total", instance=name),
+        )
 
     def calibrate(self) -> dict:
         """Record the current per-byte cost of each instance as its normal-
@@ -142,6 +145,11 @@ class StressMonitor:
                     )
                 )
         self.events.extend(events)
+        registry = self.controller.telemetry.registry
+        for event in events:
+            registry.counter(
+                "mca2_stress_events_total", instance=event.instance_name
+            ).inc()
         return events
 
     # --- mitigation ------------------------------------------------------------
@@ -169,6 +177,14 @@ class StressMonitor:
             dedicated_created=created,
         )
         self.actions.append(action)
+        registry = self.controller.telemetry.registry
+        registry.counter(
+            "mca2_mitigations_total", instance=event.instance_name
+        ).inc()
+        if migrated:
+            registry.counter(
+                "mca2_flows_migrated_total", instance=event.instance_name
+            ).inc(len(migrated))
         return action
 
     def _ensure_dedicated(self, for_instance: str) -> tuple[str, bool]:

@@ -18,9 +18,14 @@ instances", collaborating with the TSA to realize the changes.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
-from repro.core.deployment import DecisionKind, DeploymentPlanner
+from repro.core.deployment import (
+    PLAN_HISTORY_LIMIT,
+    DecisionKind,
+    DeploymentPlanner,
+)
 
 
 @dataclass
@@ -54,7 +59,8 @@ class ServiceOrchestrator:
         self.flows_per_migration = flows_per_migration
         # instance name -> host name serving it
         self.instance_hosts: dict[str, str] = {}
-        self.history: list = []
+        # Per-tick executed actions, newest last, capped like the planner's.
+        self.history: deque = deque(maxlen=PLAN_HISTORY_LIMIT)
         #: Called with (host name, instance) when a new instance needs its
         #: data-plane function installed on the host.
         self.on_instance_spawned = None

@@ -103,6 +103,10 @@ class VirtualScanner:
         self._chain_bitmaps: dict = {}
         self._chain_profiles: dict = {}
         self._chain_any_stateful: dict = {}
+        # Telemetry (optional): per-chain (packets, bytes) counter pairs.
+        self._registry = None
+        self._instance_label = ""
+        self._chain_metrics: dict = {}
         for chain_id, middleboxes in self.chain_map.items():
             self._install_chain(chain_id, middleboxes)
 
@@ -115,6 +119,26 @@ class VirtualScanner:
         self._chain_bitmaps[chain_id] = bitmap
         self._chain_profiles[chain_id] = profiles
         self._chain_any_stateful[chain_id] = any(p.stateful for p in profiles)
+        if self._registry is not None:
+            self._bind_chain_metrics(chain_id)
+
+    # --- telemetry --------------------------------------------------------
+
+    def bind_metrics(self, registry, instance_name: str) -> None:
+        """Publish per-chain scan counters into *registry*, labeled with
+        the owning instance's name."""
+        self._registry = registry
+        self._instance_label = instance_name
+        for chain_id in self.chain_map:
+            self._bind_chain_metrics(chain_id)
+
+    def _bind_chain_metrics(self, chain_id: int) -> None:
+        registry = self._registry
+        labels = {"instance": self._instance_label, "chain": chain_id}
+        self._chain_metrics[chain_id] = (
+            registry.counter("dpi_chain_packets_total", **labels),
+            registry.counter("dpi_chain_bytes_total", **labels),
+        )
 
     # --- configuration updates --------------------------------------------
 
@@ -221,6 +245,11 @@ class VirtualScanner:
             self.flow_table.update(
                 flow_key, scan.end_state, offset + scan.bytes_scanned, now
             )
+        if self._registry is not None:
+            pair = self._chain_metrics.get(chain_id)
+            if pair is not None:
+                pair[0].inc()
+                pair[1].inc(scan.bytes_scanned)
         return result
 
     def scan_flow(

@@ -97,12 +97,47 @@ class Host:
             raise RuntimeError(f"{self.name}: host has no link")
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.wire_length
+        hub = self._simulator.telemetry
+        if hub is not None and packet.trace is None and not packet.is_result_packet:
+            # First transmission of a data packet: this host is its origin.
+            registry = hub.registry
+            registry.counter("host_packets_origin_total", host=self.name).inc()
+            registry.counter(
+                "host_payload_bytes_origin_total", host=self.name
+            ).inc(len(packet.payload))
+            tracer = hub.tracer
+            if tracer is not None:
+                span = tracer.record(
+                    "steer",
+                    host=self.name,
+                    packet_id=packet.packet_id,
+                    payload_bytes=len(packet.payload),
+                )
+                packet.trace = span.context
+            else:
+                # Sentinel context: marks the packet as already counted so
+                # forwarding hops never look like origins.
+                packet.trace = (0, 0)
         return self._link.send_from(self, packet)
 
     def receive(self, packet: Packet, port: int) -> None:
         """Deliver a packet to the host's network function."""
         self.stats.packets_received += 1
         self.stats.bytes_received += packet.wire_length
+        hub = self._simulator.telemetry
+        if (
+            hub is not None
+            and hub.tracer is not None
+            and packet.trace is not None
+            and packet.trace[0]
+        ):
+            hub.tracer.record(
+                "deliver",
+                parent=packet.trace,
+                host=self.name,
+                packet_id=packet.packet_id,
+                result=packet.is_result_packet,
+            )
         for response in self.function.process(packet):
             self.send(response)
 

@@ -51,11 +51,33 @@ class _Direction:
         self._busy = False
         self.stats = LinkStats()
         self.deliver = None  # set by Link.attach
+        self.label = None  # set by Link.attach
+        # Lazily bound telemetry (the hub may attach after construction).
+        self._hub = None
+        self._m_packets = None
+        self._m_bytes = None
+        self._m_drops = None
+
+    def _bind_telemetry(self, hub) -> None:
+        self._hub = hub
+        registry = hub.registry
+        label = self.label if self.label is not None else "?"
+        self._m_packets = registry.counter("link_packets_total", link=label)
+        self._m_bytes = registry.counter("link_bytes_total", link=label)
+        self._m_drops = registry.counter("link_drops_total", link=label)
+        registry.gauge_callback(
+            "link_queue_depth", lambda: len(self._queue), link=label
+        )
 
     def send(self, packet: Packet) -> bool:
         """Enqueue *packet*; returns False if it was tail-dropped."""
+        hub = self._simulator.telemetry
+        if hub is not None and hub is not self._hub:
+            self._bind_telemetry(hub)
         if len(self._queue) >= self._queue_capacity:
             self.stats.packets_dropped += 1
+            if self._m_drops is not None:
+                self._m_drops.inc()
             return False
         self._queue.append(packet)
         if not self._busy:
@@ -71,6 +93,9 @@ class _Direction:
         transmit_time = packet.wire_length * 8 / self._bandwidth_bps
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.wire_length
+        if self._m_packets is not None:
+            self._m_packets.inc()
+            self._m_bytes.inc(packet.wire_length)
 
         def arrive() -> None:
             """Deliver the packet to the receiving endpoint."""
@@ -120,6 +145,10 @@ class Link:
         """Connect *node_a* (at *port_a*) with *node_b* (at *port_b*)."""
         self._endpoint_a = (node_a, port_a)
         self._endpoint_b = (node_b, port_b)
+        name_a = getattr(node_a, "name", str(node_a))
+        name_b = getattr(node_b, "name", str(node_b))
+        self._forward.label = f"{name_a}->{name_b}"
+        self._backward.label = f"{name_b}->{name_a}"
         self._forward.deliver = lambda packet: node_b.receive(packet, port_b)
         self._backward.deliver = lambda packet: node_a.receive(packet, port_a)
 

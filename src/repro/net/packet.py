@@ -177,6 +177,10 @@ class Packet:
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     # Set on DPI result packets: the id of the data packet they describe.
     describes_packet_id: int | None = None
+    # Telemetry trace context, a (trace id, span id) tuple stamped by the
+    # origin host.  Copies and result packets inherit it so one trace
+    # follows the packet end-to-end; excluded from equality.
+    trace: tuple | None = field(default=None, compare=False, repr=False)
 
     @property
     def is_result_packet(self) -> bool:
@@ -259,6 +263,7 @@ class Packet:
             nsh=self.nsh,
             packet_id=self.packet_id,
             describes_packet_id=self.describes_packet_id,
+            trace=self.trace,
         )
 
     def __repr__(self) -> str:

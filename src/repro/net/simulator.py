@@ -32,6 +32,24 @@ class Simulator:
         self._now = 0.0
         self._events_processed = 0
         self._running = False
+        #: The attached :class:`~repro.telemetry.TelemetryHub`, or None.
+        #: Data-plane components read it lazily, so telemetry can be
+        #: attached after the topology is built.
+        self.telemetry = None
+
+    def attach_telemetry(self, hub) -> None:
+        """Attach a telemetry hub and register the simulator gauges.
+
+        The gauges are callback-backed, so the event loop itself pays
+        nothing to keep them current.
+        """
+        self.telemetry = hub
+        registry = hub.registry
+        registry.gauge_callback("sim_clock_seconds", lambda: self._now)
+        registry.gauge_callback(
+            "sim_events_processed", lambda: self._events_processed
+        )
+        registry.gauge_callback("sim_pending_events", lambda: len(self._queue))
 
     @property
     def now(self) -> float:

@@ -107,6 +107,22 @@ class TrafficSteeringApplication:
         self._host_routes_installed = False
         controller.register_application(self)
 
+    # --- telemetry --------------------------------------------------------
+
+    def _telemetry_registry(self):
+        """The attached telemetry hub's registry, or None."""
+        hub = self.topology.simulator.telemetry
+        return None if hub is None else hub.registry
+
+    def _install(self, switch_name, match, actions, priority):
+        """Install one rule via the SDN controller, counting it."""
+        registry = self._telemetry_registry()
+        if registry is not None:
+            registry.counter("tsa_rules_installed_total").inc()
+        return self.controller.install(
+            switch_name, match, actions, priority=priority
+        )
+
     # --- registration -----------------------------------------------------
 
     def register_middlebox_instance(self, middlebox_type: str, host_name: str) -> None:
@@ -132,6 +148,9 @@ class TrafficSteeringApplication:
         if chain.chain_id is None:
             chain = replace(chain, chain_id=next(self._chain_ids))
         self.chains[chain.name] = chain
+        registry = self._telemetry_registry()
+        if registry is not None:
+            registry.gauge_callback("tsa_chains", lambda: len(self.chains))
         self._notify_chain_listeners()
         return chain
 
@@ -220,7 +239,7 @@ class TrafficSteeringApplication:
                 path = self.topology.shortest_path(switch_name, host_name)
                 next_hop = path[1]
                 out_port = self.topology.port_toward(switch_name, next_hop)
-                self.controller.install(
+                self._install(
                     switch_name,
                     FlowMatch(eth_dst=host.mac, vlan_vid=FlowMatch.NO_VLAN),
                     [FlowAction.output(out_port)],
@@ -268,7 +287,7 @@ class TrafficSteeringApplication:
         tag = self.segment_tag(chain, 0)
         actions = [FlowAction.push_vlan(tag)]
         actions += self._forward_actions(ingress_switch, path[1:], final=False)
-        self.controller.install(
+        self._install(
             ingress_switch, match, actions, priority=self.INGRESS_PRIORITY
         )
         # Remaining switches on the way to the first hop:
@@ -305,7 +324,7 @@ class TrafficSteeringApplication:
                     FlowAction.set_vlan_vid(new_tag),
                     FlowAction.output(out_port),
                 ]
-            self.controller.install(
+            self._install(
                 first_switch, match, actions, priority=self.CHAIN_PRIORITY
             )
         self._install_tagged_path(new_tag, path, skip_first_switch=True, final=final)
@@ -331,7 +350,7 @@ class TrafficSteeringApplication:
             self._installed_rules.add(rule_key)
             match = FlowMatch(in_port=in_port, vlan_vid=tag)
             actions = self._forward_actions(node, path[index:], final=final)
-            self.controller.install(
+            self._install(
                 node, match, actions, priority=self.CHAIN_PRIORITY
             )
 
@@ -395,6 +414,9 @@ class TrafficSteeringApplication:
             raise KeyError(
                 f"no assignment of chain {chain_name!r} from {src_host!r}"
             )
+        registry = self._telemetry_registry()
+        if registry is not None:
+            registry.counter("tsa_flow_pins_total").inc()
         installed = [
             self._install_flow_ingress(chain, src_host, new_hops[0], five_tuple)
         ]
@@ -427,7 +449,7 @@ class TrafficSteeringApplication:
         tag = self.segment_tag(chain, 0)
         actions = [FlowAction.push_vlan(tag)]
         actions += self._forward_actions(ingress_switch, path[1:], final=False)
-        entry = self.controller.install(
+        entry = self._install(
             ingress_switch, match, actions, priority=self.FLOW_PIN_PRIORITY
         )
         self._install_tagged_path(tag, path, skip_first_switch=True, final=False)

@@ -38,6 +38,10 @@ class Switch:
         self._ports: dict[int, Link] = {}
         self._controller = None
         self.stats = SwitchStats()
+        # Lazily bound telemetry (the hub may attach after construction).
+        self._hub = None
+        self._m_packets = None
+        self._m_misses = None
 
     def __repr__(self) -> str:
         return f"<Switch {self.name} ports={sorted(self._ports)}>"
@@ -65,9 +69,33 @@ class Switch:
         """Handle a packet arriving on *in_port*."""
         self.stats.packets_received += 1
         self.stats.per_port_rx[in_port] = self.stats.per_port_rx.get(in_port, 0) + 1
+        hub = self._simulator.telemetry
+        if hub is not None:
+            if hub is not self._hub:
+                self._hub = hub
+                registry = hub.registry
+                self._m_packets = registry.counter(
+                    "switch_packets_total", switch=self.name
+                )
+                self._m_misses = registry.counter(
+                    "switch_table_misses_total", switch=self.name
+                )
+            self._m_packets.inc()
+            tracer = hub.tracer
+            if tracer is not None and packet.trace is not None and packet.trace[0]:
+                tag = packet.outer_vlan
+                tracer.record(
+                    "hop",
+                    parent=packet.trace,
+                    switch=self.name,
+                    port=in_port,
+                    vid=tag.vid if tag is not None else None,
+                )
         entry = self.table.lookup(packet, in_port)
         if entry is None:
             self.stats.table_misses += 1
+            if self._m_misses is not None and hub is not None:
+                self._m_misses.inc()
             if self._controller is not None:
                 self._controller.packet_in(self, packet, in_port)
             else:

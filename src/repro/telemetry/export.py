@@ -1,0 +1,98 @@
+"""Telemetry exporters: JSONL event log and Prometheus text format.
+
+The JSONL export writes one JSON object per line — every metric's current
+value (``{"type": "metric", ...}``) followed by every retained span
+(``{"type": "span", ...}``) — so a run's telemetry can be replayed or
+diffed with standard line tools.  The Prometheus export renders the
+registry in the text exposition format (``# TYPE`` headers, labeled
+samples, cumulative ``_bucket``/``_sum``/``_count`` histogram series).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def _format_number(value) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _escape_label_value(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: dict, extra=None) -> str:
+    items = sorted(labels.items())
+    if extra:
+        items = items + list(extra)
+    if not items:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in items
+    )
+    return "{" + body + "}"
+
+
+def prometheus_text(registry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set = set()
+    for metric in registry.collect():
+        if metric.name not in seen_types:
+            seen_types.add(metric.name)
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if metric.kind == "histogram":
+            labels = metric.labels
+            for bound, cumulative in metric.cumulative_buckets():
+                le = "+Inf" if bound == float("inf") else _format_number(bound)
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_render_labels(labels, [('le', le)])} {cumulative}"
+                )
+            lines.append(
+                f"{metric.name}_sum{_render_labels(labels)} "
+                f"{_format_number(metric.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_render_labels(labels)} {metric.count}"
+            )
+        else:
+            lines.append(
+                f"{metric.name}{_render_labels(metric.labels)} "
+                f"{_format_number(metric.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def iter_events(hub):
+    """Yield every JSONL event dict: metrics first, then spans."""
+    ts = hub.registry.now()
+    for metric in hub.registry.collect():
+        event = metric.as_dict()
+        event["type"] = "metric"
+        event["ts"] = ts
+        yield event
+    if hub.tracer is not None:
+        for span in hub.tracer.spans:
+            event = span.as_dict()
+            event["type"] = "span"
+            yield event
+
+
+def export_jsonl(hub, path) -> int:
+    """Write the hub's telemetry as JSONL; returns the number of lines."""
+    count = 0
+    with Path(path).open("w", encoding="utf-8") as stream:
+        for event in iter_events(hub):
+            stream.write(json.dumps(event, sort_keys=True))
+            stream.write("\n")
+            count += 1
+    return count

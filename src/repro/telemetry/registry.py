@@ -1,0 +1,301 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms, windows.
+
+Every metric is identified by a name plus a sorted label set (Prometheus
+style).  The registry is clock-aware: it timestamps snapshots with whatever
+clock it was built with — the discrete-event simulator's clock inside a
+simulation, a wall clock for bare scans (see
+:class:`~repro.telemetry.TelemetryHub`).
+
+Counters are monotonic; consumers that need per-window rates hold a
+:class:`MetricsWindow` and call :meth:`MetricsWindow.delta`, which returns
+the counter increments since the previous call.  Windows are independent —
+the stress monitor, the deployment planner and a report exporter can each
+advance their own window without disturbing the others.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+
+#: Default histogram bucket upper bounds (seconds), tuned for per-packet
+#: scan latencies: one microsecond up to one second.
+DEFAULT_LATENCY_BUCKETS = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0,
+)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        """Add *amount* (must be >= 0 to stay monotonic)."""
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        """A plain-dict rendering (for the JSONL exporter)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A value that can go up and down; optionally callback-backed.
+
+    A callback gauge reads its value lazily at collection time — used for
+    quantities that already live elsewhere (flow-table sizes, scan-cache
+    counters) so the hot path pays nothing to keep them current.
+    """
+
+    __slots__ = ("name", "labels", "_value", "callback")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0
+        self.callback = None
+
+    def set(self, value) -> None:
+        """Set the gauge (ignored while a callback is bound)."""
+        self._value = value
+
+    def inc(self, amount=1) -> None:
+        """Add *amount* to the stored value."""
+        self._value += amount
+
+    def dec(self, amount=1) -> None:
+        """Subtract *amount* from the stored value."""
+        self._value -= amount
+
+    @property
+    def value(self):
+        """The current value (evaluates the callback when bound)."""
+        if self.callback is not None:
+            return self.callback()
+        return self._value
+
+    def as_dict(self) -> dict:
+        """A plain-dict rendering (for the JSONL exporter)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram: per-bucket counts plus sum and count.
+
+    ``bounds`` are inclusive upper bounds; one implicit +Inf bucket catches
+    the overflow.  ``observe`` is a bisect plus three attribute updates, so
+    it is cheap enough for the per-packet scan path.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict, bounds=None) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds) if bounds is not None else DEFAULT_LATENCY_BUCKETS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram bounds must be sorted: {self.bounds}")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Average observed value (0.0 before any observation)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> list:
+        """``(upper bound, cumulative count)`` pairs, +Inf last."""
+        cumulative = 0
+        rendered = []
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket_count
+            rendered.append((bound, cumulative))
+        rendered.append((float("inf"), cumulative + self.bucket_counts[-1]))
+        return rendered
+
+    def as_dict(self) -> dict:
+        """A plain-dict rendering (for the JSONL exporter)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "sum": self.sum,
+            "count": self.count,
+            "buckets": [
+                [bound if bound != float("inf") else "+Inf", cumulative]
+                for bound, cumulative in self.cumulative_buckets()
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Named, labeled metrics with get-or-create accessors."""
+
+    def __init__(self, clock=None) -> None:
+        self._clock = clock if clock is not None else time.monotonic
+        self._metrics: dict = {}
+        self._kinds: dict[str, str] = {}
+
+    def now(self) -> float:
+        """The registry clock's current time."""
+        return self._clock()
+
+    def _get_or_create(self, factory, kind: str, name: str, labels: dict, **kw):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if self._kinds[name] != kind:
+                raise TypeError(
+                    f"metric {name!r} is a {self._kinds[name]}, not a {kind}"
+                )
+            return metric
+        registered = self._kinds.setdefault(name, kind)
+        if registered != kind:
+            raise TypeError(f"metric {name!r} is a {registered}, not a {kind}")
+        metric = factory(name, labels, **kw)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, "counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, "gauge", name, labels)
+
+    def gauge_callback(self, name: str, callback, **labels) -> Gauge:
+        """Get or create a gauge and (re)bind its value callback."""
+        gauge = self.gauge(name, **labels)
+        gauge.callback = callback
+        return gauge
+
+    def histogram(self, name: str, buckets=None, **labels) -> Histogram:
+        """Get or create a fixed-bucket histogram."""
+        return self._get_or_create(
+            Histogram, "histogram", name, labels, bounds=buckets
+        )
+
+    # --- queries ----------------------------------------------------------
+
+    def get(self, name: str, **labels):
+        """The metric at (name, labels), or None."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def value(self, name: str, default=0, **labels):
+        """A counter/gauge value, or *default* when absent."""
+        metric = self.get(name, **labels)
+        return default if metric is None else metric.value
+
+    def collect(self) -> list:
+        """Every metric, sorted by (name, labels) for stable output."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def collect_named(self, name: str) -> list:
+        """Every label variant of one metric name, sorted by labels."""
+        return [
+            self._metrics[key] for key in sorted(self._metrics) if key[0] == name
+        ]
+
+    def snapshot(self) -> dict:
+        """All current values, timestamped by the registry clock."""
+        return {
+            "ts": self.now(),
+            "metrics": [metric.as_dict() for metric in self.collect()],
+        }
+
+    def window(self, names=None, zero_baseline: bool = False) -> "MetricsWindow":
+        """A new delta window over the counters named in *names* (None =
+        every counter).  ``zero_baseline`` makes the first delta cover
+        everything accumulated so far instead of starting from now."""
+        return MetricsWindow(self, names=names, zero_baseline=zero_baseline)
+
+    def drop(self, **labels) -> int:
+        """Remove every metric whose label set includes *labels* (used when
+        a DPI instance is torn down).  Returns how many were removed."""
+        required = set(labels.items())
+        doomed = [
+            key
+            for key, metric in self._metrics.items()
+            if required <= set(metric.labels.items())
+        ]
+        for key in doomed:
+            del self._metrics[key]
+        return len(doomed)
+
+
+class WindowDelta(dict):
+    """Counter increments over one window, keyed by (name, label items)."""
+
+    def value(self, name: str, default=0, **labels):
+        """The delta for one labeled counter, or *default*."""
+        return self.get((name, _label_key(labels)), default)
+
+
+class MetricsWindow:
+    """Tracks counter deltas between successive :meth:`delta` calls.
+
+    The window baseline starts at the counters' values when the window is
+    created; counters born later enter with an implicit baseline of zero.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        names=None,
+        zero_baseline: bool = False,
+    ) -> None:
+        self._registry = registry
+        self._names = frozenset(names) if names is not None else None
+        self._last: dict = {}
+        if not zero_baseline:
+            self._last = self._capture()
+
+    def _capture(self) -> dict:
+        captured = {}
+        names = self._names
+        for key, metric in self._registry._metrics.items():
+            if metric.kind != "counter":
+                continue
+            if names is not None and key[0] not in names:
+                continue
+            captured[key] = metric.value
+        return captured
+
+    def delta(self) -> WindowDelta:
+        """Counter increments since the previous call (which this advances)."""
+        current = self._capture()
+        last = self._last
+        self._last = current
+        return WindowDelta(
+            (key, value - last.get(key, 0)) for key, value in current.items()
+        )

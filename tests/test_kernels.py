@@ -200,6 +200,7 @@ class TestScanCache:
         assert cache.stats() == {
             "hits": 1,
             "misses": 1,
+            "evictions": 0,
             "entries": 1,
             "capacity": 4,
         }
@@ -213,6 +214,7 @@ class TestScanCache:
         assert cache.get("b") is None
         assert cache.get("a") == 1
         assert cache.get("c") == 3
+        assert cache.evictions == 1
 
     def test_clear_keeps_counters(self):
         cache = ScanCache(2)
