@@ -1,0 +1,169 @@
+"""The AST lint engine: rule framework, dispatch and suppressions.
+
+A :class:`~repro.analysis.rules.Rule` declares the AST node types it is
+interested in; the engine parses each module once, walks the tree once,
+and dispatches every node to the rules registered for its type (a
+visitor registry — adding a rule never adds another tree walk).
+
+Suppressions follow the project convention::
+
+    something_flagged()  # repro: noqa[DET001]
+    another_thing()      # repro: noqa[DET001,API001]
+    blanket_escape()     # repro: noqa
+
+A suppression applies to the physical line the finding is anchored to.
+Unparseable files surface as ``PARSE001`` findings rather than crashing
+the run, so one bad file cannot hide findings in the rest of a tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, default_rules
+
+#: ``# repro: noqa`` or ``# repro: noqa[CODE,CODE...]``
+_NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?"
+)
+
+#: Module prefixes treated as simulation paths by determinism rules.
+SIM_SCOPE_PREFIXES = ("repro.net", "repro.core")
+
+
+def module_name_for(path: str) -> str:
+    """The dotted module name a file path denotes.
+
+    The name is rooted at the last ``repro`` component so both installed
+    trees (``src/repro/net/switch.py``) and synthetic fixture paths
+    (``repro/net/fake.py``) resolve identically; paths outside a
+    ``repro`` tree fall back to their stem.
+    """
+    parts = Path(path).with_suffix("").parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            selected = parts[index:]
+            if selected[-1] == "__init__":
+                selected = selected[:-1]
+            return ".".join(selected)
+    return parts[-1] if parts else ""
+
+
+class LintContext:
+    """Per-module state shared by every rule during one walk."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.module = module_name_for(path)
+
+    @property
+    def in_sim_scope(self) -> bool:
+        """True for modules on the deterministic simulation paths."""
+        return self.module.startswith(SIM_SCOPE_PREFIXES)
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """A finding anchored at *node* (1-based line, 0-based column)."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+
+def _suppressed_codes(source: str) -> dict[int, frozenset[str] | None]:
+    """``{line number: codes}`` for every noqa comment; None = blanket."""
+    suppressions: dict[int, frozenset[str] | None] = {}
+    for line_number, line in enumerate(source.splitlines(), 1):
+        match = _NOQA_PATTERN.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressions[line_number] = None
+        else:
+            suppressions[line_number] = frozenset(
+                code.strip() for code in codes.split(",") if code.strip()
+            )
+    return suppressions
+
+
+class LintEngine:
+    """Runs a set of rules over source files, modules or trees."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+        self.rules: tuple[Rule, ...] = (
+            tuple(rules) if rules is not None else tuple(default_rules())
+        )
+        # Visitor registry: AST node type -> rules interested in it.
+        self._dispatch: dict[type[ast.AST], list[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    def lint_source(self, source: str, path: str = "<string>") -> list[Finding]:
+        """Lint one module's source text."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [
+                Finding(
+                    path=path,
+                    line=error.lineno or 1,
+                    col=(error.offset or 1) - 1,
+                    code="PARSE001",
+                    message=f"could not parse module: {error.msg}",
+                )
+            ]
+        context = LintContext(path=path, source=source, tree=tree)
+        suppressions = _suppressed_codes(source)
+        for rule in self.rules:
+            rule.prepare(context)
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            for rule in self._dispatch.get(type(node), ()):
+                for finding in rule.visit(node, context):
+                    codes = suppressions.get(finding.line, frozenset())
+                    if codes is None or finding.code in codes:
+                        continue
+                    findings.append(finding)
+        return sorted(findings)
+
+    def lint_file(self, path: str | Path) -> list[Finding]:
+        """Lint one file on disk."""
+        file_path = Path(path)
+        return self.lint_source(
+            file_path.read_text(encoding="utf-8"), path=str(file_path)
+        )
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        """Lint files and directory trees (``*.py``, sorted for stability)."""
+        findings: list[Finding] = []
+        for path in paths:
+            for file_path in _python_files(Path(path)):
+                findings.extend(self.lint_file(file_path))
+        return sorted(findings)
+
+
+def _python_files(path: Path) -> Iterator[Path]:
+    if path.is_dir():
+        yield from sorted(path.rglob("*.py"))
+    else:
+        yield path
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint source text with the default rule set."""
+    return LintEngine().lint_source(source, path=path)
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Finding]:
+    """Lint files/trees with the default rule set."""
+    return LintEngine().lint_paths(paths)

@@ -1,0 +1,24 @@
+"""The lint engine's finding model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, anchored to a source location.
+
+    Ordering is (path, line, col, code) so reporter output is stable
+    regardless of rule evaluation order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The conventional one-line ``path:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -1,0 +1,101 @@
+"""Rule framework and the project rule catalog.
+
+A rule subclasses :class:`Rule`, declares a unique ``code``, the AST
+node types it wants to see, and yields findings from :meth:`Rule.visit`.
+Registration happens through :func:`register_rule`, which keeps
+:data:`RULE_REGISTRY` (code -> rule class) that the engine, the CLI and
+the documentation all read.
+
+Catalog:
+
+========  ==================================================================
+DET001    wall-clock / unseeded randomness on simulation paths
+DET002    iteration over unordered sets on simulation paths
+TEL001    unbounded metric label cardinality
+API001    mutable default argument
+KER001    scan-kernel public method outside the kernel contract surface
+PARSE001  (engine-emitted) unparseable module
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Type
+
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.engine import LintContext
+
+#: Every registered rule class, keyed by code.
+RULE_REGISTRY: dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`code` (stable identifier, used in reports and
+    ``# repro: noqa[CODE]`` suppressions), :attr:`summary` (one line for
+    the catalog) and :attr:`node_types` (the AST node classes the engine
+    dispatches to :meth:`visit`).
+    """
+
+    code: str = ""
+    summary: str = ""
+    node_types: tuple[type[ast.AST], ...] = ()
+
+    def prepare(self, context: "LintContext") -> None:
+        """Called once per module before the walk; collect module facts."""
+
+    def visit(self, node: ast.AST, context: "LintContext") -> Iterator[Finding]:
+        """Yield findings for one dispatched node."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes every override a generator
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    existing = RULE_REGISTRY.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule code {cls.code!r}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, or None for anything else."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def default_rules() -> list[Rule]:
+    """One instance of every registered rule, ordered by code."""
+    return [RULE_REGISTRY[code]() for code in sorted(RULE_REGISTRY)]
+
+
+__all__ = [
+    "RULE_REGISTRY",
+    "Rule",
+    "default_rules",
+    "dotted_name",
+    "register_rule",
+]
+
+# Importing the rule modules populates the registry; this must come after
+# Rule/register_rule exist because each module imports them from here.
+from repro.analysis.rules import (  # noqa: E402,F401
+    api,
+    determinism,
+    kernel,
+    telemetry,
+)

@@ -1,0 +1,216 @@
+"""Determinism rules: sim-clock discipline and ordered iteration.
+
+These rules only apply to modules on the simulation paths
+(``repro.net`` and ``repro.core``).  A simulation's behaviour must be a
+pure function of its inputs and seed: the same scenario run twice must
+schedule the same packets in the same order and produce byte-identical
+telemetry.  Wall-clock reads and process-global randomness break replay;
+iterating a ``set`` lets hash randomization pick the order downstream
+packet scheduling observes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, dotted_name, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.analysis.engine import LintContext
+
+#: Wall-clock call targets.  ``time.perf_counter``/``time.monotonic`` are
+#: deliberately allowed: they measure *durations* for telemetry and never
+#: feed back into simulated behaviour.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+#: Functions of the process-global (unseeded) ``random`` module RNG.
+_GLOBAL_RNG_CALLS = frozenset(
+    {
+        "random.betavariate",
+        "random.choice",
+        "random.choices",
+        "random.expovariate",
+        "random.gauss",
+        "random.getrandbits",
+        "random.lognormvariate",
+        "random.normalvariate",
+        "random.randbytes",
+        "random.randint",
+        "random.random",
+        "random.randrange",
+        "random.sample",
+        "random.shuffle",
+        "random.triangular",
+        "random.uniform",
+        "random.vonmisesvariate",
+    }
+)
+
+
+@register_rule
+class WallClockRule(Rule):
+    """DET001: no wall clock or unseeded randomness on simulation paths."""
+
+    code = "DET001"
+    summary = (
+        "simulation paths must use the simulator clock and a seeded RNG, "
+        "never the wall clock or the global random module"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, context: "LintContext") -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not context.in_sim_scope:
+            return
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if name in _WALL_CLOCK_CALLS:
+            yield context.finding(
+                node,
+                self.code,
+                f"wall-clock call {name}() on a simulation path; "
+                "use the simulator clock",
+            )
+        elif name in _GLOBAL_RNG_CALLS:
+            yield context.finding(
+                node,
+                self.code,
+                f"global-RNG call {name}() on a simulation path; "
+                "use a seeded random.Random instance",
+            )
+        elif name in ("random.Random", "random.SystemRandom"):
+            if name == "random.SystemRandom" or not (node.args or node.keywords):
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"{name}() without a seed on a simulation path; "
+                    "pass an explicit seed",
+                )
+
+
+def _is_unordered_expr(node: ast.expr) -> bool:
+    """True for expressions that statically evaluate to a ``set``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Set algebra: either operand being a set makes the result one.
+        return _is_unordered_expr(node.left) or _is_unordered_expr(node.right)
+    return False
+
+
+def _is_set_annotation(annotation: ast.expr) -> bool:
+    """True for ``set``/``frozenset`` annotations, bare or subscripted."""
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    name = dotted_name(annotation)
+    return name in ("set", "frozenset", "typing.Set", "typing.FrozenSet")
+
+
+def _set_typed_attributes(tree: ast.Module) -> frozenset[str]:
+    """Attribute/field names the module evidently uses for sets.
+
+    Two sources of evidence: annotations (``x: set = ...`` instance or
+    dataclass fields) and assignments of set expressions to attributes
+    (``self.x = set(...)``).  The inference is per-name, module-wide — a
+    name reused for a non-set elsewhere in the same module would be a
+    false positive, which ``# repro: noqa[DET002]`` exists for.
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign) and _is_set_annotation(node.annotation):
+            if isinstance(node.target, ast.Attribute):
+                names.add(node.target.attr)
+            elif isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, ast.Assign) and _is_unordered_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    names.add(target.attr)
+    return frozenset(names)
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    """DET002: no iteration over unordered sets on simulation paths."""
+
+    code = "DET002"
+    summary = (
+        "iteration order over sets is hash-dependent; sort (or use a "
+        "dict/list) before iterating on a simulation path"
+    )
+    node_types = (
+        ast.For,
+        ast.AsyncFor,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    )
+
+    def __init__(self) -> None:
+        self._set_attributes: frozenset[str] = frozenset()
+
+    def prepare(self, context: "LintContext") -> None:
+        self._set_attributes = (
+            _set_typed_attributes(context.tree)
+            if context.in_sim_scope
+            else frozenset()
+        )
+
+    def _flags(self, iter_expr: ast.expr) -> str | None:
+        if _is_unordered_expr(iter_expr):
+            return (
+                "iteration over an unordered set on a simulation path; "
+                "wrap it in sorted() or iterate a deterministic container"
+            )
+        if (
+            isinstance(iter_expr, ast.Attribute)
+            and iter_expr.attr in self._set_attributes
+        ):
+            return (
+                f"iteration over set-typed attribute .{iter_expr.attr} on a "
+                "simulation path; wrap it in sorted() or iterate a "
+                "deterministic container"
+            )
+        return None
+
+    def visit(self, node: ast.AST, context: "LintContext") -> Iterator[Finding]:
+        if not context.in_sim_scope:
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters = [node.iter]
+        else:
+            assert isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            )
+            iters = [generator.iter for generator in node.generators]
+        for iter_expr in iters:
+            message = self._flags(iter_expr)
+            if message is not None:
+                yield context.finding(iter_expr, self.code, message)

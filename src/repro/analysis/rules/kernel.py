@@ -1,0 +1,70 @@
+"""Kernel contract rule: the scan-kernel surface stays closed.
+
+Every scan kernel is interchangeable behind one contract —
+``scan(data, active_bitmap, state, limit) -> CombinedScanResult`` (see
+``repro/core/kernels.py``).  The differential property tests prove the
+kernels byte-identical *through that surface only*; a kernel growing
+extra public entry points re-opens the equivalence hole the contract
+closed.  Helpers are fine as long as they are private.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.analysis.engine import LintContext
+
+#: The closed public surface of a scan kernel class.
+KERNEL_CONTRACT_METHODS = frozenset({"__init__", "scan"})
+
+
+def _is_kernel_class(node: ast.ClassDef) -> bool:
+    """A class is a scan kernel if its name says so and it can scan."""
+    if not node.name.endswith("Kernel"):
+        return False
+    return any(
+        isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and member.name == "scan"
+        for member in node.body
+    )
+
+
+@register_rule
+class KernelContractRule(Rule):
+    """KER001: scan-kernel public methods stay within the contract."""
+
+    code = "KER001"
+    summary = (
+        "scan kernels expose only __init__ and scan; anything else must "
+        "be private (underscore-prefixed)"
+    )
+    node_types = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, context: "LintContext") -> Iterator[Finding]:
+        assert isinstance(node, ast.ClassDef)
+        if not _is_kernel_class(node):
+            return
+        for member in node.body:
+            if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            name = member.name
+            if name.startswith("_") and not name.startswith("__"):
+                continue  # private helper
+            if name in KERNEL_CONTRACT_METHODS:
+                continue
+            if name.startswith("__") and name.endswith("__"):
+                # Dunders other than __init__ (e.g. __repr__) widen the
+                # surface too: the contract tests never exercise them.
+                pass
+            yield context.finding(
+                member,
+                self.code,
+                f"kernel {node.name} exposes public method {name}() outside "
+                "the kernel contract (scan/__init__); make it private or "
+                "move it off the kernel",
+            )

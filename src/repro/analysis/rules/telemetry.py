@@ -1,0 +1,81 @@
+"""Telemetry rule: bounded metric label cardinality.
+
+Every label value handed to the metrics registry becomes part of a
+metric's identity, and the registry keeps one time series per identity
+forever.  A label built from packet contents or formatted strings (flow
+5-tuples, payload digests, timestamps) therefore grows without bound —
+the classic cardinality explosion.  Labels must come from finite
+vocabularies: enum values, instance/chain identifiers, plain names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, dotted_name, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.analysis.engine import LintContext
+
+#: Registry accessor methods whose keyword arguments are metric labels.
+_METRIC_FACTORIES = frozenset(
+    {"counter", "gauge", "gauge_callback", "histogram"}
+)
+
+#: Keyword arguments of those accessors that are *not* labels.
+_NON_LABEL_KEYWORDS = frozenset({"buckets", "callback"})
+
+#: Call targets that manufacture unbounded strings.
+_FORMATTING_CALLS = frozenset({"str", "repr", "hex", "oct", "bin", "format"})
+
+
+def _is_unbounded_label(value: ast.expr) -> bool:
+    """True for label values drawn from an unbounded vocabulary."""
+    if isinstance(value, ast.JoinedStr):  # f-string
+        return True
+    if isinstance(value, ast.BinOp):  # concatenation / %-formatting
+        return True
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        if name in _FORMATTING_CALLS:
+            return True
+        # method call ending in .format / .join on anything
+        if isinstance(value.func, ast.Attribute) and value.func.attr in (
+            "format",
+            "join",
+        ):
+            return True
+    return False
+
+
+@register_rule
+class LabelCardinalityRule(Rule):
+    """TEL001: metric labels must come from finite vocabularies."""
+
+    code = "TEL001"
+    summary = (
+        "metric label values must be finite (enum members, ids, plain "
+        "names) — never formatted or concatenated strings"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, context: "LintContext") -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _METRIC_FACTORIES:
+            return
+        for keyword in node.keywords:
+            if keyword.arg is None or keyword.arg in _NON_LABEL_KEYWORDS:
+                continue
+            if _is_unbounded_label(keyword.value):
+                yield context.finding(
+                    keyword.value,
+                    self.code,
+                    f"label {keyword.arg!r} of {func.attr}() is built from "
+                    "a formatted string; label values must come from a "
+                    "finite vocabulary (enum, id, plain name)",
+                )

@@ -1,0 +1,492 @@
+"""Static configuration validators (pre-simulation consistency checks).
+
+Pure functions that inspect a built-but-not-yet-driven system — a
+:class:`~repro.net.topology.Topology`, a traffic steering application's
+policy chains, switch flow tables, pattern sets, instance configs — and
+return :class:`ValidationIssue` lists.  Nothing here mutates state or
+sends packets; everything is checkable *before traffic flows*, which is
+exactly when misconfigured steering is still cheap to fix.
+
+The validators are intentionally structural (duck-typed over the public
+attributes of the objects they check) so this module imports none of the
+simulation modules — the simulation modules import *it* for their
+``validate=True`` entry-point defaults.
+
+Issue catalog:
+
+==========  =========  ====================================================
+TOPO001     error      node with no attached link (isolated)
+TOPO002     error      topology graph is disconnected
+TOPO003     error      duplicate host IP address
+CHAIN001    error      chain middlebox type with no registered instance
+CHAIN002    error      two chains' tag blocks overlap
+CHAIN003    error      traffic assignment references an unknown host
+CHAIN004    warning    chain carries no traffic assignment
+CHAIN005    warning    chain has no allocated chain id
+STEER001    error      rule matches a VLAN tag no chain allocates
+STEER002    error      assigned chain's ingress tag is never pushed
+FLOW001     warning    same-priority overlapping matches on one switch
+FLOW002     error      duplicate rule (identical match, same priority)
+PAT001      warning    duplicate pattern content within one middlebox set
+PAT002      error      empty pattern
+PAT003      warning    registered middlebox with an empty pattern set
+CFG001      error      chain map references a middlebox without a config
+==========  =========  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids import cycles
+    from repro.core.controller import DPIController
+    from repro.core.instance import InstanceConfig
+    from repro.core.patterns import Pattern
+    from repro.net.steering import TrafficSteeringApplication
+    from repro.net.topology import Topology
+
+
+class Severity(enum.Enum):
+    """How bad an issue is: errors block, warnings inform."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class ValidationIssue:
+    """One consistency problem found by a validator."""
+
+    code: str
+    severity: Severity
+    subject: str
+    message: str
+
+    def render(self) -> str:
+        """``SEVERITY CODE subject: message`` on one line."""
+        return (
+            f"{self.severity.value.upper():7} {self.code} "
+            f"{self.subject}: {self.message}"
+        )
+
+
+def errors_in(issues: Iterable[ValidationIssue]) -> list[ValidationIssue]:
+    """Only the error-severity issues."""
+    return [issue for issue in issues if issue.severity is Severity.ERROR]
+
+
+def format_issues(issues: Sequence[ValidationIssue]) -> str:
+    """A readable multi-line report, errors first."""
+    ordered = sorted(issues, key=lambda i: (i.severity.value, i.code, i.subject))
+    lines = [issue.render() for issue in ordered]
+    error_count = len(errors_in(issues))
+    warning_count = len(issues) - error_count
+    lines.append(f"{error_count} error(s), {warning_count} warning(s)")
+    return "\n".join(lines) + "\n"
+
+
+class ValidationError(KeyError, ValueError):
+    """Raised by ``validate=True`` entry points on error-severity issues.
+
+    Subclasses both :class:`KeyError` and :class:`ValueError` so callers
+    that predate the validators (and caught the ad-hoc exceptions the
+    entry points used to raise mid-flight) keep working unchanged.
+    """
+
+    def __init__(self, issues: Sequence[ValidationIssue]) -> None:
+        self.issues: list[ValidationIssue] = list(issues)
+        super().__init__(format_issues(self.issues))
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs its argument; report verbatim instead.
+        return self.args[0] if self.args else ""
+
+
+def raise_on_errors(issues: Sequence[ValidationIssue]) -> None:
+    """Raise :class:`ValidationError` if any issue is an error."""
+    errors = errors_in(issues)
+    if errors:
+        raise ValidationError(errors)
+
+
+# --- topology ---------------------------------------------------------------
+
+
+def validate_topology(topology: "Topology") -> list[ValidationIssue]:
+    """Structural checks on a built topology."""
+    import networkx as nx
+
+    issues: list[ValidationIssue] = []
+    graph = topology.graph
+    for name in sorted(graph.nodes):
+        if graph.degree(name) == 0:
+            issues.append(
+                ValidationIssue(
+                    code="TOPO001",
+                    severity=Severity.ERROR,
+                    subject=name,
+                    message="node has no attached link; traffic can never "
+                    "reach or leave it",
+                )
+            )
+    if graph.number_of_nodes() > 1 and not nx.is_connected(graph):
+        components = sorted(
+            sorted(component) for component in nx.connected_components(graph)
+        )
+        issues.append(
+            ValidationIssue(
+                code="TOPO002",
+                severity=Severity.ERROR,
+                subject="topology",
+                message=f"graph is disconnected: components {components}",
+            )
+        )
+    by_ip: dict[Any, list[str]] = {}
+    for name in sorted(topology.hosts):
+        by_ip.setdefault(topology.hosts[name].ip, []).append(name)
+    for ip, names in sorted(by_ip.items(), key=lambda kv: str(kv[0])):
+        if len(names) > 1:
+            issues.append(
+                ValidationIssue(
+                    code="TOPO003",
+                    severity=Severity.ERROR,
+                    subject=",".join(names),
+                    message=f"duplicate host IP {ip}; delivery is ambiguous",
+                )
+            )
+    return issues
+
+
+# --- policy chains ----------------------------------------------------------
+
+
+def _tag_block(chain: Any) -> tuple[int, int] | None:
+    """The inclusive tag range a chain occupies, or None when unallocated.
+
+    A chain with base id ``c`` and ``n`` middleboxes uses tags
+    ``c .. c+n`` (one segment into each hop plus the final segment into
+    the destination); the allocator reserves a full *stride* per chain,
+    but only the used range can collide observably.
+    """
+    if chain.chain_id is None:
+        return None
+    return (chain.chain_id, chain.chain_id + len(chain.middlebox_types))
+
+
+def validate_chains(tsa: "TrafficSteeringApplication") -> list[ValidationIssue]:
+    """Pre-realization checks on policy chains and traffic assignments."""
+    issues: list[ValidationIssue] = []
+    topology = tsa.topology
+    assigned_chains = {assignment.chain_name for assignment in tsa.assignments}
+    blocks: list[tuple[str, tuple[int, int]]] = []
+    for name in sorted(tsa.chains):
+        chain = tsa.chains[name]
+        for middlebox_type in chain.middlebox_types:
+            if not tsa.instances_of(middlebox_type):
+                issues.append(
+                    ValidationIssue(
+                        code="CHAIN001",
+                        severity=Severity.ERROR,
+                        subject=name,
+                        message=f"middlebox type {middlebox_type!r} has no "
+                        "registered instance; the chain is unreachable",
+                    )
+                )
+        block = _tag_block(chain)
+        if block is None:
+            issues.append(
+                ValidationIssue(
+                    code="CHAIN005",
+                    severity=Severity.WARNING,
+                    subject=name,
+                    message="chain has no allocated chain id; register it "
+                    "through add_policy_chain",
+                )
+            )
+        else:
+            blocks.append((name, block))
+        if name not in assigned_chains:
+            issues.append(
+                ValidationIssue(
+                    code="CHAIN004",
+                    severity=Severity.WARNING,
+                    subject=name,
+                    message="chain has no traffic assignment; its rules "
+                    "would steer nothing",
+                )
+            )
+    for index, (name_a, block_a) in enumerate(blocks):
+        for name_b, block_b in blocks[index + 1 :]:
+            if block_a[0] <= block_b[1] and block_b[0] <= block_a[1]:
+                issues.append(
+                    ValidationIssue(
+                        code="CHAIN002",
+                        severity=Severity.ERROR,
+                        subject=f"{name_a},{name_b}",
+                        message=f"tag blocks overlap ({block_a} vs "
+                        f"{block_b}); packets of one chain would match "
+                        "the other's rules",
+                    )
+                )
+    known_nodes = set(topology.hosts)
+    for assignment in tsa.assignments:
+        for role, host in (
+            ("src", assignment.src_host),
+            ("dst", assignment.dst_host),
+        ):
+            if host not in known_nodes:
+                issues.append(
+                    ValidationIssue(
+                        code="CHAIN003",
+                        severity=Severity.ERROR,
+                        subject=assignment.chain_name,
+                        message=f"assignment {role} host {host!r} is not in "
+                        "the topology",
+                    )
+                )
+    return issues
+
+
+# --- steering rules ---------------------------------------------------------
+
+
+def _iter_switch_entries(topology: "Topology") -> list[tuple[str, Any]]:
+    entries: list[tuple[str, Any]] = []
+    for name in sorted(topology.switches):
+        for entry in topology.switches[name].table:
+            entries.append((name, entry))
+    return entries
+
+
+def validate_steering(tsa: "TrafficSteeringApplication") -> list[ValidationIssue]:
+    """Post-realization checks: installed rules vs allocated tag blocks."""
+    issues: list[ValidationIssue] = []
+    topology = tsa.topology
+    allocated: list[tuple[int, int]] = []
+    for chain in tsa.chains.values():
+        block = _tag_block(chain)
+        if block is not None:
+            # Reserve the full stride: rewrites may lengthen the chain.
+            allocated.append((block[0], block[0] + tsa.CHAIN_ID_STRIDE - 1))
+    entries = _iter_switch_entries(topology)
+    no_vlan = None
+    for switch_name, entry in entries:
+        no_vlan = type(entry.match).NO_VLAN
+        break
+    matched_tags: set[int] = set()
+    pushed_tags: set[int] = set()
+    for switch_name, entry in entries:
+        vid = entry.match.vlan_vid
+        if vid is not None and vid != no_vlan:
+            matched_tags.add(vid)
+            if not any(low <= vid <= high for low, high in allocated):
+                issues.append(
+                    ValidationIssue(
+                        code="STEER001",
+                        severity=Severity.ERROR,
+                        subject=switch_name,
+                        message=f"rule matches VLAN tag {vid}, which no "
+                        "policy chain allocates (orphan steering rule)",
+                    )
+                )
+        for action in entry.actions:
+            if action.type.name in ("PUSH_VLAN", "SET_VLAN_VID"):
+                if action.argument is not None:
+                    pushed_tags.add(action.argument)
+    for name in sorted(tsa.realized):
+        chain = tsa.realized[name].chain
+        if chain.chain_id is None or not tsa.realized[name].hop_hosts:
+            continue
+        ingress_tag = chain.chain_id
+        if ingress_tag not in pushed_tags:
+            issues.append(
+                ValidationIssue(
+                    code="STEER002",
+                    severity=Severity.ERROR,
+                    subject=name,
+                    message=f"no rule pushes the chain's ingress tag "
+                    f"{ingress_tag}; assigned traffic would bypass the chain",
+                )
+            )
+    return issues
+
+
+# --- flow tables ------------------------------------------------------------
+
+
+def _matches_overlap(match_a: Any, match_b: Any) -> bool:
+    """True unless some field pins both matches to different values."""
+    for field in dataclass_fields(match_a):
+        value_a = getattr(match_a, field.name)
+        value_b = getattr(match_b, field.name)
+        if value_a is not None and value_b is not None and value_a != value_b:
+            return False
+    return True
+
+
+def validate_flow_tables(topology: "Topology") -> list[ValidationIssue]:
+    """Ambiguity checks over every switch's installed flow table."""
+    issues: list[ValidationIssue] = []
+    for switch_name in sorted(topology.switches):
+        entries = list(topology.switches[switch_name].table)
+        by_priority: dict[int, list[Any]] = {}
+        for entry in entries:
+            by_priority.setdefault(entry.priority, []).append(entry)
+        for priority in sorted(by_priority):
+            peers = by_priority[priority]
+            for index, entry_a in enumerate(peers):
+                for entry_b in peers[index + 1 :]:
+                    if entry_a.match == entry_b.match:
+                        issues.append(
+                            ValidationIssue(
+                                code="FLOW002",
+                                severity=Severity.ERROR,
+                                subject=switch_name,
+                                message=f"duplicate rules at priority "
+                                f"{priority} (entries {entry_a.entry_id} and "
+                                f"{entry_b.entry_id}); the later one is dead",
+                            )
+                        )
+                    elif _matches_overlap(entry_a.match, entry_b.match):
+                        issues.append(
+                            ValidationIssue(
+                                code="FLOW001",
+                                severity=Severity.WARNING,
+                                subject=switch_name,
+                                message=f"rules {entry_a.entry_id} and "
+                                f"{entry_b.entry_id} overlap at equal "
+                                f"priority {priority}; match order decides "
+                                "which wins",
+                            )
+                        )
+    return issues
+
+
+# --- patterns ---------------------------------------------------------------
+
+
+def validate_pattern_list(
+    patterns: Iterable["Pattern | bytes"],
+) -> list[ValidationIssue]:
+    """Checks over a raw pattern collection (e.g. a parsed pattern file)."""
+    issues: list[ValidationIssue] = []
+    seen: dict[tuple[Any, bytes], int] = {}
+    for index, pattern in enumerate(patterns):
+        if isinstance(pattern, bytes):
+            kind, data = "literal", pattern
+            label = f"pattern[{index}]"
+        else:
+            kind, data = pattern.kind, pattern.data
+            label = f"pattern[{pattern.pattern_id}]"
+        if not data:
+            issues.append(
+                ValidationIssue(
+                    code="PAT002",
+                    severity=Severity.ERROR,
+                    subject=label,
+                    message="empty pattern; it would match at every byte",
+                )
+            )
+            continue
+        key = (kind, data)
+        if key in seen:
+            issues.append(
+                ValidationIssue(
+                    code="PAT001",
+                    severity=Severity.WARNING,
+                    subject=label,
+                    message=f"duplicate of pattern[{seen[key]}] after "
+                    "dedup; drop one copy",
+                )
+            )
+        else:
+            seen[key] = index
+    return issues
+
+
+def validate_pattern_registry(
+    controller: "DPIController",
+) -> list[ValidationIssue]:
+    """Checks over the controller's registered middlebox pattern sets."""
+    issues: list[ValidationIssue] = []
+    for middlebox_id in controller.middlebox_ids:
+        pattern_set = controller.pattern_set_of(middlebox_id)
+        if len(pattern_set) == 0:
+            issues.append(
+                ValidationIssue(
+                    code="PAT003",
+                    severity=Severity.WARNING,
+                    subject=f"middlebox-{middlebox_id}",
+                    message="registered middlebox has an empty pattern set; "
+                    "its packets are scanned for nothing",
+                )
+            )
+            continue
+        seen: dict[tuple[Any, bytes], int] = {}
+        for pattern in pattern_set:
+            key = pattern.canonical_key
+            if key in seen:
+                issues.append(
+                    ValidationIssue(
+                        code="PAT001",
+                        severity=Severity.WARNING,
+                        subject=f"middlebox-{middlebox_id}",
+                        message=f"patterns {seen[key]} and "
+                        f"{pattern.pattern_id} carry identical content; "
+                        "the duplicate costs automaton states for nothing",
+                    )
+                )
+            else:
+                seen[key] = pattern.pattern_id
+    return issues
+
+
+# --- instance configuration -------------------------------------------------
+
+
+def validate_instance_config(config: "InstanceConfig") -> list[ValidationIssue]:
+    """Consistency of one instance configuration before it is deployed."""
+    issues: list[ValidationIssue] = []
+    for chain_id in sorted(config.chain_map):
+        for middlebox_id in config.chain_map[chain_id]:
+            missing = []
+            if middlebox_id not in config.pattern_sets:
+                missing.append("pattern set")
+            if middlebox_id not in config.profiles:
+                missing.append("profile")
+            if missing:
+                issues.append(
+                    ValidationIssue(
+                        code="CFG001",
+                        severity=Severity.ERROR,
+                        subject=f"chain-{chain_id}",
+                        message=f"middlebox {middlebox_id} is on the chain "
+                        f"but has no {' or '.join(missing)} in the config",
+                    )
+                )
+    return issues
+
+
+# --- aggregate --------------------------------------------------------------
+
+
+def validate_scenario(
+    topology: "Topology | None" = None,
+    tsa: "TrafficSteeringApplication | None" = None,
+    controller: "DPIController | None" = None,
+) -> list[ValidationIssue]:
+    """Run every applicable validator over a built scenario."""
+    issues: list[ValidationIssue] = []
+    if topology is not None:
+        issues.extend(validate_topology(topology))
+        issues.extend(validate_flow_tables(topology))
+    if tsa is not None:
+        issues.extend(validate_chains(tsa))
+        issues.extend(validate_steering(tsa))
+    if controller is not None:
+        issues.extend(validate_pattern_registry(controller))
+        for instance in controller.instances.values():
+            issues.extend(validate_instance_config(instance.config))
+    return issues

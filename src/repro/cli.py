@@ -183,6 +183,110 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_paths, render_json, render_text
+
+    paths = list(args.paths)
+    if args.self_check:
+        import repro
+
+        paths.append(str(Path(repro.__file__).parent))
+    if not paths:
+        print("lint: no paths given (pass paths or --self)", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths)
+    render = render_json if args.format == "json" else render_text
+    sys.stdout.write(render(findings))
+    return 1 if findings else 0
+
+
+#: ``repro-dpi check --inject`` faults: name -> (description, mutator).
+#: Each mutator breaks the built figure-5 scenario in one specific way so
+#: the validators (and the e2e tests) can observe a realistic failure.
+def _inject_ghost_chain(result) -> None:
+    """A chain whose middlebox type has no registered instance (CHAIN001)."""
+    from repro.net.steering import PolicyChain
+
+    result.tsa.chains["ghost"] = PolicyChain(
+        "ghost", ("ghost-type",), chain_id=900
+    )
+
+
+def _inject_overlap_chain(result) -> None:
+    """A chain whose tag block collides with chain1's (CHAIN002)."""
+    from repro.net.steering import PolicyChain, TrafficAssignment
+
+    result.tsa.chains["evil"] = PolicyChain("evil", ("ids2",), chain_id=101)
+    result.tsa.assignments.append(
+        TrafficAssignment("src2", "dst2", "evil")
+    )
+
+
+def _inject_orphan_rule(result) -> None:
+    """A rule matching a VLAN tag no chain allocates (STEER001)."""
+    from repro.net.openflow import FlowAction, FlowMatch
+
+    result.tsa.controller.install(
+        "s1", FlowMatch(in_port=1, vlan_vid=999),
+        [FlowAction.output(2)], priority=200,
+    )
+
+
+def _inject_duplicate_rule(result) -> None:
+    """The same (match, priority) installed twice on one switch (FLOW002)."""
+    from repro.net.openflow import FlowAction, FlowMatch
+
+    for _ in range(2):
+        result.tsa.controller.install(
+            "s2", FlowMatch(in_port=7, vlan_vid=131),
+            [FlowAction.output(8)], priority=200,
+        )
+
+
+def _inject_dangling_assignment(result) -> None:
+    """A traffic assignment naming a host outside the topology (CHAIN003)."""
+    from repro.net.steering import TrafficAssignment
+
+    result.tsa.assignments.append(
+        TrafficAssignment("no-such-host", "dst1", "chain1")
+    )
+
+
+CHECK_FAULTS = {
+    "ghost-chain": _inject_ghost_chain,
+    "overlap-chain": _inject_overlap_chain,
+    "orphan-rule": _inject_orphan_rule,
+    "duplicate-rule": _inject_duplicate_rule,
+    "dangling-assignment": _inject_dangling_assignment,
+}
+
+
+def _cmd_check(args) -> int:
+    from repro.analysis import (
+        errors_in,
+        format_issues,
+        render_issues_json,
+        validate_scenario,
+    )
+    from repro.telemetry.scenario import run_figure5_scenario
+
+    # packets=0 builds and realizes the whole system without traffic —
+    # validation is purely static, so no packet ever needs to flow.
+    result = run_figure5_scenario(packets=0, telemetry=False)
+    for fault in args.inject or []:
+        CHECK_FAULTS[fault](result)
+    issues = validate_scenario(
+        topology=result.topology,
+        tsa=result.tsa,
+        controller=result.dpi_controller,
+    )
+    if args.format == "json":
+        sys.stdout.write(render_issues_json(issues))
+    else:
+        sys.stdout.write(format_issues(issues))
+    return 1 if errors_in(issues) else 0
+
+
 def _cmd_demo(args) -> int:
     from repro.core.controller import DPIController
     from repro.core.messages import AddPatternsMessage, RegisterMiddleboxMessage
@@ -292,6 +396,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--prom", help="also export a Prometheus text-format dump here"
     )
     report.set_defaults(func=_cmd_report)
+
+    lint = commands.add_parser(
+        "lint", help="run the project lint engine over Python sources"
+    )
+    lint.add_argument("paths", nargs="*", help="files or directories to lint")
+    lint.add_argument(
+        "--self",
+        dest="self_check",
+        action="store_true",
+        help="lint the installed repro package itself",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.set_defaults(func=_cmd_lint)
+
+    check = commands.add_parser(
+        "check",
+        help="statically validate a built scenario without sending traffic",
+    )
+    check.add_argument("scenario", choices=("figure5",))
+    check.add_argument(
+        "--inject",
+        action="append",
+        choices=sorted(CHECK_FAULTS),
+        help="break the scenario in a known way first (repeatable)",
+    )
+    check.add_argument("--format", choices=("text", "json"), default="text")
+    check.set_defaults(func=_cmd_check)
 
     demo = commands.add_parser("demo", help="run a tiny end-to-end demo")
     demo.set_defaults(func=_cmd_demo)

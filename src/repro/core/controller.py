@@ -20,8 +20,9 @@ Responsibilities implemented here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.analysis.validators import raise_on_errors, validate_instance_config
 from repro.core.instance import DPIServiceInstance, InstanceConfig
 from repro.core.messages import (
     AckMessage,
@@ -334,13 +335,24 @@ class DPIController:
         layout: str = "sparse",
         kernel: str = "flat",
         scan_cache_size: int = 0,
+        validate: bool = True,
     ) -> DPIServiceInstance:
-        """Spawn a DPI service instance from the current configuration."""
+        """Spawn a DPI service instance from the current configuration.
+
+        With ``validate=True`` (the default) the built configuration is
+        statically checked
+        (:func:`repro.analysis.validators.validate_instance_config`) and
+        error-grade issues raise
+        :class:`~repro.analysis.validators.ValidationError` before the
+        instance exists.
+        """
         if name in self.instances:
             raise ValueError(f"duplicate instance name: {name}")
         config = self.build_instance_config(
             chain_ids, layout=layout, kernel=kernel, scan_cache_size=scan_cache_size
         )
+        if validate:
+            raise_on_errors(validate_instance_config(config))
         instance = DPIServiceInstance(config, name=name, telemetry=self.telemetry)
         self.instances[name] = instance
         self._instance_chain_filter[name] = (

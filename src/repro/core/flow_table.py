@@ -10,6 +10,16 @@ what makes instance migration cheap compared to migrating a middlebox.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Hashable, TypedDict
+
+
+class ExportedFlow(TypedDict):
+    """Wire form of one flow's scan state (Section 4.3 flow migration)."""
+
+    state: int
+    offset: int
+    last_seen: float
+    packets: int
 
 
 @dataclass
@@ -27,7 +37,7 @@ class FlowTable:
 
     def __init__(self, initial_state: int = 0) -> None:
         self._initial_state = initial_state
-        self._flows: dict = {}
+        self._flows: dict[Hashable, FlowScanState] = {}
 
     def __len__(self) -> int:
         return len(self._flows)
@@ -75,7 +85,7 @@ class FlowTable:
             del self._flows[key]
         return len(stale)
 
-    def export_flow(self, flow_key) -> dict | None:
+    def export_flow(self, flow_key) -> ExportedFlow | None:
         """Serialize one flow's state for migration to another instance."""
         entry = self._flows.get(flow_key)
         if entry is None:
@@ -87,7 +97,7 @@ class FlowTable:
             "packets": entry.packets,
         }
 
-    def import_flow(self, flow_key, exported: dict) -> None:
+    def import_flow(self, flow_key, exported: ExportedFlow) -> None:
         """Install state exported from another instance."""
         self._flows[flow_key] = FlowScanState(
             state=exported["state"],
@@ -96,6 +106,6 @@ class FlowTable:
             packets=exported["packets"],
         )
 
-    def flow_keys(self) -> list:
+    def flow_keys(self) -> list[Hashable]:
         """Keys of every tracked flow."""
         return list(self._flows)

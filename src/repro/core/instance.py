@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Hashable, TypedDict
 
 from repro.core.combined import CombinedAutomaton
+from repro.core.flow_table import ExportedFlow
 from repro.core.kernels import KERNEL_NAMES
 from repro.core.patterns import Pattern, PatternKind
 from repro.core.regex import RegexPreFilter, split_matches
@@ -37,9 +39,9 @@ class InstanceConfig:
     """What the controller passes to an instance at initialization
     (Section 5.1): pattern sets, middlebox properties, chain mapping."""
 
-    pattern_sets: dict  # middlebox id -> list[Pattern]
-    profiles: dict  # middlebox id -> MiddleboxProfile
-    chain_map: dict  # policy chain id -> tuple of middlebox ids
+    pattern_sets: dict[int, list[Pattern]]
+    profiles: dict[int, MiddleboxProfile]
+    chain_map: dict[int, tuple[int, ...]]
     layout: str = "sparse"
     #: Scan kernel (see repro.core.kernels).  Instances default to the
     #: flat-table kernel; the reference loops remain selectable.
@@ -61,6 +63,18 @@ class InstanceConfig:
             raise ValueError(f"negative scan cache size: {self.scan_cache_size}")
 
 
+class TelemetrySnapshot(TypedDict):
+    """The shape of :meth:`InstanceTelemetry.snapshot`."""
+
+    packets_scanned: int
+    bytes_scanned: int
+    packets_with_matches: int
+    total_matches: int
+    scan_seconds: float
+    regex_confirmations: int
+    active_flows: int
+
+
 @dataclass
 class InstanceTelemetry:
     """Counters exported to the controller (the MCA^2 telemetry feed)."""
@@ -73,9 +87,9 @@ class InstanceTelemetry:
     regex_confirmations: int = 0
     active_flows: int = 0
     # Heaviest flows by per-byte work, for the stress monitor.
-    flow_work: dict = field(default_factory=dict)
+    flow_work: dict[Hashable, float] = field(default_factory=dict)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> TelemetrySnapshot:
         """A plain-dict copy of the counters."""
         return {
             "packets_scanned": self.packets_scanned,
@@ -92,7 +106,8 @@ class InstanceTelemetry:
 class InspectionOutput:
     """The outcome of inspecting one packet."""
 
-    matches: dict  # middlebox id -> [(pattern id, position)], regexes resolved
+    #: middlebox id -> [(pattern id, position)], regexes resolved
+    matches: dict[int, list[tuple[int, int]]]
     report: MatchReport
     bytes_scanned: int
 
@@ -123,7 +138,7 @@ class DPIServiceInstance:
     def _configure(self, config: InstanceConfig) -> None:
         self.config = config
         self.prefilter = RegexPreFilter()
-        literal_sets: dict = {}
+        literal_sets: dict[int, list[Pattern]] = {}
         for middlebox_id, patterns in config.pattern_sets.items():
             literals = []
             for pattern in patterns:
@@ -218,7 +233,7 @@ class DPIServiceInstance:
         cache_hits_before = cache.hits if cache is not None else 0
         started = time.perf_counter()
         scan = self.scanner.scan_packet(payload, chain_id, flow_key=flow_key, now=now)
-        final_matches: dict = {}
+        final_matches: dict[int, list[tuple[int, int]]] = {}
         for middlebox_id, raw in scan.matches.items():
             reportable, anchor_ids = split_matches(raw)
             if anchor_ids or self.prefilter.has_regexes(middlebox_id):
@@ -281,7 +296,7 @@ class DPIServiceInstance:
         chain_id: int,
         flow_keys=None,
         now: float = 0.0,
-    ) -> list:
+    ) -> list[InspectionOutput]:
         """Inspect a batch of payloads for one policy chain, in order.
 
         ``flow_keys`` is an optional parallel sequence (one key per
@@ -303,18 +318,18 @@ class DPIServiceInstance:
             for payload, flow_key in zip(payloads, flow_keys)
         ]
 
-    def scan_cache_stats(self) -> dict | None:
+    def scan_cache_stats(self) -> "dict[str, int] | None":
         """The automaton's scan-cache counters, or None when disabled."""
         cache = self.automaton.scan_cache
         return cache.stats() if cache is not None else None
 
     # --- flow migration (Section 4.3) -----------------------------------------
 
-    def export_flow(self, flow_key) -> dict | None:
+    def export_flow(self, flow_key) -> "ExportedFlow | None":
         """Hand a flow's scan state to the controller for migration."""
         return self.scanner.flow_table.export_flow(flow_key)
 
-    def import_flow(self, flow_key, exported: dict) -> None:
+    def import_flow(self, flow_key, exported: ExportedFlow) -> None:
         """Install migrated flow scan state."""
         self.scanner.flow_table.import_flow(flow_key, exported)
 
@@ -322,7 +337,7 @@ class DPIServiceInstance:
         """Forget one flow's scan state."""
         self.scanner.flow_table.remove(flow_key)
 
-    def heavy_flows(self, top: int = 5) -> list:
+    def heavy_flows(self, top: int = 5) -> list[tuple[Hashable, float]]:
         """Flows ranked by accumulated scan work (for the stress monitor)."""
         ranked = sorted(
             self.telemetry.flow_work.items(), key=lambda kv: kv[1], reverse=True
@@ -361,7 +376,9 @@ class DPIServiceFunction(NetworkFunction):
         self.direct_chains = set(direct_chains or ())
         self.middlebox_addresses = dict(middlebox_addresses or {})
         if self.direct_chains:
-            for chain_id in self.direct_chains:
+            # Sorted: which missing-address chain raises first must not
+            # depend on set iteration order.
+            for chain_id in sorted(self.direct_chains):
                 for middlebox_id in instance.scanner.chain_map.get(chain_id, ()):
                     if middlebox_id not in self.middlebox_addresses:
                         raise KeyError(

@@ -48,9 +48,20 @@ import re
 from array import array
 from collections import OrderedDict, deque
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 #: Kernel names accepted by ``CombinedAutomaton`` / ``InstanceConfig``.
 KERNEL_NAMES = ("reference", "flat", "regex")
+
+#: One raw match: ``(accepting state, bytes consumed when it was reached)``.
+RawMatch = tuple[int, int]
+
+#: Payload types a kernel accepts (the combined automaton may hand over
+#: slices of reassembled TCP streams as memoryviews).
+ScanData = "bytes | bytearray | memoryview"
+
+#: Cache key of one scan: ``(payload, active_bitmap, start_state, limit)``.
+ScanCacheKey = tuple[bytes, int, int, "int | None"]
 
 
 @dataclass
@@ -63,9 +74,31 @@ class CombinedScanResult:
     match lists, applying stopping conditions and stateless pruning.
     """
 
-    raw_matches: list
+    raw_matches: list[RawMatch]
     end_state: int
     bytes_scanned: int
+
+
+@runtime_checkable
+class ScanKernel(Protocol):
+    """The kernel contract (KER001 keeps implementations on it).
+
+    A kernel is constructed from a combined automaton and exposes exactly
+    this surface; every implementation must produce byte-identical results
+    (same raw matches, end state and byte count) for the same inputs.
+    """
+
+    name: str
+
+    def scan(
+        self,
+        data: "bytes | bytearray | memoryview",
+        active_bitmap: int,
+        state: int,
+        limit: "int | None",
+    ) -> CombinedScanResult:
+        """Scan *data* (up to *limit* bytes) from *state*."""
+        ...
 
 
 class ReferenceKernel:
@@ -80,7 +113,7 @@ class ReferenceKernel:
         """Scan *data* (up to *limit* bytes) from *state*."""
         automaton = self._automaton
         view = data if limit is None or limit >= len(data) else data[:limit]
-        raw_matches: list = []
+        raw_matches: list[RawMatch] = []
         append = raw_matches.append
         f = automaton.num_accepting
         bitmaps = automaton._bitmaps
@@ -125,7 +158,7 @@ def _fuse_flat_table(automaton) -> array:
     goto = automaton._goto
     fail = automaton._fail
     root = automaton.root
-    rows: list = [None] * num_states
+    rows: "list[array | None]" = [None] * num_states
     root_row = array("i", [root]) * 256
     for byte, child in goto[root].items():
         root_row[byte] = child
@@ -167,7 +200,7 @@ class FlatTableKernel:
     def scan(self, data, active_bitmap: int, state: int, limit) -> CombinedScanResult:
         """Scan *data* (up to *limit* bytes) from *state*."""
         view = data if limit is None or limit >= len(data) else data[:limit]
-        raw_matches: list = []
+        raw_matches: list[RawMatch] = []
         append = raw_matches.append
         delta = self._delta
         f8 = self._f8
@@ -334,8 +367,8 @@ class RegexPrefilterKernel:
             return self._fallback.scan(data, active_bitmap, state, limit)
         # Merged candidate regions: region (lo, hi] holds the match-end
         # positions an anchor run can account for.
-        regions: list = []
-        last = None
+        regions: list[list[int]] = []
+        last: "list[int] | None" = None
         for found in self._scanner.finditer(data):
             lo = found.start()
             hi = found.end() - 1 + window
@@ -345,7 +378,7 @@ class RegexPrefilterKernel:
             else:
                 last = [lo, hi]
                 regions.append(last)
-        raw_matches: list = []
+        raw_matches: list[RawMatch] = []
         append = raw_matches.append
         delta = self._delta
         f8 = self._f8
@@ -369,14 +402,14 @@ class RegexPrefilterKernel:
         )
 
 
-_KERNELS = {
+_KERNELS: dict[str, type] = {
     ReferenceKernel.name: ReferenceKernel,
     FlatTableKernel.name: FlatTableKernel,
     RegexPrefilterKernel.name: RegexPrefilterKernel,
 }
 
 
-def make_kernel(automaton, name: str):
+def make_kernel(automaton, name: str) -> ScanKernel:
     """Build the named kernel over *automaton*."""
     try:
         kernel_class = _KERNELS[name]
@@ -400,7 +433,9 @@ class ScanCache:
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive: {capacity}")
         self.capacity = capacity
-        self._entries: OrderedDict = OrderedDict()
+        self._entries: "OrderedDict[ScanCacheKey, CombinedScanResult]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -408,7 +443,7 @@ class ScanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key):
+    def get(self, key: ScanCacheKey) -> "CombinedScanResult | None":
         """The cached result for *key*, or None (counts hits/misses)."""
         entry = self._entries.get(key)
         if entry is None:
@@ -418,7 +453,7 @@ class ScanCache:
         self.hits += 1
         return entry
 
-    def put(self, key, value) -> None:
+    def put(self, key: ScanCacheKey, value: CombinedScanResult) -> None:
         """Insert *value*, evicting the least recently used entry if full."""
         entries = self._entries
         entries[key] = value
@@ -431,7 +466,7 @@ class ScanCache:
         """Drop every entry (counters are kept)."""
         self._entries.clear()
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         """Hit/miss counters and current size."""
         return {
             "hits": self.hits,

@@ -10,18 +10,29 @@ from __future__ import annotations
 import base64
 import json
 from dataclasses import asdict, dataclass, field
+from typing import Any, ClassVar, TypedDict, TypeVar
 
 from repro.core.patterns import Pattern, PatternKind
 
-_MESSAGE_TYPES: dict = {}
+_MESSAGE_TYPES: "dict[str, type[ControlMessage]]" = {}
+
+_MessageT = TypeVar("_MessageT", bound="type[ControlMessage]")
 
 
-def _register_message(cls):
+class PatternPayload(TypedDict):
+    """Wire form of one pattern: bytes travel base64-encoded."""
+
+    pattern_id: int
+    kind: str
+    data: str
+
+
+def _register_message(cls: _MessageT) -> _MessageT:
     _MESSAGE_TYPES[cls.TYPE] = cls
     return cls
 
 
-def _encode_pattern(pattern: Pattern) -> dict:
+def _encode_pattern(pattern: Pattern) -> PatternPayload:
     return {
         "pattern_id": pattern.pattern_id,
         "kind": pattern.kind.value,
@@ -29,7 +40,7 @@ def _encode_pattern(pattern: Pattern) -> dict:
     }
 
 
-def _decode_pattern(obj: dict) -> Pattern:
+def _decode_pattern(obj: PatternPayload) -> Pattern:
     return Pattern(
         pattern_id=obj["pattern_id"],
         data=base64.b64decode(obj["data"]),
@@ -41,13 +52,15 @@ def _decode_pattern(obj: dict) -> Pattern:
 class ControlMessage:
     """Base class: JSON round-trip through the ``type`` discriminator."""
 
+    TYPE: ClassVar[str]
+
     def to_json(self) -> str:
         """Serialize the message to a JSON string."""
         payload = self._to_dict()
         payload["type"] = self.TYPE
         return json.dumps(payload, sort_keys=True)
 
-    def _to_dict(self) -> dict:
+    def _to_dict(self) -> "dict[str, Any]":
         return asdict(self)
 
     @staticmethod
@@ -64,7 +77,7 @@ class ControlMessage:
         return cls._from_dict(payload)
 
     @classmethod
-    def _from_dict(cls, payload: dict) -> "ControlMessage":
+    def _from_dict(cls, payload: "dict[str, Any]") -> "ControlMessage":
         return cls(**payload)
 
 
@@ -78,7 +91,7 @@ class RegisterMiddleboxMessage(ControlMessage):
     the packets themselves.  ``stopping_condition`` bounds scan depth.
     """
 
-    TYPE = "register"
+    TYPE: ClassVar[str] = "register"
 
     middlebox_id: int
     name: str
@@ -93,7 +106,7 @@ class RegisterMiddleboxMessage(ControlMessage):
 class UnregisterMiddleboxMessage(ControlMessage):
     """A middlebox leaves the service; its pattern referrals are released."""
 
-    TYPE = "unregister"
+    TYPE: ClassVar[str] = "unregister"
 
     middlebox_id: int
 
@@ -103,19 +116,19 @@ class UnregisterMiddleboxMessage(ControlMessage):
 class AddPatternsMessage(ControlMessage):
     """Add patterns to a registered middlebox's set."""
 
-    TYPE = "add_patterns"
+    TYPE: ClassVar[str] = "add_patterns"
 
     middlebox_id: int
-    patterns: list = field(default_factory=list)
+    patterns: list[Pattern] = field(default_factory=list)
 
-    def _to_dict(self) -> dict:
+    def _to_dict(self) -> "dict[str, Any]":
         return {
             "middlebox_id": self.middlebox_id,
             "patterns": [_encode_pattern(p) for p in self.patterns],
         }
 
     @classmethod
-    def _from_dict(cls, payload: dict) -> "AddPatternsMessage":
+    def _from_dict(cls, payload: "dict[str, Any]") -> "AddPatternsMessage":
         return cls(
             middlebox_id=payload["middlebox_id"],
             patterns=[_decode_pattern(obj) for obj in payload["patterns"]],
@@ -127,10 +140,10 @@ class AddPatternsMessage(ControlMessage):
 class RemovePatternsMessage(ControlMessage):
     """Remove patterns (by local id) from a middlebox's set."""
 
-    TYPE = "remove_patterns"
+    TYPE: ClassVar[str] = "remove_patterns"
 
     middlebox_id: int
-    pattern_ids: list = field(default_factory=list)
+    pattern_ids: list[int] = field(default_factory=list)
 
 
 @_register_message
@@ -138,7 +151,7 @@ class RemovePatternsMessage(ControlMessage):
 class AckMessage(ControlMessage):
     """Controller reply: success/failure plus a human-readable detail."""
 
-    TYPE = "ack"
+    TYPE: ClassVar[str] = "ack"
 
     ok: bool
     detail: str = ""

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 class PatternKind(enum.Enum):
@@ -46,7 +47,7 @@ class Pattern:
             raise ValueError(f"negative pattern id: {self.pattern_id}")
 
     @property
-    def canonical_key(self) -> tuple:
+    def canonical_key(self) -> "tuple[PatternKind, bytes]":
         """Identity of the pattern *content*, ignoring the local id."""
         return (self.kind, self.data)
 
@@ -94,7 +95,7 @@ class PatternSet:
     def __len__(self) -> int:
         return len(self._patterns)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Pattern]":
         return iter(sorted(self._patterns.values(), key=lambda p: p.pattern_id))
 
     def __contains__(self, pattern_id: int) -> bool:
@@ -123,7 +124,8 @@ class _RegistryEntry:
     internal_id: int
     kind: PatternKind
     data: bytes
-    referrers: set = field(default_factory=set)  # {(middlebox_id, pattern_id)}
+    #: ``{(middlebox_id, pattern_id)}`` pairs referring to this entry.
+    referrers: set[tuple[int, int]] = field(default_factory=set)
 
 
 class GlobalPatternRegistry:
@@ -135,7 +137,7 @@ class GlobalPatternRegistry:
     """
 
     def __init__(self) -> None:
-        self._by_key: dict[tuple, _RegistryEntry] = {}
+        self._by_key: dict[tuple[PatternKind, bytes], _RegistryEntry] = {}
         self._by_id: dict[int, _RegistryEntry] = {}
         self._next_id = 0
 
@@ -180,8 +182,8 @@ class GlobalPatternRegistry:
         freed = 0
         for key in list(self._by_key):
             entry = self._by_key[key]
-            entry.referrers = {
-                ref for ref in entry.referrers if ref[0] != middlebox_id
+            entry.referrers = {  # rebuilds a set: order-independent
+                ref for ref in entry.referrers if ref[0] != middlebox_id  # repro: noqa[DET002]
             }
             if not entry.referrers:
                 del self._by_key[key]
@@ -201,7 +203,10 @@ class GlobalPatternRegistry:
         """Reconstruct each middlebox's current pattern set."""
         sets: dict[int, PatternSet] = {}
         for entry in self._by_id.values():
-            for middlebox_id, pattern_id in entry.referrers:
+            # Sorted: referrers is a set, and the reconstruction order
+            # decides both the returned dict's key order and which
+            # duplicate-id collision would surface first.
+            for middlebox_id, pattern_id in sorted(entry.referrers):
                 target = sets.setdefault(
                     middlebox_id, PatternSet(name=f"middlebox-{middlebox_id}")
                 )

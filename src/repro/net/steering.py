@@ -26,8 +26,10 @@ service instance is visited before any middlebox that needs scan results
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
+from typing import Protocol
 
+from repro.analysis.validators import raise_on_errors, validate_chains
 from repro.net.controller import SDNController
 from repro.net.openflow import FlowAction, FlowMatch
 from repro.net.topology import Topology
@@ -80,6 +82,18 @@ class RealizedChain:
     hop_hosts: tuple[str, ...]
 
 
+class ChainListener(Protocol):
+    """Anything notified when the policy-chain set changes.
+
+    This is the channel through which the DPI controller receives the
+    policy chains (paper Section 4.1).
+    """
+
+    def policy_chains_changed(self, chains: "dict[str, PolicyChain]") -> None:
+        """Called with the full chain map after every update."""
+        ...
+
+
 class TrafficSteeringApplication:
     """Computes and installs the steering rules for all policy chains."""
 
@@ -102,8 +116,9 @@ class TrafficSteeringApplication:
         self._instances: dict[str, list[str]] = {}
         self._round_robin: dict[str, itertools.cycle] = {}
         self.realized: dict[str, RealizedChain] = {}
-        self._chain_listeners: list = []
-        self._installed_rules: set = set()
+        self._chain_listeners: list[ChainListener] = []
+        # (switch, in-port, tag) keys of rules already installed.
+        self._installed_rules: set[tuple[str, int, int]] = set()
         self._host_routes_installed = False
         controller.register_application(self)
 
@@ -162,7 +177,7 @@ class TrafficSteeringApplication:
                 f"the {self.CHAIN_ID_STRIDE - 2}-hop tag block"
             )
 
-    def add_chain_listener(self, listener) -> None:
+    def add_chain_listener(self, listener: ChainListener) -> None:
         """*listener.policy_chains_changed(chains)* is called on updates.
 
         This is the channel through which the DPI controller receives the
@@ -217,9 +232,19 @@ class TrafficSteeringApplication:
         """The VLAN tag on the path *into* hop *segment* (0-based)."""
         return chain.chain_id + segment
 
-    def realize(self) -> None:
+    def realize(self, validate: bool = True) -> None:
         """Compute and install every rule: host routes, ingress classifiers
-        and per-hop chain forwarding."""
+        and per-hop chain forwarding.
+
+        With ``validate=True`` (the default) the chains and assignments
+        are statically checked first
+        (:func:`repro.analysis.validators.validate_chains`); error-grade
+        issues raise :class:`~repro.analysis.validators.ValidationError`
+        *before* any rule is installed, so a misconfigured chain cannot
+        leave a switch half-programmed.
+        """
+        if validate:
+            raise_on_errors(validate_chains(self))
         self._install_host_routes()
         for assignment in self.assignments:
             chain = self.chains[assignment.chain_name]
@@ -375,8 +400,8 @@ class TrafficSteeringApplication:
         chain_name: str,
         src_host: str,
         five_tuple,
-        replacement_hops: dict,
-    ) -> list:
+        replacement_hops: dict[str, str],
+    ) -> "list[tuple[str, object]]":
         """Steer one flow of an assigned chain through substitute hops.
 
         ``replacement_hops`` maps a host name on the chain's realized path
@@ -433,7 +458,7 @@ class TrafficSteeringApplication:
 
     def _install_flow_ingress(
         self, chain: PolicyChain, src: str, first_hop: str, five_tuple
-    ) -> object:
+    ) -> "tuple[str, object]":
         path = self.topology.shortest_path(src, first_hop)
         ingress_switch = path[1]
         in_port = self.topology.port_toward(ingress_switch, src)
@@ -455,7 +480,7 @@ class TrafficSteeringApplication:
         self._install_tagged_path(tag, path, skip_first_switch=True, final=False)
         return (ingress_switch, entry)
 
-    def unpin_flow(self, installed: list) -> int:
+    def unpin_flow(self, installed: "list[tuple[str, object]]") -> int:
         """Remove the ingress entries returned by :meth:`pin_flow`."""
         removed = 0
         for switch_name, entry in installed:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from bisect import bisect_left
+from typing import Any, Callable, Iterable, TypedDict
 
 #: Default histogram bucket upper bounds (seconds), tuned for per-packet
 #: scan latencies: one microsecond up to one second.
@@ -24,8 +25,40 @@ DEFAULT_LATENCY_BUCKETS = (
     1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0,
 )
 
+#: A metric's identity: ``(name, sorted label items)``.
+LabelKey = tuple[tuple[str, Any], ...]
+MetricKey = tuple[str, LabelKey]
 
-def _label_key(labels: dict) -> tuple:
+#: Any concrete metric type (written ``Counter | Gauge | Histogram`` once
+#: the classes exist; a string alias keeps the forward reference readable).
+Metric = "Counter | Gauge | Histogram"
+
+
+class MetricPayload(TypedDict, total=False):
+    """One metric's plain-dict rendering (the JSONL exporter's row shape).
+
+    ``value`` is present for counters and gauges; ``sum``/``count``/
+    ``buckets`` for histograms.  ``kind``, ``name`` and ``labels`` are
+    always present.
+    """
+
+    kind: str
+    name: str
+    labels: dict[str, Any]
+    value: float
+    sum: float
+    count: int
+    buckets: list[list[Any]]
+
+
+class RegistrySnapshot(TypedDict):
+    """:meth:`MetricsRegistry.snapshot`'s shape: a timestamped collection."""
+
+    ts: float
+    metrics: list[MetricPayload]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
     return tuple(sorted(labels.items()))
 
 
@@ -35,16 +68,16 @@ class Counter:
     __slots__ = ("name", "labels", "value")
     kind = "counter"
 
-    def __init__(self, name: str, labels: dict) -> None:
+    def __init__(self, name: str, labels: dict[str, Any]) -> None:
         self.name = name
         self.labels = labels
-        self.value = 0
+        self.value: float = 0
 
-    def inc(self, amount=1) -> None:
+    def inc(self, amount: float = 1) -> None:
         """Add *amount* (must be >= 0 to stay monotonic)."""
         self.value += amount
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> MetricPayload:
         """A plain-dict rendering (for the JSONL exporter)."""
         return {
             "kind": self.kind,
@@ -65,32 +98,32 @@ class Gauge:
     __slots__ = ("name", "labels", "_value", "callback")
     kind = "gauge"
 
-    def __init__(self, name: str, labels: dict) -> None:
+    def __init__(self, name: str, labels: dict[str, Any]) -> None:
         self.name = name
         self.labels = labels
-        self._value = 0
-        self.callback = None
+        self._value: float = 0
+        self.callback: "Callable[[], float] | None" = None
 
-    def set(self, value) -> None:
+    def set(self, value: float) -> None:
         """Set the gauge (ignored while a callback is bound)."""
         self._value = value
 
-    def inc(self, amount=1) -> None:
+    def inc(self, amount: float = 1) -> None:
         """Add *amount* to the stored value."""
         self._value += amount
 
-    def dec(self, amount=1) -> None:
+    def dec(self, amount: float = 1) -> None:
         """Subtract *amount* from the stored value."""
         self._value -= amount
 
     @property
-    def value(self):
+    def value(self) -> float:
         """The current value (evaluates the callback when bound)."""
         if self.callback is not None:
             return self.callback()
         return self._value
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> MetricPayload:
         """A plain-dict rendering (for the JSONL exporter)."""
         return {
             "kind": self.kind,
@@ -111,7 +144,12 @@ class Histogram:
     __slots__ = ("name", "labels", "bounds", "bucket_counts", "sum", "count")
     kind = "histogram"
 
-    def __init__(self, name: str, labels: dict, bounds=None) -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, Any],
+        bounds: "Iterable[float] | None" = None,
+    ) -> None:
         self.name = name
         self.labels = labels
         self.bounds = tuple(bounds) if bounds is not None else DEFAULT_LATENCY_BUCKETS
@@ -121,7 +159,7 @@ class Histogram:
         self.sum = 0.0
         self.count = 0
 
-    def observe(self, value) -> None:
+    def observe(self, value: float) -> None:
         """Record one observation."""
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.sum += value
@@ -132,17 +170,17 @@ class Histogram:
         """Average observed value (0.0 before any observation)."""
         return self.sum / self.count if self.count else 0.0
 
-    def cumulative_buckets(self) -> list:
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``(upper bound, cumulative count)`` pairs, +Inf last."""
         cumulative = 0
-        rendered = []
+        rendered: list[tuple[float, int]] = []
         for bound, bucket_count in zip(self.bounds, self.bucket_counts):
             cumulative += bucket_count
             rendered.append((bound, cumulative))
         rendered.append((float("inf"), cumulative + self.bucket_counts[-1]))
         return rendered
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> MetricPayload:
         """A plain-dict rendering (for the JSONL exporter)."""
         return {
             "kind": self.kind,
@@ -160,9 +198,9 @@ class Histogram:
 class MetricsRegistry:
     """Named, labeled metrics with get-or-create accessors."""
 
-    def __init__(self, clock=None) -> None:
+    def __init__(self, clock: "Callable[[], float] | None" = None) -> None:
         self._clock = clock if clock is not None else time.monotonic
-        self._metrics: dict = {}
+        self._metrics: "dict[MetricKey, Counter | Gauge | Histogram]" = {}
         self._kinds: dict[str, str] = {}
 
     def now(self) -> float:
@@ -193,13 +231,17 @@ class MetricsRegistry:
         """Get or create a gauge."""
         return self._get_or_create(Gauge, "gauge", name, labels)
 
-    def gauge_callback(self, name: str, callback, **labels) -> Gauge:
+    def gauge_callback(
+        self, name: str, callback: Callable[[], float], **labels
+    ) -> Gauge:
         """Get or create a gauge and (re)bind its value callback."""
         gauge = self.gauge(name, **labels)
         gauge.callback = callback
         return gauge
 
-    def histogram(self, name: str, buckets=None, **labels) -> Histogram:
+    def histogram(
+        self, name: str, buckets: "Iterable[float] | None" = None, **labels
+    ) -> Histogram:
         """Get or create a fixed-bucket histogram."""
         return self._get_or_create(
             Histogram, "histogram", name, labels, bounds=buckets
@@ -207,33 +249,37 @@ class MetricsRegistry:
 
     # --- queries ----------------------------------------------------------
 
-    def get(self, name: str, **labels):
+    def get(self, name: str, **labels) -> "Counter | Gauge | Histogram | None":
         """The metric at (name, labels), or None."""
         return self._metrics.get((name, _label_key(labels)))
 
-    def value(self, name: str, default=0, **labels):
+    def value(self, name: str, default: float = 0, **labels) -> float:
         """A counter/gauge value, or *default* when absent."""
         metric = self.get(name, **labels)
         return default if metric is None else metric.value
 
-    def collect(self) -> list:
+    def collect(self) -> "list[Counter | Gauge | Histogram]":
         """Every metric, sorted by (name, labels) for stable output."""
         return [self._metrics[key] for key in sorted(self._metrics)]
 
-    def collect_named(self, name: str) -> list:
+    def collect_named(self, name: str) -> "list[Counter | Gauge | Histogram]":
         """Every label variant of one metric name, sorted by labels."""
         return [
             self._metrics[key] for key in sorted(self._metrics) if key[0] == name
         ]
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> RegistrySnapshot:
         """All current values, timestamped by the registry clock."""
         return {
             "ts": self.now(),
             "metrics": [metric.as_dict() for metric in self.collect()],
         }
 
-    def window(self, names=None, zero_baseline: bool = False) -> "MetricsWindow":
+    def window(
+        self,
+        names: "Iterable[str] | None" = None,
+        zero_baseline: bool = False,
+    ) -> "MetricsWindow":
         """A new delta window over the counters named in *names* (None =
         every counter).  ``zero_baseline`` makes the first delta cover
         everything accumulated so far instead of starting from now."""
@@ -256,7 +302,7 @@ class MetricsRegistry:
 class WindowDelta(dict):
     """Counter increments over one window, keyed by (name, label items)."""
 
-    def value(self, name: str, default=0, **labels):
+    def value(self, name: str, default: float = 0, **labels) -> float:
         """The delta for one labeled counter, or *default*."""
         return self.get((name, _label_key(labels)), default)
 
@@ -271,17 +317,17 @@ class MetricsWindow:
     def __init__(
         self,
         registry: MetricsRegistry,
-        names=None,
+        names: "Iterable[str] | None" = None,
         zero_baseline: bool = False,
     ) -> None:
         self._registry = registry
         self._names = frozenset(names) if names is not None else None
-        self._last: dict = {}
+        self._last: dict[MetricKey, float] = {}
         if not zero_baseline:
             self._last = self._capture()
 
-    def _capture(self) -> dict:
-        captured = {}
+    def _capture(self) -> dict[MetricKey, float]:
+        captured: dict[MetricKey, float] = {}
         names = self._names
         for key, metric in self._registry._metrics.items():
             if metric.kind != "counter":

@@ -46,6 +46,7 @@ class ScenarioResult:
     hub: TelemetryHub | None
     topology: Topology
     dpi_controller: DPIController
+    tsa: TrafficSteeringApplication
     instance: object
     middleboxes: dict
     packets_sent: int
@@ -158,6 +159,7 @@ def run_figure5_scenario(
         hub=hub,
         topology=topo,
         dpi_controller=dpi_controller,
+        tsa=tsa,
         instance=instance,
         middleboxes={
             "ids1": ids1, "ids2": ids2, "av1": av1, "firewall": firewall

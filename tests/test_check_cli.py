@@ -1,0 +1,123 @@
+"""End-to-end CLI tests for ``repro-dpi check`` and ``repro-dpi lint``.
+
+These exercise the real ``main()`` entry point: exit codes, the text
+report on stdout, and the JSON document shape, including every fault
+the check command can inject into the figure-5 scenario.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import CHECK_FAULTS, main
+
+# Which validator code each injectable fault must surface as an ERROR.
+FAULT_CODES = {
+    "ghost-chain": "CHAIN001",
+    "overlap-chain": "CHAIN002",
+    "orphan-rule": "STEER001",
+    "duplicate-rule": "FLOW002",
+    "dangling-assignment": "CHAIN003",
+}
+
+
+def test_fault_table_matches_cli_registry():
+    assert sorted(FAULT_CODES) == sorted(CHECK_FAULTS)
+
+
+def test_check_clean_scenario_exits_zero(capsys):
+    assert main(["check", "figure5"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+@pytest.mark.parametrize("fault", sorted(FAULT_CODES))
+def test_check_injected_fault_fails_with_its_code(fault, capsys):
+    assert main(["check", "figure5", "--inject", fault]) == 1
+    out = capsys.readouterr().out
+    assert FAULT_CODES[fault] in out
+    assert "ERROR" in out
+    # The report stays readable: one issue line plus the summary.
+    assert out.splitlines()[-1].endswith("warning(s)")
+
+
+def test_check_multiple_faults_compose(capsys):
+    argv = ["check", "figure5", "--inject", "ghost-chain",
+            "--inject", "duplicate-rule"]
+    assert main(argv) == 1
+    out = capsys.readouterr().out
+    assert "CHAIN001" in out and "FLOW002" in out
+
+
+def test_check_json_document_shape(capsys):
+    assert main(["check", "figure5", "--inject", "orphan-rule",
+                 "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == 1
+    assert document["errors"] >= 1
+    assert {"code", "severity", "subject", "message"} <= set(
+        document["issues"][0]
+    )
+    assert any(i["code"] == "STEER001" for i in document["issues"])
+
+
+def test_check_json_clean_has_no_issues(capsys):
+    assert main(["check", "figure5", "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["errors"] == 0
+    assert document["issues"] == []
+
+
+def test_check_rejects_unknown_fault(capsys):
+    with pytest.raises(SystemExit):
+        main(["check", "figure5", "--inject", "not-a-fault"])
+
+
+# --- lint CLI ---------------------------------------------------------------
+
+BAD_MODULE = (
+    "import time\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+
+
+def write_sim_module(tmp_path, source):
+    module_dir = tmp_path / "repro" / "core"
+    module_dir.mkdir(parents=True)
+    path = module_dir / "mod.py"
+    path.write_text(source)
+    return path
+
+
+def test_lint_flags_bad_file_and_exits_one(tmp_path, capsys):
+    path = write_sim_module(tmp_path, BAD_MODULE)
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+    assert "1 finding(s)" in out
+
+
+def test_lint_clean_file_exits_zero(tmp_path, capsys):
+    path = write_sim_module(tmp_path, "def stamp(now):\n    return now\n")
+    assert main(["lint", str(path)]) == 0
+    assert capsys.readouterr().out == "no findings\n"
+
+
+def test_lint_json_output(tmp_path, capsys):
+    path = write_sim_module(tmp_path, BAD_MODULE)
+    assert main(["lint", str(path), "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["findings"][0]["code"] == "DET001"
+    assert document["findings"][0]["path"].endswith("mod.py")
+
+
+def test_lint_without_paths_exits_two(capsys):
+    assert main(["lint"]) == 2
+    assert "no paths given" in capsys.readouterr().err
+
+
+def test_lint_self_is_clean(capsys):
+    assert main(["lint", "--self"]) == 0
+    assert capsys.readouterr().out == "no findings\n"
