@@ -38,7 +38,7 @@ controller.handle_message(
 controller.policy_chains_changed(
     {"c": PolicyChain("c", ("ids",), chain_id=CHAIN)}
 )
-instance = controller.create_instance("dpi-1")
+instance = controller.instances.provision("dpi-1")
 
 # ----------------------------------------------------------------------
 # 2. Calibrate the stress monitor on benign traffic.
@@ -94,7 +94,7 @@ for _ in range(5):
     dedicated.inspect(attack_payload, CHAIN, flow_key="attacker-0")
     instance.inspect(generator.benign_payload(900), CHAIN, flow_key="user-1")
 
-telemetry = controller.collect_telemetry()
+telemetry = controller.telemetry_snapshot().instances
 print("\nper-instance telemetry after mitigation:")
 for name, snapshot in telemetry.items():
     print(f"  {name}: {snapshot['packets_scanned']} packets, "

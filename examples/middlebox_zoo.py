@@ -69,7 +69,7 @@ for middlebox in zoo:
 controller.policy_chains_changed(
     {"zoo": PolicyChain("zoo", tuple(m.name for m in zoo), chain_id=CHAIN)}
 )
-instance = controller.create_instance("dpi-1")
+instance = controller.instances.provision("dpi-1")
 print(
     f"{len(zoo)} middleboxes, {len(controller.registry)} distinct patterns, "
     f"one automaton with {instance.automaton.num_states} states"

@@ -63,7 +63,7 @@ tsa.realize()
 # ----------------------------------------------------------------------
 # 4. Data plane functions on the hosts.
 # ----------------------------------------------------------------------
-instance = dpi_controller.create_instance("dpi1")
+instance = dpi_controller.instances.provision("dpi1")
 topo.hosts["dpi1"].set_function(DPIServiceFunction(instance))
 topo.hosts["mb1"].set_function(MiddleboxChainFunction(ids))
 topo.hosts["mb2"].set_function(MiddleboxChainFunction(shaper))

@@ -55,7 +55,7 @@ from repro.net.steering import PolicyChain  # noqa: E402
 controller.policy_chains_changed(
     {"web": PolicyChain("web", ("ids", "av"), chain_id=100)}
 )
-instance = controller.create_instance("dpi-1")
+instance = controller.instances.provision("dpi-1")
 print(
     f"instance automaton: {instance.automaton.num_states} states, "
     f"{instance.automaton.num_accepting} accepting"

@@ -39,7 +39,7 @@ controller.handle_message(
 controller.policy_chains_changed(
     {"exfil": PolicyChain("exfil", ("dlp",), chain_id=CHAIN)}
 )
-instance = controller.create_instance("dpi-1")
+instance = controller.instances.provision("dpi-1")
 reassembler = TCPReassembler()
 preprocessor = PayloadPreprocessor()
 

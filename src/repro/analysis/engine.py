@@ -32,7 +32,7 @@ _NOQA_PATTERN = re.compile(
 )
 
 #: Module prefixes treated as simulation paths by determinism rules.
-SIM_SCOPE_PREFIXES = ("repro.net", "repro.core")
+SIM_SCOPE_PREFIXES = ("repro.net", "repro.core", "repro.faults")
 
 
 def module_name_for(path: str) -> str:

@@ -13,6 +13,7 @@ DET001    wall-clock / unseeded randomness on simulation paths
 DET002    iteration over unordered sets on simulation paths
 TEL001    unbounded metric label cardinality
 API001    mutable default argument
+API002    in-repo call to a deprecated DPIController lifecycle shim
 KER001    scan-kernel public method outside the kernel contract surface
 PARSE001  (engine-emitted) unparseable module
 ========  ==================================================================

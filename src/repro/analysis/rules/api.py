@@ -1,4 +1,4 @@
-"""API hygiene rule: no mutable default arguments."""
+"""API hygiene rules: mutable defaults, deprecated lifecycle shims."""
 
 from __future__ import annotations
 
@@ -65,3 +65,45 @@ class MutableDefaultRule(Rule):
                     f"mutable default argument in {label}(); use None and "
                     "create the object inside the function body",
                 )
+
+
+#: Deprecated DPIController lifecycle/telemetry shims -> their replacement.
+_DEPRECATED_SHIMS = {
+    "build_instance_config": "instances.build_config(...)",
+    "create_instance": "instances.provision(name, ...)",
+    "remove_instance": "instances.decommission(name)",
+    "refresh_instances": "instances.refresh()",
+    "deploy_grouped": "instances.plan_groups(...)",
+    "collect_telemetry": "telemetry_snapshot().instances",
+}
+
+
+@register_rule
+class DeprecatedLifecycleShimRule(Rule):
+    """API002: in-repo code must not call the deprecated lifecycle shims.
+
+    ``DPIController.create_instance`` and friends survive only as
+    :class:`DeprecationWarning` shims for downstream callers; everything in
+    this repository goes through the ``controller.instances`` facade
+    (:class:`~repro.core.lifecycle.InstanceManager`) or
+    ``controller.telemetry_snapshot()``.
+    """
+
+    code = "API002"
+    summary = "no in-repo calls to deprecated DPIController lifecycle shims"
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, context: "LintContext") -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        replacement = _DEPRECATED_SHIMS.get(func.attr)
+        if replacement is None:
+            return
+        yield context.finding(
+            node,
+            self.code,
+            f".{func.attr}() is a deprecation shim; use "
+            f"controller.{replacement}",
+        )

@@ -287,6 +287,57 @@ def _cmd_check(args) -> int:
     return 1 if errors_in(issues) else 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults import FaultPlan, HeartbeatConfig, run_chaos_scenario
+
+    try:
+        plan = FaultPlan.load(args.plan)
+    except (OSError, ValueError) as error:
+        print(f"chaos: cannot load plan {args.plan}: {error}", file=sys.stderr)
+        return 2
+    heartbeat = HeartbeatConfig(failover_budget=args.failover_budget)
+    result = run_chaos_scenario(
+        plan,
+        scenario=args.scenario,
+        packets=args.packets,
+        kernel=args.kernel,
+        heartbeat=heartbeat,
+        allow_spare=not args.no_spare,
+    )
+    summary = result.summary()
+    if args.format == "json":
+        import json
+
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"scenario: {summary['scenario']}  plan: {args.plan}")
+        print(
+            f"packets: {summary['packets_sent']} sent, "
+            f"{summary['packets_received']} received, "
+            f"{summary['policy_drops']} dropped by policy, "
+            f"{summary['packets_lost']} lost to faults"
+        )
+        for event in summary["faults"]:
+            detail = f"  ({event['detail']})" if event["detail"] else ""
+            print(
+                f"  t={event['time']:<8.3f} {event['phase']:<8} "
+                f"{event['kind']} -> {event['target']}{detail}"
+            )
+        for name, duration in summary["failover_times"].items():
+            print(
+                f"failover {name}: {duration:.3f}s "
+                f"(budget {summary['failover_budget']:.3f}s)"
+            )
+        print(
+            f"lost after recovery: {summary['lost_after_recovery']}  "
+            f"unrecovered instances: "
+            f"{len(summary['unrecovered_instances'])}"
+        )
+        print(f"digest: {summary['digest']}")
+        print("result: " + ("OK" if result.ok else "FAILED"))
+    return 0 if result.ok else 1
+
+
 def _cmd_demo(args) -> int:
     from repro.core.controller import DPIController
     from repro.core.messages import AddPatternsMessage, RegisterMiddleboxMessage
@@ -304,7 +355,7 @@ def _cmd_demo(args) -> int:
     controller.policy_chains_changed(
         {"demo": PolicyChain("demo", ("ids", "av"), chain_id=100)}
     )
-    instance = controller.create_instance("demo-instance")
+    instance = controller.instances.provision("demo-instance")
     samples = [
         b"a perfectly clean packet",
         b"carrying the attack-demo-sig here",
@@ -423,6 +474,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--format", choices=("text", "json"), default="text")
     check.set_defaults(func=_cmd_check)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a fault plan against a scenario and grade the recovery",
+    )
+    chaos.add_argument("scenario", choices=("figure5",))
+    chaos.add_argument(
+        "--plan", required=True, help="fault plan JSON file to execute"
+    )
+    chaos.add_argument("--packets", type=int, default=60)
+    chaos.add_argument("--kernel", choices=KERNEL_NAMES, default="flat")
+    chaos.add_argument(
+        "--failover-budget",
+        type=float,
+        default=1.0,
+        help="max seconds from failure detection to chains recovered",
+    )
+    chaos.add_argument(
+        "--no-spare",
+        action="store_true",
+        help="run without a standby host (forces graceful degradation)",
+    )
+    chaos.add_argument("--format", choices=("text", "json"), default="text")
+    chaos.set_defaults(func=_cmd_chaos)
 
     demo = commands.add_parser("demo", help="run a tiny end-to-end demo")
     demo.set_defaults(func=_cmd_demo)

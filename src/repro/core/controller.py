@@ -20,10 +20,11 @@ Responsibilities implemented here:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
-from repro.analysis.validators import raise_on_errors, validate_instance_config
 from repro.core.instance import DPIServiceInstance, InstanceConfig
+from repro.core.lifecycle import InstanceManager
 from repro.core.messages import (
     AckMessage,
     AddPatternsMessage,
@@ -73,9 +74,14 @@ class DPIController:
         # keep their scanning config even after the TSA drops the (off-path)
         # middlebox types from the routing chain.
         self._chain_overrides: dict[int, tuple] = {}
-        self.instances: dict[str, DPIServiceInstance] = {}
-        self._instance_chain_filter: dict[str, tuple | None] = {}
+        #: The unified instance-lifecycle facade: a read-only mapping of
+        #: ``name -> DPIServiceInstance`` plus the lifecycle verbs
+        #: (``provision`` / ``decommission`` / ``plan_groups`` / ``refresh``).
+        self.instances = InstanceManager(self)
         self._tsa = None
+        #: The attached MCA² stress monitor, if any (set by StressMonitor);
+        #: its calibrated baselines ride along in telemetry snapshots.
+        self.stress_monitor = None
 
     # --- middlebox registration -------------------------------------------
 
@@ -291,7 +297,20 @@ class DPIController:
             for chain_id in selected
         }
 
-    # --- instance lifecycle ----------------------------------------------------
+    # --- instance lifecycle (deprecated shims) -----------------------------
+    #
+    # The lifecycle API lives on the ``instances`` facade
+    # (:class:`~repro.core.lifecycle.InstanceManager`).  The methods below
+    # are deprecation shims only; in-repo callers are flagged by lint rule
+    # API002.
+
+    @staticmethod
+    def _deprecated(old: str, new: str) -> None:
+        warnings.warn(
+            f"DPIController.{old} is deprecated; use controller.{new}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     def build_instance_config(
         self,
@@ -300,29 +319,10 @@ class DPIController:
         kernel: str = "flat",
         scan_cache_size: int = 0,
     ) -> InstanceConfig:
-        """The configuration for an instance serving *chain_ids* (None =
-        every chain).  Only middleboxes on the selected chains are included
-        (Section 4.3: instances specialized per chain group)."""
-        chain_map = self.chain_map(chain_ids)
-        needed: set[int] = set()
-        for middlebox_ids in chain_map.values():
-            needed.update(middlebox_ids)
-        if chain_ids is None and not chain_map:
-            # No chains known yet: serve every registered middlebox through
-            # an implicit chain per middlebox (useful for direct API use).
-            needed = set(self._middleboxes)
-        pattern_sets = {
-            middlebox_id: list(self._middleboxes[middlebox_id].pattern_set)
-            for middlebox_id in sorted(needed)
-        }
-        profiles = {
-            middlebox_id: self._middleboxes[middlebox_id].profile
-            for middlebox_id in sorted(needed)
-        }
-        return InstanceConfig(
-            pattern_sets=pattern_sets,
-            profiles=profiles,
-            chain_map=chain_map,
+        """Deprecated: use ``controller.instances.build_config(...)``."""
+        self._deprecated("build_instance_config", "instances.build_config")
+        return self.instances.build_config(
+            chain_ids=chain_ids,
             layout=layout,
             kernel=kernel,
             scan_cache_size=scan_cache_size,
@@ -337,52 +337,28 @@ class DPIController:
         scan_cache_size: int = 0,
         validate: bool = True,
     ) -> DPIServiceInstance:
-        """Spawn a DPI service instance from the current configuration.
-
-        With ``validate=True`` (the default) the built configuration is
-        statically checked
-        (:func:`repro.analysis.validators.validate_instance_config`) and
-        error-grade issues raise
-        :class:`~repro.analysis.validators.ValidationError` before the
-        instance exists.
-        """
-        if name in self.instances:
-            raise ValueError(f"duplicate instance name: {name}")
-        config = self.build_instance_config(
-            chain_ids, layout=layout, kernel=kernel, scan_cache_size=scan_cache_size
+        """Deprecated: use ``controller.instances.provision(name, ...)``."""
+        self._deprecated("create_instance", "instances.provision")
+        return self.instances.provision(
+            name,
+            chain_ids=chain_ids,
+            layout=layout,
+            kernel=kernel,
+            scan_cache_size=scan_cache_size,
+            validate=validate,
         )
-        if validate:
-            raise_on_errors(validate_instance_config(config))
-        instance = DPIServiceInstance(config, name=name, telemetry=self.telemetry)
-        self.instances[name] = instance
-        self._instance_chain_filter[name] = (
-            tuple(chain_ids) if chain_ids is not None else None
-        )
-        return instance
 
     def remove_instance(self, name: str) -> DPIServiceInstance:
-        """Tear down an instance; raises KeyError if unknown."""
-        instance = self.instances.pop(name, None)
-        if instance is None:
-            raise KeyError(f"no instance named {name}")
-        self._instance_chain_filter.pop(name, None)
-        self.telemetry.registry.drop(instance=name)
+        """Deprecated: use ``controller.instances.decommission(name)``."""
+        self._deprecated("remove_instance", "instances.decommission")
+        instance = self.instances.decommission(name)
+        assert instance is not None  # missing_ok defaults to False
         return instance
 
     def refresh_instances(self) -> None:
-        """Push updated configurations after pattern or chain changes."""
-        for name, instance in self.instances.items():
-            chain_ids = self._instance_chain_filter.get(name)
-            instance.reconfigure(
-                self.build_instance_config(
-                    chain_ids,
-                    layout=instance.config.layout,
-                    kernel=instance.config.kernel,
-                    scan_cache_size=instance.config.scan_cache_size,
-                )
-            )
-
-    # --- grouped deployment (Section 4.3) ---------------------------------
+        """Deprecated: use ``controller.instances.refresh()``."""
+        self._deprecated("refresh_instances", "instances.refresh")
+        self.instances.refresh()
 
     def deploy_grouped(
         self,
@@ -391,30 +367,14 @@ class DPIController:
         kernel: str = "flat",
         name_prefix: str = "dpi-group",
     ) -> dict:
-        """Deploy one instance per group of similar policy chains.
-
-        Chains are grouped by the similarity of their middlebox sets (the
-        paper's "group together similar policy chains" deployment choice),
-        and each group gets a specialized instance carrying only its own
-        pattern sets.  Returns ``{instance name: [chain ids]}``.
-        """
-        from repro.core.deployment import group_chains_by_similarity
-
-        chain_map = self.chain_map()
-        populated = {
-            chain_id: middleboxes
-            for chain_id, middleboxes in chain_map.items()
-            if middleboxes
-        }
-        if not populated:
-            raise ValueError("no policy chains with registered middleboxes")
-        groups = group_chains_by_similarity(populated, max_groups=max_groups)
-        deployed = {}
-        for index, chain_ids in enumerate(groups, start=1):
-            name = f"{name_prefix}-{index}"
-            self.create_instance(name, chain_ids=chain_ids, layout=layout, kernel=kernel)
-            deployed[name] = list(chain_ids)
-        return deployed
+        """Deprecated: use ``controller.instances.plan_groups(...)``."""
+        self._deprecated("deploy_grouped", "instances.plan_groups")
+        return self.instances.plan_groups(
+            max_groups=max_groups,
+            layout=layout,
+            kernel=kernel,
+            name_prefix=name_prefix,
+        )
 
     def load_samples(self, window_seconds: float) -> list:
         """Per-instance :class:`~repro.core.deployment.LoadSample` objects
@@ -440,20 +400,32 @@ class DPIController:
 
     # --- telemetry and migration ---------------------------------------------
 
+    def telemetry_snapshot(self):
+        """The unified, typed telemetry snapshot
+        (:class:`~repro.telemetry.snapshot.TelemetrySnapshot`): per-instance
+        counters, stress-monitor baselines, the full registry dump and every
+        recorded fault event, timestamped by the hub clock."""
+        from repro.telemetry.snapshot import build_snapshot
+
+        return build_snapshot(self)
+
     def collect_telemetry(self) -> dict:
-        """Per-instance telemetry snapshots, keyed by name."""
-        return {
-            name: instance.telemetry.snapshot()
-            for name, instance in self.instances.items()
-        }
+        """Deprecated: use ``controller.telemetry_snapshot().instances``."""
+        self._deprecated("collect_telemetry", "telemetry_snapshot().instances")
+        return dict(self.telemetry_snapshot().instances)
 
     def migrate_flow(self, flow_key, source_name: str, target_name: str) -> bool:
         """Move one flow's scan state between instances (Section 4.3).
 
         Returns False when the source holds no state for the flow (nothing
-        to migrate — the target will simply start it fresh).  Both
-        instances must share the same configuration for DFA states to be
-        meaningful, which holds for instances built from the same config.
+        to migrate — the target will simply start it fresh).  A missing
+        source or target raises ``KeyError(f"no instance named {name}")``
+        (the same contract as ``instances.decommission``); a crashed source
+        or target raises
+        :class:`~repro.core.instance.InstanceUnavailableError` so callers
+        can distinguish "gone" from "down".  Both instances must share the
+        same configuration for DFA states to be meaningful, which holds for
+        instances built from the same config.
         """
         source = self.instances[source_name]
         target = self.instances[target_name]

@@ -34,6 +34,15 @@ from repro.net.packet import Packet
 RESULT_MODES = ("result_packet", "nsh", "tags")
 
 
+class InstanceUnavailableError(RuntimeError):
+    """Raised when an operation reaches a crashed DPI service instance.
+
+    Distinct from ``KeyError`` (unknown instance name) so control-plane
+    callers can tell "gone" from "down": a crashed instance still occupies
+    its name and may be restarted by the recovery layer.
+    """
+
+
 @dataclass
 class InstanceConfig:
     """What the controller passes to an instance at initialization
@@ -63,7 +72,7 @@ class InstanceConfig:
             raise ValueError(f"negative scan cache size: {self.scan_cache_size}")
 
 
-class TelemetrySnapshot(TypedDict):
+class InstanceTelemetrySnapshot(TypedDict):
     """The shape of :meth:`InstanceTelemetry.snapshot`."""
 
     packets_scanned: int
@@ -89,7 +98,7 @@ class InstanceTelemetry:
     # Heaviest flows by per-byte work, for the stress monitor.
     flow_work: dict[Hashable, float] = field(default_factory=dict)
 
-    def snapshot(self) -> TelemetrySnapshot:
+    def snapshot(self) -> InstanceTelemetrySnapshot:
         """A plain-dict copy of the counters."""
         return {
             "packets_scanned": self.packets_scanned,
@@ -133,6 +142,12 @@ class DPIServiceInstance:
         self.name = name
         self.telemetry = InstanceTelemetry()
         self.hub = telemetry
+        #: False between :meth:`crash` and :meth:`restart`.  A crashed
+        #: instance rejects every scan and migration operation with
+        #: :class:`InstanceUnavailableError`.
+        self.alive = True
+        self.crashes = 0
+        self.restarts = 0
         self._configure(config)
 
     def _configure(self, config: InstanceConfig) -> None:
@@ -212,6 +227,50 @@ class DPIServiceInstance:
         """
         self._configure(config)
 
+    # --- failure model (fault injection / recovery) ------------------------
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise InstanceUnavailableError(
+                f"instance {self.name} has crashed and was not restarted"
+            )
+
+    def crash(self) -> None:
+        """Simulate a process crash: the instance stops serving.
+
+        All in-memory per-flow DFA state is lost; every scan or migration
+        operation raises :class:`InstanceUnavailableError` until
+        :meth:`restart`.  Idempotent — crashing a crashed instance is a
+        no-op (matching a double SIGKILL).
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        if self.hub is not None:
+            self.hub.registry.counter(
+                "dpi_instance_crashes_total", instance=self.name
+            ).inc()
+
+    def restart(self) -> None:
+        """Bring a crashed instance back with a cold start.
+
+        The automaton is rebuilt from the last pushed configuration; the
+        flow table and the local telemetry counters start empty, exactly as
+        a freshly spawned process would (registry counters are cumulative
+        and keep their history).
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.restarts += 1
+        self.telemetry = InstanceTelemetry()
+        self._configure(self.config)
+        if self.hub is not None:
+            self.hub.registry.counter(
+                "dpi_instance_restarts_total", instance=self.name
+            ).inc()
+
     # --- inspection -------------------------------------------------------------
 
     def inspect(
@@ -228,6 +287,7 @@ class DPIServiceInstance:
         the instance has a tracing telemetry hub, the scan is recorded as an
         ``inspect`` span under it.
         """
+        self._require_alive()
         telemetry_on = self._m_packets is not None
         cache = self.automaton.scan_cache if telemetry_on else None
         cache_hits_before = cache.hits if cache is not None else 0
@@ -327,10 +387,12 @@ class DPIServiceInstance:
 
     def export_flow(self, flow_key) -> "ExportedFlow | None":
         """Hand a flow's scan state to the controller for migration."""
+        self._require_alive()
         return self.scanner.flow_table.export_flow(flow_key)
 
     def import_flow(self, flow_key, exported: ExportedFlow) -> None:
         """Install migrated flow scan state."""
+        self._require_alive()
         self.scanner.flow_table.import_flow(flow_key, exported)
 
     def drop_flow(self, flow_key) -> None:
@@ -388,10 +450,22 @@ class DPIServiceFunction(NetworkFunction):
         self.packets_forwarded = 0
         self.packets_skipped = 0
         self.direct_results_sent = 0
+        self.packets_blackholed = 0
+        #: Fault injection: while set, emitted result packets have their
+        #: report payload deterministically corrupted (first byte flipped),
+        #: exercising the middlebox fail-open path.
+        self.corrupt_results = False
+        self.results_corrupted = 0
 
     def process(self, packet: Packet) -> list[Packet]:
         # Result packets or untagged traffic pass through untouched.
         """Handle one received packet; return the packets to send on."""
+        if not self.instance.alive:
+            # A crashed instance forwards nothing: packets steered at its
+            # host are blackholed until the recovery layer re-steers the
+            # chains (the loss the failover-time budget bounds).
+            self.packets_blackholed += 1
+            return []
         tag = packet.outer_vlan
         if packet.is_result_packet or tag is None:
             self.packets_skipped += 1
@@ -423,6 +497,11 @@ class DPIServiceFunction(NetworkFunction):
             encode_tag_results(packet, output.report)
             return [packet]
         result = build_result_packet(packet, output.report)
+        if self.corrupt_results and result.payload:
+            result.payload = (
+                bytes([result.payload[0] ^ 0xFF]) + result.payload[1:]
+            )
+            self.results_corrupted += 1
         return [packet, result]
 
     def _emit_direct(self, packet: Packet, output: InspectionOutput) -> list[Packet]:

@@ -67,6 +67,9 @@ class StressMonitor:
                 f"threshold factor must exceed 1.0: {threshold_factor}"
             )
         self.controller = controller
+        # Register with the controller so telemetry_snapshot() carries the
+        # calibrated baselines.
+        controller.stress_monitor = self
         self.threshold_factor = threshold_factor
         self.min_window_bytes = min_window_bytes
         self.heavy_flows_per_mitigation = heavy_flows_per_mitigation
@@ -112,8 +115,9 @@ class StressMonitor:
 
     @property
     def baselines(self) -> dict:
-        """Calibrated ns-per-byte baselines per instance."""
-        return dict(self._baselines)
+        """Calibrated ns-per-byte baselines per instance (the same view
+        ``controller.telemetry_snapshot().baselines`` exposes)."""
+        return dict(self.controller.telemetry_snapshot().baselines)
 
     @property
     def dedicated_instances(self) -> list[str]:
@@ -199,8 +203,10 @@ class StressMonitor:
         if self._dedicated:
             return self._dedicated[-1], False
         name = f"{self.DEDICATED_PREFIX}-{len(self._dedicated) + 1}"
-        chain_filter = self.controller._instance_chain_filter.get(for_instance)
-        self.controller.create_instance(name, chain_ids=chain_filter, layout="full")
+        chain_filter = self.controller.instances.chain_filter_of(for_instance)
+        self.controller.instances.provision(
+            name, chain_ids=chain_filter, layout="full", dedicated=True
+        )
         self._dedicated.append(name)
         return name, True
 
@@ -208,7 +214,7 @@ class StressMonitor:
         """Release dedicated instances once the attack subsides."""
         released = list(self._dedicated)
         for name in released:
-            self.controller.remove_instance(name)
+            self.controller.instances.decommission(name)
         self._dedicated.clear()
         return released
 

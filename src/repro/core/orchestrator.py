@@ -97,10 +97,10 @@ class ServiceOrchestrator:
             )
         host_name = self.spare_hosts.pop(0)
         name = f"dpi-auto-{len(self.instance_hosts) + 1}"
-        chain_filter = self.dpi_controller._instance_chain_filter.get(
+        chain_filter = self.dpi_controller.instances.chain_filter_of(
             decision.instance_name
         )
-        instance = self.dpi_controller.create_instance(
+        instance = self.dpi_controller.instances.provision(
             name, chain_ids=chain_filter
         )
         self.instance_hosts[name] = host_name
@@ -162,7 +162,7 @@ class ServiceOrchestrator:
     def _scale_in(self, decision) -> ExecutedAction:
         name = decision.instance_name
         host_name = self.instance_hosts.pop(name, None)
-        self.dpi_controller.remove_instance(name)
+        self.dpi_controller.instances.decommission(name)
         if host_name is not None:
             self.spare_hosts.append(host_name)
         return ExecutedAction(

@@ -1,0 +1,44 @@
+"""Fault injection and recovery for DPI-as-a-service simulations.
+
+The paper's availability argument (Section 4.4: the DPI service is a
+critical component, so it must tolerate instance failures) is exercised
+here as a deterministic, simulator-clocked chaos layer:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: seeded, JSON-round-trip
+  fault schedules;
+* :mod:`repro.faults.control` — :class:`ControlChannel`: the lossy,
+  delayable controller↔instance path with timeout/retry RPCs;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: arms a plan
+  against a live simulation;
+* :mod:`repro.faults.recovery` — :class:`HeartbeatMonitor` and
+  :class:`FailoverCoordinator`: detection, re-steering, graceful
+  degradation to legacy middleboxes, reattachment;
+* :mod:`repro.faults.chaos` — :func:`run_chaos_scenario`: the end-to-end
+  harness behind ``repro-dpi chaos``.
+"""
+
+from repro.faults.chaos import ChaosResult, run_chaos_scenario
+from repro.faults.control import ControlChannel, RetryPolicy
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.recovery import (
+    FailoverCoordinator,
+    FailoverRecord,
+    HeartbeatConfig,
+    HeartbeatMonitor,
+)
+
+__all__ = [
+    "ChaosResult",
+    "ControlChannel",
+    "FailoverCoordinator",
+    "FailoverRecord",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "HeartbeatConfig",
+    "HeartbeatMonitor",
+    "RetryPolicy",
+    "run_chaos_scenario",
+]

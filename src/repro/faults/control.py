@@ -1,0 +1,219 @@
+"""The controller↔instance control channel, with injectable impairments.
+
+In the paper's architecture the DPI controller talks to its service
+instances over the network: heartbeats, flow-migration commands,
+configuration pushes.  The repo's core modules call these as plain Python
+methods, which is fine until you want to study recovery — then the control
+path itself must be able to lose and delay messages.
+
+:class:`ControlChannel` models that path on the simulator clock.  Every
+:meth:`rpc` is delivered after a latency (plus any injected extra delay),
+may be dropped with an injected probability (seeded RNG — same seed, same
+drops), and is guarded by a timeout timer that retries with exponential
+backoff per :class:`RetryPolicy` before reporting failure.  Timers are
+disarmed with :meth:`~repro.net.simulator.Simulator.cancel`, so an RPC
+whose reply arrives never pays for its pending timeout event.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for control RPCs.
+
+    Attempt *n* (zero-based) that times out is retried after
+    ``base_delay * multiplier ** n`` seconds, up to ``max_attempts`` total
+    attempts.
+    """
+
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise ValueError("base_delay must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retrying after zero-based *attempt* timed out."""
+        return self.base_delay * self.multiplier**attempt
+
+
+class ControlChannel:
+    """A lossy, delayable control path between controller and instances."""
+
+    def __init__(
+        self,
+        simulator,
+        *,
+        latency: float = 0.002,
+        timeout: float = 0.05,
+        retry_policy: RetryPolicy | None = None,
+        seed: int = 0,
+        telemetry=None,
+    ) -> None:
+        self.simulator = simulator
+        self.latency = latency
+        self.timeout = timeout
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.telemetry = telemetry
+        self._rng = random.Random(seed)
+        self.drop_probability = 0.0
+        self.extra_delay = 0.0
+        # Channel accounting, also exported as counters when telemetry is
+        # attached.
+        self.rpcs_sent = 0
+        self.rpcs_ok = 0
+        self.rpcs_failed = 0
+        self.messages_dropped = 0
+        self.retries = 0
+
+    # --- impairment control (driven by the fault injector) ----------------
+
+    def impair(
+        self,
+        *,
+        drop_probability: float | None = None,
+        extra_delay: float | None = None,
+    ) -> None:
+        """Apply an impairment window; fields left None are unchanged."""
+        if drop_probability is not None:
+            if not 0.0 <= drop_probability <= 1.0:
+                raise ValueError(
+                    f"drop probability out of range: {drop_probability}"
+                )
+            self.drop_probability = drop_probability
+        if extra_delay is not None:
+            if extra_delay < 0:
+                raise ValueError(f"negative extra delay: {extra_delay}")
+            self.extra_delay = extra_delay
+
+    def clear_impairments(self) -> None:
+        """End all impairment windows."""
+        self.drop_probability = 0.0
+        self.extra_delay = 0.0
+
+    # --- internals ---------------------------------------------------------
+
+    def _count(self, name: str, **labels: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.registry.counter(name, **labels).inc()
+
+    def _delivered(self) -> bool:
+        """One direction of one message survives the channel, or not."""
+        if self.drop_probability <= 0.0:
+            return True
+        return self._rng.random() >= self.drop_probability
+
+    # --- RPC ---------------------------------------------------------------
+
+    def rpc(
+        self,
+        name: str,
+        call: Callable[[], object],
+        *,
+        on_success: Optional[Callable[[object], None]] = None,
+        on_failure: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        """Issue a control RPC over the channel.
+
+        *call* runs at the instance side once the request is delivered; its
+        return value rides the reply back.  A raised exception, a dropped
+        request or a dropped reply all look the same to the caller: the
+        timeout fires and the RPC is retried with backoff.  After
+        ``retry_policy.max_attempts`` attempts *on_failure* runs with the
+        last error (a :class:`TimeoutError` if nothing was ever delivered).
+        """
+        self.rpcs_sent += 1
+        self._count("control_rpcs_total", rpc=name)
+        self._attempt(name, call, on_success, on_failure, attempt=0)
+
+    def _attempt(
+        self,
+        name: str,
+        call: Callable[[], object],
+        on_success: Optional[Callable[[object], None]],
+        on_failure: Optional[Callable[[Exception], None]],
+        attempt: int,
+    ) -> None:
+        state = {"done": False, "error": None}
+
+        def finish_ok(result: object) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            self.simulator.cancel(timeout_event)
+            self.rpcs_ok += 1
+            self._count("control_rpcs_ok_total", rpc=name)
+            if on_success is not None:
+                on_success(result)
+
+        def finish_retry_or_fail() -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            if attempt + 1 < self.retry_policy.max_attempts:
+                self.retries += 1
+                self._count("control_rpc_retries_total", rpc=name)
+                self.simulator.schedule(
+                    self.retry_policy.backoff(attempt),
+                    lambda: self._attempt(
+                        name, call, on_success, on_failure, attempt + 1
+                    ),
+                    label=f"control:retry:{name}",
+                )
+                return
+            self.rpcs_failed += 1
+            self._count("control_rpcs_failed_total", rpc=name)
+            if on_failure is not None:
+                error = state["error"] or TimeoutError(
+                    f"control rpc {name!r} timed out after "
+                    f"{self.retry_policy.max_attempts} attempts"
+                )
+                on_failure(error)
+
+        def deliver_request() -> None:
+            if state["done"]:
+                return
+            try:
+                result = call()
+            except Exception as error:  # noqa: BLE001 - faults are the point
+                state["error"] = error
+                # An exception at the far side is reported immediately (the
+                # instance answered, with an error) — no reply to lose.
+                self.simulator.cancel(timeout_event)
+                finish_retry_or_fail()
+                return
+            if not self._delivered():
+                self.messages_dropped += 1
+                self._count("control_messages_dropped_total", leg="reply")
+                return  # reply lost; timeout will fire
+            self.simulator.schedule(
+                self.latency + self.extra_delay,
+                lambda: finish_ok(result),
+                label=f"control:reply:{name}",
+            )
+
+        timeout_event = self.simulator.schedule(
+            self.timeout,
+            finish_retry_or_fail,
+            label=f"control:timeout:{name}",
+        )
+        if not self._delivered():
+            self.messages_dropped += 1
+            self._count("control_messages_dropped_total", leg="request")
+            return  # request lost; timeout will fire
+        self.simulator.schedule(
+            self.latency + self.extra_delay,
+            deliver_request,
+            label=f"control:request:{name}",
+        )

@@ -1,0 +1,177 @@
+"""Turn a :class:`~repro.faults.plan.FaultPlan` into scheduled sim events.
+
+The injector owns *injection* only: it arms each spec on the simulator
+clock and flips the corresponding switch (crash the instance, down the
+link, impair the control channel, corrupt results) when the event fires.
+Detection and recovery live in :mod:`repro.faults.recovery` and observe
+the damage the same way production code would — through heartbeats and
+telemetry — never by peeking at the plan.
+
+Every injected fault is recorded on the telemetry hub as a
+:class:`~repro.telemetry.FaultEvent` with phase ``"inject"``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.faults.control import ControlChannel
+    from repro.net.simulator import Simulator
+    from repro.net.topology import Topology
+
+
+class FaultInjector:
+    """Arms fault plans against a live simulation."""
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        *,
+        instances: Mapping | None = None,
+        topology: "Topology | None" = None,
+        control: "ControlChannel | None" = None,
+        dpi_functions: Mapping | None = None,
+        telemetry=None,
+    ) -> None:
+        self.simulator = simulator
+        self.instances = instances if instances is not None else {}
+        self.topology = topology
+        self.control = control
+        #: instance name -> the DPIServiceFunction fronting it, for
+        #: result-corruption faults.
+        self.dpi_functions = dict(dpi_functions or {})
+        self.telemetry = telemetry
+        self.injected: list[FaultSpec] = []
+
+    def _record(self, spec: FaultSpec, detail: str = "") -> None:
+        self.injected.append(spec)
+        if self.telemetry is not None:
+            self.telemetry.record_fault(
+                spec.kind.value, spec.target, phase="inject", detail=detail
+            )
+
+    # --- arming ------------------------------------------------------------
+
+    def arm(self, plan: FaultPlan) -> int:
+        """Schedule every spec in *plan*; returns the number armed."""
+        for spec in plan:
+            self.simulator.schedule_at(
+                spec.at,
+                self._firer(spec),
+                label=f"fault:{spec.kind.value}:{spec.target}",
+            )
+        return len(plan)
+
+    def _firer(self, spec: FaultSpec):
+        return lambda: self.inject(spec)
+
+    # --- injection ---------------------------------------------------------
+
+    def inject(self, spec: FaultSpec) -> None:
+        """Apply one fault immediately (the armed events land here)."""
+        kind = spec.kind
+        if kind is FaultKind.INSTANCE_CRASH:
+            self._instance(spec.target).crash()
+            self._record(spec)
+        elif kind is FaultKind.INSTANCE_RESTART:
+            self._instance(spec.target).restart()
+            self._record(spec)
+        elif kind is FaultKind.LINK_DOWN:
+            self._link(spec.target).set_admin(False)
+            self._record(spec)
+        elif kind is FaultKind.LINK_UP:
+            self._link(spec.target).set_admin(True)
+            self._record(spec)
+        elif kind is FaultKind.CONTROL_DROP:
+            self._control_window(
+                spec, drop_probability=spec.value, extra_delay=None
+            )
+        elif kind is FaultKind.CONTROL_DELAY:
+            self._control_window(
+                spec, drop_probability=None, extra_delay=spec.value
+            )
+        elif kind is FaultKind.RESULT_CORRUPT:
+            self._corrupt_window(spec)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown fault kind: {kind!r}")
+
+    # --- target resolution --------------------------------------------------
+
+    def _instance(self, name: str):
+        try:
+            return self.instances[name]
+        except KeyError:
+            raise KeyError(
+                f"fault targets unknown instance {name!r}"
+            ) from None
+
+    def _link(self, target: str):
+        if self.topology is None:
+            raise ValueError("link fault armed without a topology")
+        try:
+            name_a, name_b = target.split("|", 1)
+        except ValueError:
+            raise ValueError(
+                f"link fault target must be 'nodeA|nodeB', got {target!r}"
+            ) from None
+        return self.topology.link_between(name_a, name_b)
+
+    # --- window faults ------------------------------------------------------
+
+    def _control_window(
+        self,
+        spec: FaultSpec,
+        *,
+        drop_probability: float | None,
+        extra_delay: float | None,
+    ) -> None:
+        if self.control is None:
+            raise ValueError("control fault armed without a control channel")
+        self.control.impair(
+            drop_probability=drop_probability, extra_delay=extra_delay
+        )
+        self._record(spec, detail=f"value={spec.value}")
+        if spec.duration > 0:
+
+            def clear() -> None:
+                self.control.clear_impairments()
+                if self.telemetry is not None:
+                    self.telemetry.record_fault(
+                        spec.kind.value,
+                        spec.target,
+                        phase="recover",
+                        detail="window closed",
+                    )
+
+            self.simulator.schedule(
+                spec.duration, clear, label=f"fault:clear:{spec.kind.value}"
+            )
+
+    def _corrupt_window(self, spec: FaultSpec) -> None:
+        try:
+            function = self.dpi_functions[spec.target]
+        except KeyError:
+            raise KeyError(
+                f"result_corrupt targets instance {spec.target!r} with no "
+                "registered DPI function"
+            ) from None
+        function.corrupt_results = True
+        self._record(spec)
+        if spec.duration > 0:
+
+            def clear() -> None:
+                function.corrupt_results = False
+                if self.telemetry is not None:
+                    self.telemetry.record_fault(
+                        spec.kind.value,
+                        spec.target,
+                        phase="recover",
+                        detail="window closed",
+                    )
+
+            self.simulator.schedule(
+                spec.duration, clear, label="fault:clear:result_corrupt"
+            )

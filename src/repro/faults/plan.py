@@ -1,0 +1,160 @@
+"""Fault plans: seeded, schedulable failure scenarios.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries — *when* (sim
+clock seconds), *what* (:class:`FaultKind`) and *against whom* (an instance
+name, a ``"a|b"`` link endpoint pair, or the control channel).  Plans are
+plain data: they round-trip through JSON (``repro-dpi chaos --plan
+plan.json``), carry the seed that makes a chaos run reproducible, and are
+interpreted by :class:`~repro.faults.injector.FaultInjector` against a live
+simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+
+class FaultKind(enum.Enum):
+    """The failure modes a plan can schedule."""
+
+    #: Crash a DPI service instance (target: instance name).
+    INSTANCE_CRASH = "instance_crash"
+    #: Restart a crashed instance (target: instance name).
+    INSTANCE_RESTART = "instance_restart"
+    #: Take a link administratively down (target: ``"nodeA|nodeB"``).
+    LINK_DOWN = "link_down"
+    #: Bring a downed link back up (target: ``"nodeA|nodeB"``).
+    LINK_UP = "link_up"
+    #: Drop control messages with probability ``value`` for ``duration``
+    #: seconds (target: ``"control"``).
+    CONTROL_DROP = "control_drop"
+    #: Delay control messages by ``value`` seconds for ``duration`` seconds
+    #: (target: ``"control"``).
+    CONTROL_DELAY = "control_delay"
+    #: Corrupt the result packets an instance emits for ``duration``
+    #: seconds (target: instance name).
+    RESULT_CORRUPT = "result_corrupt"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``duration`` bounds window faults (control impairments, result
+    corruption); ``value`` carries the fault's magnitude (drop probability,
+    delay seconds).  Both are ignored by kinds that do not use them.
+    """
+
+    at: float
+    kind: FaultKind
+    target: str
+    duration: float = 0.0
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault scheduled in the past: at={self.at}")
+        if self.duration < 0:
+            raise ValueError(f"negative fault duration: {self.duration}")
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-friendly copy."""
+        record: dict[str, Any] = {
+            "at": self.at,
+            "kind": self.kind.value,
+            "target": self.target,
+        }
+        if self.duration:
+            record["duration"] = self.duration
+        if self.value:
+            record["value"] = self.value
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FaultSpec":
+        """Parse one spec; raises KeyError/ValueError on malformed input."""
+        return cls(
+            at=float(record["at"]),
+            kind=FaultKind(record["kind"]),
+            target=str(record["target"]),
+            duration=float(record.get("duration", 0.0)),
+            value=float(record.get("value", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered fault schedule plus the seed that reproduces the run."""
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Stored sorted by injection time (stable for equal times) so the
+        # injector's schedule order never depends on authoring order.
+        object.__setattr__(
+            self, "specs", tuple(sorted(self.specs, key=lambda s: s.at))
+        )
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def targeting(self, target: str) -> "tuple[FaultSpec, ...]":
+        """Every spec aimed at *target*, in schedule order."""
+        return tuple(spec for spec in self.specs if spec.target == target)
+
+    # --- JSON round-trip --------------------------------------------------
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize the plan (stable key order)."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "faults": [spec.as_dict() for spec in self.specs],
+            },
+            indent=indent,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan; raises ValueError on malformed documents."""
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"invalid fault plan JSON: {error}") from None
+        if not isinstance(document, dict) or "faults" not in document:
+            raise ValueError(
+                'fault plan must be an object with a "faults" list'
+            )
+        faults = document["faults"]
+        if not isinstance(faults, list):
+            raise ValueError('"faults" must be a list')
+        try:
+            specs = tuple(FaultSpec.from_dict(record) for record in faults)
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed fault spec: {error}") from None
+        return cls(specs=specs, seed=int(document.get("seed", 0)))
+
+    def save(self, path) -> None:
+        """Write the plan to *path* as JSON."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Read a plan from a JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # --- construction helpers ---------------------------------------------
+
+    @classmethod
+    def of(cls, specs: "Sequence[FaultSpec]", seed: int = 0) -> "FaultPlan":
+        """A plan from any spec sequence (sorted by time automatically)."""
+        return cls(specs=tuple(specs), seed=seed)

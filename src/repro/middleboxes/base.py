@@ -404,9 +404,61 @@ class MiddleboxChainFunction(NetworkFunction):
         self.max_buffered = 0
         self.forced_releases = 0
         self.dropped_orphan_reports = 0
+        # Graceful degradation (fault recovery): while ``degraded`` is set,
+        # data packets are scanned by a private legacy engine instead of
+        # waiting for service results.  The engine is compiled lazily on
+        # first degradation and kept for later episodes.
+        self.degraded = False
+        self._fallback = None
+        self.packets_rescanned = 0
+        self.corrupt_reports = 0
+
+    def degrade(self) -> list[Packet]:
+        """Fall back to the legacy local DPI engine (service unreachable).
+
+        Pending data packets whose result packet will never arrive are
+        rescanned locally and returned so the caller can forward them —
+        nothing buffered is silently lost.  Idempotent.
+        """
+        if self.degraded:
+            return []
+        if self._fallback is None:
+            from repro.middleboxes.legacy import LegacyDPIMiddlebox
+
+            self._fallback = LegacyDPIMiddlebox.from_middlebox(self.middlebox)
+        self.degraded = True
+        released: list[Packet] = []
+        for data in list(self._pending_data.values()):
+            if self._rescan(data) is not Action.DROP:
+                released.append(data)
+        self._pending_data.clear()
+        self._pending_reports.clear()
+        return released
+
+    def restore(self) -> None:
+        """Reattach to the DPI service after recovery.  Idempotent."""
+        self.degraded = False
+
+    def _rescan(self, packet: Packet) -> Action:
+        """Scan one data packet with the legacy fallback engine."""
+        from repro.net.flows import FiveTuple
+
+        self.packets_rescanned += 1
+        packet.clear_match_mark()
+        return self._fallback.process_packet(
+            packet, flow_key=FiveTuple.of(packet)
+        )
 
     def process(self, packet: Packet) -> list[Packet]:
         """Handle one received packet; return the packets to send on."""
+        if self.degraded:
+            if packet.is_result_packet:
+                # A straggler result from before the outage; the data packet
+                # was already rescanned locally, so the report is stale.
+                self.dropped_orphan_reports += 1
+                return []
+            verdict = self._rescan(packet)
+            return [] if verdict is Action.DROP else [packet]
         if packet.is_result_packet:
             data = self._pending_data.pop(packet.describes_packet_id, None)
             if data is None:
@@ -443,7 +495,17 @@ class MiddleboxChainFunction(NetworkFunction):
         return released
 
     def _process_pair(self, data: Packet, report_packet: Packet) -> list[Packet]:
-        report = MatchReport.decode(report_packet.payload)
+        try:
+            report = MatchReport.decode(report_packet.payload)
+        except ValueError:
+            # Corrupted result packet: fail open on the data packet (treat
+            # it as matchless) and drop the unusable report.  The match mark
+            # is cleared so downstream middleboxes do not buffer for a
+            # report that no longer exists.
+            self.corrupt_reports += 1
+            data.clear_match_mark()
+            verdict = self.middlebox.consume_unmarked(data)
+            return [] if verdict is Action.DROP else [data]
         verdict = self.middlebox.consume_report(data, report)
         if verdict is Action.DROP:
             # Drop the pair: forwarding the orphan result packet would leave

@@ -41,6 +41,28 @@ class LegacyDPIMiddlebox(Middlebox):
         self._prefilter: RegexPreFilter | None = None
         self.bytes_scanned = 0
 
+    @classmethod
+    def from_middlebox(
+        cls, middlebox: Middlebox, layout: str = "sparse"
+    ) -> "LegacyDPIMiddlebox":
+        """A legacy twin of *middlebox*: same identity, rules and patterns,
+        but with a private scan engine, compiled and ready.
+
+        This is the graceful-degradation path the paper argues for — "the
+        middlebox may keep its legacy DPI module as a fallback": when the
+        DPI service becomes unreachable, the chain adapter scans packets
+        through this twin until the service reattaches.
+        """
+        twin = cls(
+            middlebox.middlebox_id,
+            name=middlebox.name,
+            rules=list(middlebox.engine),
+            patterns=list(middlebox.patterns),
+            layout=layout,
+        )
+        twin.build_engine()
+        return twin
+
     def build_engine(self) -> None:
         """Compile the private automaton from the current pattern list."""
         self._prefilter = RegexPreFilter()

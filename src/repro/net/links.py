@@ -69,6 +69,15 @@ class _Direction:
             "link_queue_depth", lambda: len(self._queue), link=label
         )
 
+    def drop(self) -> None:
+        """Count one dropped packet (tail drop or admin-down refusal)."""
+        hub = self._simulator.telemetry
+        if hub is not None and hub is not self._hub:
+            self._bind_telemetry(hub)
+        self.stats.packets_dropped += 1
+        if self._m_drops is not None:
+            self._m_drops.inc()
+
     def send(self, packet: Packet) -> bool:
         """Enqueue *packet*; returns False if it was tail-dropped."""
         hub = self._simulator.telemetry
@@ -140,6 +149,11 @@ class Link:
         self._endpoint_b = None
         self.bandwidth_bps = bandwidth_bps
         self.propagation_delay = propagation_delay
+        #: Administrative state: a downed link refuses new sends (counted
+        #: as drops in both stats and telemetry).  Packets already on the
+        #: wire when the link goes down still arrive — only queueing of new
+        #: ones stops, mirroring a pulled cable.
+        self.admin_up = True
 
     def attach(self, node_a, port_a: int, node_b, port_b: int) -> None:
         """Connect *node_a* (at *port_a*) with *node_b* (at *port_b*)."""
@@ -156,15 +170,24 @@ class Link:
         """The two (node, port) attachments."""
         return (self._endpoint_a, self._endpoint_b)
 
+    def set_admin(self, up: bool) -> None:
+        """Take the link administratively down (``False``) or up (``True``)."""
+        self.admin_up = up
+
     def send_from(self, node, packet: Packet) -> bool:
         """Send *packet* out of the link from *node*'s side."""
         if self._endpoint_a is None or self._endpoint_b is None:
             raise RuntimeError("link is not attached")
         if node is self._endpoint_a[0]:
-            return self._forward.send(packet)
-        if node is self._endpoint_b[0]:
-            return self._backward.send(packet)
-        raise ValueError(f"{node!r} is not an endpoint of this link")
+            direction = self._forward
+        elif node is self._endpoint_b[0]:
+            direction = self._backward
+        else:
+            raise ValueError(f"{node!r} is not an endpoint of this link")
+        if not self.admin_up:
+            direction.drop()
+            return False
+        return direction.send(packet)
 
     def stats_from(self, node) -> LinkStats:
         """Transmission counters for the direction leaving *node*."""

@@ -21,6 +21,7 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
 
 
 class Simulator:
@@ -91,6 +92,16 @@ class Simulator:
             )
         return self.schedule(time - self._now, callback, label)
 
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event: it stays queued but will not run.
+
+        Cancellation is how timers (heartbeat timeouts, retry backoff) are
+        disarmed without disturbing the deterministic sequence numbering of
+        the remaining events.  Cancelling an already-run or already-
+        cancelled event is a no-op.
+        """
+        event.cancelled = True
+
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Process events until the queue drains, *until* passes, or
         *max_events* events have run.  Returns the number of events run."""
@@ -104,6 +115,8 @@ class Simulator:
                     self._now = until
                     break
                 event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
                 self._now = event.time
                 event.callback()
                 processed += 1

@@ -31,7 +31,7 @@ from typing import Protocol
 
 from repro.analysis.validators import raise_on_errors, validate_chains
 from repro.net.controller import SDNController
-from repro.net.openflow import FlowAction, FlowMatch
+from repro.net.openflow import ActionType, FlowAction, FlowMatch
 from repro.net.topology import Topology
 
 
@@ -390,6 +390,87 @@ class TrafficSteeringApplication:
             actions.append(FlowAction.pop_vlan())
         actions.append(FlowAction.output(out_port))
         return actions
+
+    # --- failover re-steering (fault recovery) ------------------------------
+
+    def resteer_chain(
+        self, chain_name: str, replacement_hops: "dict[str, str | None]"
+    ) -> RealizedChain:
+        """Re-steer a realized chain around failed hop hosts.
+
+        ``replacement_hops`` maps a host currently on the chain's realized
+        path to its substitute (e.g. a crashed DPI instance's host -> a
+        surviving instance's host), or to ``None`` to drop the hop from the
+        path entirely (graceful degradation: middleboxes scan locally, so
+        the DPI hop is bypassed).  Every rule in the chain's tag block —
+        ingress classifiers, per-segment forwarding, and flow pins — is
+        removed from the switches and reinstalled against the new path, so
+        packets already steered keep a consistent rule set and new packets
+        never see the failed hop.  Returns the updated realization.
+        """
+        realized = self.realized.get(chain_name)
+        if realized is None:
+            raise KeyError(f"chain {chain_name!r} has not been realized")
+        chain = realized.chain
+        for original in replacement_hops:
+            if original not in realized.hop_hosts:
+                raise KeyError(
+                    f"{original!r} is not a hop of chain {chain_name!r}"
+                )
+        new_hops = tuple(
+            replacement_hops.get(hop, hop)
+            for hop in realized.hop_hosts
+            if replacement_hops.get(hop, hop) is not None
+        )
+        return self.reinstall_chain(chain_name, new_hops)
+
+    def reinstall_chain(
+        self, chain_name: str, hop_hosts: "tuple[str, ...]"
+    ) -> RealizedChain:
+        """Replace a realized chain's hop hosts and rebuild its rules.
+
+        The low-level half of :meth:`resteer_chain`; also used directly to
+        *reattach* a chain to its original path once a failed hop recovers
+        (the original hop list cannot be expressed as a replacement map
+        when degradation removed the hop entirely).
+        """
+        realized = self.realized.get(chain_name)
+        if realized is None:
+            raise KeyError(f"chain {chain_name!r} has not been realized")
+        chain = realized.chain
+        self._remove_chain_rules(chain)
+        updated = RealizedChain(chain=chain, hop_hosts=tuple(hop_hosts))
+        self.realized[chain_name] = updated
+        for assignment in self.assignments:
+            if assignment.chain_name == chain_name:
+                self._install_assignment(assignment, updated)
+        registry = self._telemetry_registry()
+        if registry is not None:
+            registry.counter("tsa_resteers_total").inc()
+        return updated
+
+    def _remove_chain_rules(self, chain: PolicyChain) -> int:
+        """Uninstall every switch rule referencing the chain's tag block."""
+        tags = range(chain.chain_id, chain.chain_id + self.CHAIN_ID_STRIDE)
+
+        def references_chain(entry) -> bool:
+            vid = entry.match.vlan_vid
+            if vid is not None and vid in tags:
+                return True
+            return any(
+                action.type
+                in (ActionType.PUSH_VLAN, ActionType.SET_VLAN_VID)
+                and action.argument in tags
+                for action in entry.actions
+            )
+
+        removed = 0
+        for switch in self.topology.switches.values():
+            removed += switch.flow_remove(references_chain)
+        self._installed_rules = {
+            key for key in sorted(self._installed_rules) if key[2] not in tags
+        }
+        return removed
 
     # --- per-flow repinning (DPI flow migration, Section 4.3) ----------------
 

@@ -119,6 +119,22 @@ class Topology:
         except KeyError:
             raise KeyError(f"{name} has no direct link to {neighbor}") from None
 
+    def link_between(self, name_a: str, name_b: str) -> Link:
+        """The link directly connecting two named nodes (order-insensitive).
+
+        Fault plans address links by endpoint pair; raises ``KeyError`` when
+        the nodes are not directly wired.
+        """
+        node_a = self._node(name_a)
+        node_b = self._node(name_b)
+        for link in self.links:
+            endpoints = {
+                endpoint[0] for endpoint in link.endpoints() if endpoint
+            }
+            if node_a in endpoints and node_b in endpoints:
+                return link
+        raise KeyError(f"{name_a} has no direct link to {name_b}")
+
     def shortest_path(self, source: str, target: str) -> list[str]:
         """Node names along a shortest path (inclusive of endpoints)."""
         return nx.shortest_path(self._graph, source, target)

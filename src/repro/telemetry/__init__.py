@@ -36,16 +36,19 @@ from repro.telemetry.registry import (
     MetricsWindow,
     WindowDelta,
 )
+from repro.telemetry.snapshot import FaultEvent, TelemetrySnapshot
 from repro.telemetry.tracing import DEFAULT_MAX_SPANS, Tracer, TraceSpan
 
 __all__ = [
     "Counter",
+    "FaultEvent",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "MetricsWindow",
     "WindowDelta",
     "TelemetryHub",
+    "TelemetrySnapshot",
     "Tracer",
     "TraceSpan",
 ]
@@ -65,10 +68,34 @@ class TelemetryHub:
         self.tracer = (
             Tracer(clock=self._clock, max_spans=max_spans) if tracing else None
         )
+        self.faults: list[FaultEvent] = []
 
     def now(self) -> float:
         """The hub clock's current time."""
         return self._clock()
+
+    def record_fault(
+        self,
+        kind: str,
+        target: str,
+        *,
+        phase: str = "inject",
+        detail: str = "",
+    ) -> FaultEvent:
+        """Append a :class:`FaultEvent` at the current hub time.
+
+        Also bumps ``fault_events_total{kind,phase}`` so fault activity is
+        visible in plain metric exports without reading the event log.
+        """
+        event = FaultEvent(
+            time=self.now(), kind=kind, target=target, phase=phase,
+            detail=detail,
+        )
+        self.faults.append(event)
+        self.registry.counter(
+            "fault_events_total", kind=kind, phase=phase
+        ).inc()
+        return event
 
     @classmethod
     def for_simulator(cls, simulator, **kwargs) -> "TelemetryHub":

@@ -73,12 +73,16 @@ def prometheus_text(registry) -> str:
 
 
 def iter_events(hub):
-    """Yield every JSONL event dict: metrics first, then spans."""
+    """Yield every JSONL event dict: metrics, then faults, then spans."""
     ts = hub.registry.now()
     for metric in hub.registry.collect():
         event = metric.as_dict()
         event["type"] = "metric"
         event["ts"] = ts
+        yield event
+    for fault in getattr(hub, "faults", ()):
+        event = fault.as_dict()
+        event["type"] = "fault"
         yield event
     if hub.tracer is not None:
         for span in hub.tracer.spans:

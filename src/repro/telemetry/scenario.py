@@ -53,6 +53,25 @@ class ScenarioResult:
     payload_bytes_sent: int
 
 
+@dataclass
+class Figure5System:
+    """The wired-up Figure 5 system, before any traffic is pushed.
+
+    ``middlebox_functions`` maps host name to the installed
+    :class:`~repro.middleboxes.base.MiddleboxChainFunction` (the handles
+    the fault-recovery layer uses to degrade/restore middleboxes).
+    """
+
+    hub: TelemetryHub | None
+    topology: Topology
+    dpi_controller: DPIController
+    tsa: TrafficSteeringApplication
+    instance: object
+    dpi_function: object
+    middleboxes: dict
+    middlebox_functions: dict
+
+
 def _build_payload(rng: random.Random, chain: str) -> bytes:
     """A deterministic payload; roughly one in four carries a signature."""
     head = rng.randbytes(rng.randint(200, 700))
@@ -67,19 +86,18 @@ def _build_payload(rng: random.Random, chain: str) -> bytes:
     return head + tail
 
 
-def run_figure5_scenario(
-    packets: int = 40,
-    seed: int = 7,
+def build_figure5_system(
     kernel: str = "flat",
     scan_cache_size: int = 0,
     telemetry: bool = True,
     tracing: bool = True,
-) -> ScenarioResult:
-    """Build the Figure 5 system, run *packets* packets, return the result.
+    extra_hosts: "dict[str, str] | None" = None,
+) -> Figure5System:
+    """Wire up the Figure 5 system without sending any traffic.
 
-    With ``telemetry=False`` no hub is attached to the simulator and the
-    DPI controller keeps its default (wall-clocked, trace-free) hub — the
-    data-plane behaviour must be identical either way.
+    ``extra_hosts`` maps additional host names to the switch they hang off
+    — the chaos harness uses this for standby DPI hosts that failover can
+    later provision onto.
     """
     topo = Topology()
     hub = None
@@ -99,6 +117,7 @@ def run_figure5_scenario(
         "ids2": "s4", "av1": "s2",
         "dpi3": "s2",
     }
+    placements.update(extra_hosts or {})
     for host, switch in placements.items():
         topo.add_host(host)
         topo.add_link(switch, host)
@@ -131,14 +150,59 @@ def run_figure5_scenario(
     tsa.assign_traffic(TrafficAssignment("src2", "dst2", "chain2"))
     tsa.realize()
 
-    instance = dpi_controller.create_instance(
+    instance = dpi_controller.instances.provision(
         "dpi3", kernel=kernel, scan_cache_size=scan_cache_size
     )
-    topo.hosts["dpi3"].set_function(DPIServiceFunction(instance))
+    dpi_function = DPIServiceFunction(instance)
+    topo.hosts["dpi3"].set_function(dpi_function)
     topo.hosts["l2l4_fw"].set_function(L2L4FirewallFunction(firewall))
-    topo.hosts["ids1"].set_function(MiddleboxChainFunction(ids1))
-    topo.hosts["ids2"].set_function(MiddleboxChainFunction(ids2))
-    topo.hosts["av1"].set_function(MiddleboxChainFunction(av1))
+    chain_functions = {
+        "ids1": MiddleboxChainFunction(ids1),
+        "ids2": MiddleboxChainFunction(ids2),
+        "av1": MiddleboxChainFunction(av1),
+    }
+    for host_name, function in chain_functions.items():
+        topo.hosts[host_name].set_function(function)
+
+    return Figure5System(
+        hub=hub,
+        topology=topo,
+        dpi_controller=dpi_controller,
+        tsa=tsa,
+        instance=instance,
+        dpi_function=dpi_function,
+        middleboxes={
+            "ids1": ids1, "ids2": ids2, "av1": av1, "firewall": firewall
+        },
+        middlebox_functions=chain_functions,
+    )
+
+
+def run_figure5_scenario(
+    packets: int = 40,
+    seed: int = 7,
+    kernel: str = "flat",
+    scan_cache_size: int = 0,
+    telemetry: bool = True,
+    tracing: bool = True,
+) -> ScenarioResult:
+    """Build the Figure 5 system, run *packets* packets, return the result.
+
+    With ``telemetry=False`` no hub is attached to the simulator and the
+    DPI controller keeps its default (wall-clocked, trace-free) hub — the
+    data-plane behaviour must be identical either way.
+    """
+    system = build_figure5_system(
+        kernel=kernel,
+        scan_cache_size=scan_cache_size,
+        telemetry=telemetry,
+        tracing=tracing,
+    )
+    topo = system.topology
+    hub = system.hub
+    dpi_controller = system.dpi_controller
+    tsa = system.tsa
+    instance = system.instance
 
     rng = random.Random(seed)
     payload_bytes_sent = 0
@@ -161,9 +225,7 @@ def run_figure5_scenario(
         dpi_controller=dpi_controller,
         tsa=tsa,
         instance=instance,
-        middleboxes={
-            "ids1": ids1, "ids2": ids2, "av1": av1, "firewall": firewall
-        },
+        middleboxes=system.middleboxes,
         packets_sent=packets,
         payload_bytes_sent=payload_bytes_sent,
     )

@@ -1,0 +1,97 @@
+"""The one typed telemetry accessor: :class:`TelemetrySnapshot`.
+
+Historically three ad-hoc dict surfaces grew side by side —
+``DPIController.collect_telemetry()`` (per-instance scan counters),
+``StressMonitor.baselines`` (calibrated ns/byte), and
+``MetricsRegistry.snapshot()`` (every counter/gauge/histogram).  Fault
+events (PR 4) would have been a fourth.  ``build_snapshot(controller)``
+folds all of them into one frozen :class:`TelemetrySnapshot`, reachable as
+``controller.telemetry_snapshot()``; the legacy accessors survive as
+deprecation shims over it.
+
+:class:`FaultEvent` also lives here: it is the record type
+:meth:`~repro.telemetry.TelemetryHub.record_fault` appends for every
+injected fault and every detection/recovery transition, so a snapshot
+carries the full fault history alongside the metrics it explains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.telemetry.registry import RegistrySnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.controller import DPIController
+    from repro.core.instance import InstanceTelemetrySnapshot
+
+__all__ = ["FaultEvent", "TelemetrySnapshot", "build_snapshot"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault-related transition on the telemetry timeline.
+
+    ``phase`` distinguishes the lifecycle of a fault: ``inject`` (the
+    fault plan fired), ``detect`` (heartbeat monitor noticed), ``recover``
+    (failover / degradation / reattach completed).  ``kind`` names the
+    fault or recovery action (``instance_crash``, ``link_down``,
+    ``failover``, ``degrade``, ``reattach``, ...) and ``target`` the
+    instance, link or chain affected.
+    """
+
+    time: float
+    kind: str
+    target: str
+    phase: str = "inject"
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-friendly copy (the JSONL exporter's event body)."""
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "target": self.target,
+            "phase": self.phase,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Everything the controller knows about the system at one instant."""
+
+    #: hub-clock timestamp the snapshot was taken at
+    ts: float
+    #: per-instance scan counters (``collect_telemetry``'s old payload)
+    instances: Mapping[str, "InstanceTelemetrySnapshot"]
+    #: per-instance liveness (False while crashed)
+    alive: Mapping[str, bool]
+    #: MCA² calibrated ns/byte baselines (empty without a stress monitor)
+    baselines: Mapping[str, float]
+    #: the full metrics registry (``MetricsRegistry.snapshot()``'s payload)
+    metrics: RegistrySnapshot
+    #: every fault event recorded so far, in injection order
+    faults: tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+
+def build_snapshot(controller: "DPIController") -> TelemetrySnapshot:
+    """The controller's unified telemetry view, frozen at the hub clock."""
+    hub = controller.telemetry
+    monitor = getattr(controller, "stress_monitor", None)
+    baselines = dict(monitor._baselines) if monitor is not None else {}
+    return TelemetrySnapshot(
+        ts=hub.now(),
+        instances={
+            name: instance.telemetry.snapshot()
+            for name, instance in controller.instances.items()
+        },
+        alive={
+            name: instance.alive
+            for name, instance in controller.instances.items()
+        },
+        baselines=baselines,
+        metrics=hub.registry.snapshot(),
+        faults=tuple(hub.faults),
+    )

@@ -49,7 +49,7 @@ def make_instance_with_two_chains():
         "chain-a": PolicyChain("chain-a", ("ids",), chain_id=100),
         "chain-b": PolicyChain("chain-b", ("av",), chain_id=116),
     })
-    return controller.create_instance("inst")
+    return controller.instances.provision("inst")
 
 
 def test_direct_chain_missing_address_raises_lowest_chain_first():

@@ -150,16 +150,16 @@ class TestInstances:
 
     def test_create_instance_and_scan(self):
         controller = self._controller()
-        instance = controller.create_instance("dpi-1")
+        instance = controller.instances.provision("dpi-1")
         output = instance.inspect(b"an attack-sig and virus-sig", 100)
         assert output.matches[1] == [(0, 13)]
         assert output.matches[2] == [(0, 27)]
 
     def test_duplicate_instance_name_rejected(self):
         controller = self._controller()
-        controller.create_instance("dpi-1")
+        controller.instances.provision("dpi-1")
         with pytest.raises(ValueError):
-            controller.create_instance("dpi-1")
+            controller.instances.provision("dpi-1")
 
     def test_instance_chain_filter(self):
         controller = self._controller()
@@ -169,7 +169,7 @@ class TestInstances:
                 "d": PolicyChain("d", ("ids",), chain_id=101),
             }
         )
-        instance = controller.create_instance("dpi-d", chain_ids=[101])
+        instance = controller.instances.provision("dpi-d", chain_ids=[101])
         assert 101 in instance.scanner.chain_map
         assert 100 not in instance.scanner.chain_map
         # Only the IDS's patterns are loaded.
@@ -177,31 +177,31 @@ class TestInstances:
 
     def test_refresh_after_pattern_change(self):
         controller = self._controller()
-        instance = controller.create_instance("dpi-1")
+        instance = controller.instances.provision("dpi-1")
         controller.add_patterns(1, [Pattern(1, b"new-threat")])
-        controller.refresh_instances()
+        controller.instances.refresh()
         output = instance.inspect(b"a new-threat arrives", 100)
         assert (1, 12) in output.matches[1]
 
     def test_remove_instance(self):
         controller = self._controller()
-        controller.create_instance("dpi-1")
-        controller.remove_instance("dpi-1")
+        controller.instances.provision("dpi-1")
+        controller.instances.decommission("dpi-1")
         assert controller.instances == {}
         with pytest.raises(KeyError):
-            controller.remove_instance("dpi-1")
+            controller.instances.decommission("dpi-1")
 
     def test_collect_telemetry(self):
         controller = self._controller()
-        instance = controller.create_instance("dpi-1")
+        instance = controller.instances.provision("dpi-1")
         instance.inspect(b"data", 100)
-        telemetry = controller.collect_telemetry()
+        telemetry = controller.telemetry_snapshot().instances
         assert telemetry["dpi-1"]["packets_scanned"] == 1
 
     def test_migrate_flow(self):
         controller = self._controller()
-        source = controller.create_instance("dpi-1")
-        target = controller.create_instance("dpi-2")
+        source = controller.instances.provision("dpi-1")
+        target = controller.instances.provision("dpi-2")
         source.inspect(b"partial attack-si", 100, flow_key="f")
         assert controller.migrate_flow("f", "dpi-1", "dpi-2")
         # The scan completes on the target with the carried state.
@@ -212,8 +212,8 @@ class TestInstances:
 
     def test_migrate_unknown_flow(self):
         controller = self._controller()
-        controller.create_instance("dpi-1")
-        controller.create_instance("dpi-2")
+        controller.instances.provision("dpi-1")
+        controller.instances.provision("dpi-2")
         assert not controller.migrate_flow("ghost", "dpi-1", "dpi-2")
 
 

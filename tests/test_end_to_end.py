@@ -56,7 +56,7 @@ def system():
     tsa.realize()
 
     # Data plane: instantiate the service and place functions on hosts.
-    instance = dpi_controller.create_instance("dpi1")
+    instance = dpi_controller.instances.provision("dpi1")
     topo.hosts["dpi1"].set_function(DPIServiceFunction(instance))
     topo.hosts["mb1"].set_function(MiddleboxChainFunction(ids))
     topo.hosts["mb2"].set_function(MiddleboxChainFunction(av))
@@ -185,7 +185,7 @@ class TestControlPlane:
             )
         )
         assert ack.ok
-        controller.refresh_instances()
+        controller.instances.refresh()
         send(system["topo"], b"a NEW-THREAT-SIG appears", src_port=45000)
         # Rule 11 does not exist on the IDS rule engine, but the match is
         # reported; add the rule and send again to see the alert.
@@ -199,7 +199,7 @@ class TestControlPlane:
 
     def test_telemetry_collected_centrally(self, system):
         send(system["topo"], b"clean")
-        telemetry = system["dpi_controller"].collect_telemetry()
+        telemetry = system["dpi_controller"].telemetry_snapshot().instances
         assert telemetry["dpi1"]["packets_scanned"] == 1
 
 
@@ -226,7 +226,7 @@ class TestRegexOverTheWire:
             )
         )
         assert ack.ok
-        controller.refresh_instances()
+        controller.instances.refresh()
         system["ids"].engine.add_rule(Rule(rule_id=12, pattern_ids=(12,)))
 
         send(system["topo"], b"POST /login password=hunter2", src_port=49000)

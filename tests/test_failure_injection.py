@@ -129,7 +129,11 @@ class TestMalformedControlTraffic:
         ack = controller.handle_message(RemovePatternsMessage(1, [99]))
         assert not ack.ok
 
-    def test_malformed_report_payload_raises_cleanly(self):
+    def test_malformed_report_payload_fails_open(self):
+        """A corrupt result packet must not wedge or crash the chain: the
+        data packet is processed matchless and forwarded, the report is
+        discarded, and the match mark is cleared so downstream middleboxes
+        do not buffer for a report that no longer exists."""
         middlebox = make_middlebox()
         bogus = make_packet(b"\xde\xad\xbe\xef")
         bogus.describes_packet_id = 1
@@ -138,5 +142,8 @@ class TestMalformedControlTraffic:
         data.mark_matched()
         bogus.describes_packet_id = data.packet_id
         function.process(data)
-        with pytest.raises(ValueError):
-            function.process(bogus)
+        forwarded = function.process(bogus)
+        assert forwarded == [data]
+        assert not data.is_marked_matched
+        assert function.corrupt_reports == 1
+        assert function._pending_data == {}

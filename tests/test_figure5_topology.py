@@ -91,7 +91,7 @@ def figure5_system():
     tsa.assign_traffic(TrafficAssignment("src2", "dst2", "chain2"))
     tsa.realize()
 
-    instance = dpi_controller.create_instance("dpi3")
+    instance = dpi_controller.instances.provision("dpi3")
     topo.hosts["dpi3"].set_function(DPIServiceFunction(instance))
     topo.hosts["l2l4_fw"].set_function(L2L4FirewallFunction(firewall))
     topo.hosts["ids1"].set_function(MiddleboxChainFunction(ids1))

@@ -47,8 +47,8 @@ def pinnable_system():
     tsa.assign_traffic(TrafficAssignment("user1", "user2", "web"))
     tsa.realize()
 
-    main_instance = dpi_controller.create_instance("dpi_main")
-    dedicated_instance = dpi_controller.create_instance(
+    main_instance = dpi_controller.instances.provision("dpi_main")
+    dedicated_instance = dpi_controller.instances.provision(
         "dpi_dedicated", layout="full"
     )
     topo.hosts["dpi_main"].set_function(DPIServiceFunction(main_instance))

@@ -39,7 +39,7 @@ def build_controller():
 class TestDeployGrouped:
     def test_two_groups_split_http_from_ftp(self):
         controller = build_controller()
-        deployed = controller.deploy_grouped(max_groups=2)
+        deployed = controller.instances.plan_groups(max_groups=2)
         assert len(deployed) == 2
         groups = {frozenset(chains) for chains in deployed.values()}
         assert frozenset({100, 101}) in groups
@@ -47,7 +47,7 @@ class TestDeployGrouped:
 
     def test_instances_specialized(self):
         controller = build_controller()
-        deployed = controller.deploy_grouped(max_groups=2)
+        deployed = controller.instances.plan_groups(max_groups=2)
         for name, chain_ids in deployed.items():
             instance = controller.instances[name]
             assert set(instance.scanner.chain_map) == set(chain_ids)
@@ -60,7 +60,7 @@ class TestDeployGrouped:
 
     def test_group_instances_scan_their_chains(self):
         controller = build_controller()
-        deployed = controller.deploy_grouped(max_groups=2)
+        deployed = controller.instances.plan_groups(max_groups=2)
         http_instance = next(
             controller.instances[name]
             for name, chains in deployed.items()
@@ -73,20 +73,20 @@ class TestDeployGrouped:
 
     def test_single_group_carries_everything(self):
         controller = build_controller()
-        deployed = controller.deploy_grouped(max_groups=1)
+        deployed = controller.instances.plan_groups(max_groups=1)
         (only,) = deployed.values()
         assert sorted(only) == [100, 101, 102, 103]
 
     def test_no_chains_rejected(self):
         controller = DPIController()
         with pytest.raises(ValueError):
-            controller.deploy_grouped(max_groups=2)
+            controller.instances.plan_groups(max_groups=2)
 
 
 class TestLoadDrivenPlanning:
     def test_load_samples_window_deltas(self):
         controller = build_controller()
-        controller.deploy_grouped(max_groups=2)
+        controller.instances.plan_groups(max_groups=2)
         names = sorted(controller.instances)
         first = controller.load_samples(window_seconds=1.0)
         assert {s.instance_name for s in first} == set(names)
@@ -101,7 +101,7 @@ class TestLoadDrivenPlanning:
 
     def test_planner_consumes_controller_samples(self):
         controller = build_controller()
-        controller.deploy_grouped(max_groups=2)
+        controller.instances.plan_groups(max_groups=2)
         names = sorted(controller.instances)
         hot = controller.instances[names[0]]
         chain_id = next(iter(hot.scanner.chain_map))

@@ -1,0 +1,232 @@
+"""Regression tests for the unified instance-lifecycle API.
+
+Covers the ``controller.instances`` facade (mapping semantics + lifecycle
+verbs), the deprecation shims left behind by the consolidation, the typed
+``telemetry_snapshot()`` accessor, and the ``migrate_flow`` failure
+contract.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.controller import DPIController
+from repro.core.instance import InstanceUnavailableError
+from repro.core.lifecycle import InstanceManager
+from repro.core.messages import AddPatternsMessage, RegisterMiddleboxMessage
+from repro.core.patterns import Pattern
+from repro.net.steering import PolicyChain
+from repro.telemetry.export import iter_events
+from repro.telemetry.snapshot import TelemetrySnapshot
+
+CHAIN = 100
+
+
+def make_controller():
+    controller = DPIController()
+    controller.handle_message(
+        RegisterMiddleboxMessage(1, "ids", stateful=True)
+    )
+    controller.handle_message(
+        AddPatternsMessage(1, [Pattern(0, b"evil-sig")])
+    )
+    controller.policy_chains_changed(
+        {"c": PolicyChain("c", ("ids",), chain_id=CHAIN)}
+    )
+    return controller
+
+
+class TestInstanceManagerMapping:
+    def test_mapping_interface(self):
+        controller = make_controller()
+        assert isinstance(controller.instances, InstanceManager)
+        assert len(controller.instances) == 0
+        assert controller.instances == {}
+        instance = controller.instances.provision("dpi-1")
+        assert controller.instances["dpi-1"] is instance
+        assert "dpi-1" in controller.instances
+        assert list(controller.instances) == ["dpi-1"]
+        assert dict(controller.instances) == {"dpi-1": instance}
+
+    def test_missing_name_error_message(self):
+        controller = make_controller()
+        with pytest.raises(KeyError, match="no instance named ghost"):
+            controller.instances["ghost"]
+        with pytest.raises(KeyError, match="no instance named ghost"):
+            controller.instances.chain_filter_of("ghost")
+
+    def test_eq_with_plain_dict(self):
+        controller = make_controller()
+        instance = controller.instances.provision("dpi-1")
+        assert controller.instances == {"dpi-1": instance}
+        assert controller.instances != {"dpi-1": object()}
+        assert controller.instances != 7
+
+    def test_duplicate_provision_rejected(self):
+        controller = make_controller()
+        controller.instances.provision("dpi-1")
+        with pytest.raises(ValueError, match="duplicate instance name"):
+            controller.instances.provision("dpi-1")
+
+    def test_decommission_contract(self):
+        controller = make_controller()
+        instance = controller.instances.provision("dpi-1")
+        assert controller.instances.decommission("dpi-1") is instance
+        with pytest.raises(KeyError, match="no instance named dpi-1"):
+            controller.instances.decommission("dpi-1")
+        assert (
+            controller.instances.decommission("dpi-1", missing_ok=True)
+            is None
+        )
+
+    def test_dedicated_metadata(self):
+        controller = make_controller()
+        controller.instances.provision("dpi-1")
+        controller.instances.provision("dpi-hot", dedicated=True)
+        assert not controller.instances.is_dedicated("dpi-1")
+        assert controller.instances.is_dedicated("dpi-hot")
+        assert controller.instances.dedicated_names() == ["dpi-hot"]
+
+    def test_chain_filter_metadata(self):
+        controller = make_controller()
+        controller.instances.provision("dpi-all")
+        controller.instances.provision("dpi-one", chain_ids=[CHAIN])
+        assert controller.instances.chain_filter_of("dpi-all") is None
+        assert controller.instances.chain_filter_of("dpi-one") == (CHAIN,)
+
+
+class TestDeprecationShims:
+    def test_create_instance_shim(self):
+        controller = make_controller()
+        with pytest.warns(DeprecationWarning, match="instances.provision"):
+            instance = controller.create_instance("dpi-1")
+        assert controller.instances["dpi-1"] is instance
+
+    def test_remove_instance_shim(self):
+        controller = make_controller()
+        instance = controller.instances.provision("dpi-1")
+        with pytest.warns(
+            DeprecationWarning, match="instances.decommission"
+        ):
+            assert controller.remove_instance("dpi-1") is instance
+        assert "dpi-1" not in controller.instances
+
+    def test_refresh_instances_shim(self):
+        controller = make_controller()
+        instance = controller.instances.provision("dpi-1")
+        controller.handle_message(
+            AddPatternsMessage(1, [Pattern(1, b"new-sig")])
+        )
+        with pytest.warns(DeprecationWarning, match="instances.refresh"):
+            controller.refresh_instances()
+        assert len(instance.config.pattern_sets[1]) == 2
+
+    def test_build_instance_config_shim(self):
+        controller = make_controller()
+        with pytest.warns(
+            DeprecationWarning, match="instances.build_config"
+        ):
+            config = controller.build_instance_config()
+        assert config == controller.instances.build_config()
+
+    def test_deploy_grouped_shim(self):
+        controller = make_controller()
+        with pytest.warns(DeprecationWarning, match="instances.plan_groups"):
+            deployed = controller.deploy_grouped(max_groups=1)
+        assert deployed == {"dpi-group-1": [CHAIN]}
+
+    def test_collect_telemetry_shim(self):
+        controller = make_controller()
+        controller.instances.provision("dpi-1")
+        with pytest.warns(
+            DeprecationWarning, match="telemetry_snapshot"
+        ):
+            telemetry = controller.collect_telemetry()
+        assert telemetry == dict(controller.telemetry_snapshot().instances)
+
+    def test_facade_verbs_warn_nothing(self):
+        controller = make_controller()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            controller.instances.provision("dpi-1")
+            controller.instances.refresh()
+            controller.instances.build_config()
+            controller.instances.decommission("dpi-1")
+
+
+class TestTelemetrySnapshot:
+    def test_typed_fields(self):
+        controller = make_controller()
+        instance = controller.instances.provision("dpi-1")
+        instance.inspect(b"evil-sig here", CHAIN, flow_key="f1")
+        snapshot = controller.telemetry_snapshot()
+        assert isinstance(snapshot, TelemetrySnapshot)
+        assert snapshot.instances["dpi-1"]["packets_scanned"] == 1
+        assert snapshot.alive == {"dpi-1": True}
+        assert snapshot.baselines == {}
+        assert snapshot.faults == ()
+        metrics = {m["name"] for m in snapshot.metrics["metrics"]}
+        assert "dpi_bytes_scanned_total" in metrics
+
+    def test_alive_tracks_crash(self):
+        controller = make_controller()
+        instance = controller.instances.provision("dpi-1")
+        instance.crash()
+        assert controller.telemetry_snapshot().alive == {"dpi-1": False}
+
+    def test_record_fault_lands_in_snapshot_and_export(self):
+        controller = make_controller()
+        event = controller.telemetry.record_fault(
+            "instance_crash", "dpi-1", phase="inject", detail="plan"
+        )
+        snapshot = controller.telemetry_snapshot()
+        assert snapshot.faults == (event,)
+        fault_lines = [
+            line
+            for line in iter_events(controller.telemetry)
+            if line["type"] == "fault"
+        ]
+        assert fault_lines == [dict(event.as_dict(), type="fault")]
+        counters = {
+            (m.name, tuple(sorted(m.labels.items()))): m.value
+            for m in controller.telemetry.registry.collect()
+        }
+        key = (
+            "fault_events_total",
+            (("kind", "instance_crash"), ("phase", "inject")),
+        )
+        assert counters[key] == 1
+
+
+class TestMigrateFlowContract:
+    def test_missing_endpoints_raise_keyerror(self):
+        controller = make_controller()
+        controller.instances.provision("dpi-1")
+        with pytest.raises(KeyError, match="no instance named ghost"):
+            controller.migrate_flow("f1", "ghost", "dpi-1")
+        with pytest.raises(KeyError, match="no instance named ghost"):
+            controller.migrate_flow("f1", "dpi-1", "ghost")
+
+    def test_crashed_source_raises_unavailable(self):
+        controller = make_controller()
+        source = controller.instances.provision("dpi-1")
+        controller.instances.provision("dpi-2")
+        source.inspect(b"evil-sig", CHAIN, flow_key="f1")
+        source.crash()
+        with pytest.raises(InstanceUnavailableError):
+            controller.migrate_flow("f1", "dpi-1", "dpi-2")
+
+    def test_no_flow_state_returns_false(self):
+        controller = make_controller()
+        controller.instances.provision("dpi-1")
+        controller.instances.provision("dpi-2")
+        assert controller.migrate_flow("nope", "dpi-1", "dpi-2") is False
+
+    def test_successful_migration_moves_state(self):
+        controller = make_controller()
+        source = controller.instances.provision("dpi-1")
+        target = controller.instances.provision("dpi-2")
+        source.inspect(b"evil-si", CHAIN, flow_key="f1")
+        assert controller.migrate_flow("f1", "dpi-1", "dpi-2") is True
+        assert source.export_flow("f1") is None
+        assert target.export_flow("f1") is not None

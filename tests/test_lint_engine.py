@@ -43,6 +43,10 @@ BAD_FIXTURES = {
         "    registry.counter('pkts', peer=f'{addr}')\n"
     ),
     "API001": "def handler(queue=[]):\n    return queue\n",
+    "API002": (
+        "def deploy(controller):\n"
+        "    return controller.create_instance('dpi-1')\n"
+    ),
     "KER001": (
         "class ShinyKernel:\n"
         "    def scan(self, data, active_bitmap, state, limit):\n"

@@ -74,7 +74,7 @@ class TestAttackWorkloads:
         import time
 
         controller = build_controller(snort_patterns)
-        instance = controller.create_instance("dpi-x")
+        instance = controller.instances.provision("dpi-x")
         benign = TrafficGenerator(seed=1).benign_payload(3000)
         attack = match_flood_payload(snort_patterns, 3000)
 
@@ -107,7 +107,7 @@ class TestStressMonitor:
 
     def test_calibration_records_baseline(self, snort_patterns):
         controller = build_controller(snort_patterns)
-        instance = controller.create_instance("dpi-1")
+        instance = controller.instances.provision("dpi-1")
         monitor = StressMonitor(controller)
         self._warm(controller, instance, snort_patterns)
         baselines = monitor.calibrate()
@@ -116,7 +116,7 @@ class TestStressMonitor:
 
     def test_no_stress_under_benign_traffic(self, snort_patterns):
         controller = build_controller(snort_patterns)
-        instance = controller.create_instance("dpi-1")
+        instance = controller.instances.provision("dpi-1")
         monitor = StressMonitor(controller, threshold_factor=3.0)
         self._warm(controller, instance, snort_patterns)
         monitor.calibrate()
@@ -125,7 +125,7 @@ class TestStressMonitor:
 
     def test_attack_detected_and_mitigated(self, snort_patterns):
         controller = build_controller(snort_patterns)
-        instance = controller.create_instance("dpi-1")
+        instance = controller.instances.provision("dpi-1")
         monitor = StressMonitor(controller, threshold_factor=1.5)
         self._warm(controller, instance, snort_patterns, packets=40)
         monitor.calibrate()
@@ -147,7 +147,7 @@ class TestStressMonitor:
 
     def test_migration_callback_invoked(self, snort_patterns):
         controller = build_controller(snort_patterns)
-        instance = controller.create_instance("dpi-1")
+        instance = controller.instances.provision("dpi-1")
         monitor = StressMonitor(controller, threshold_factor=1.2)
         self._warm(controller, instance, snort_patterns, packets=40)
         monitor.calibrate()
@@ -164,7 +164,7 @@ class TestStressMonitor:
 
     def test_dedicated_instance_reused(self, snort_patterns):
         controller = build_controller(snort_patterns)
-        instance = controller.create_instance("dpi-1")
+        instance = controller.instances.provision("dpi-1")
         monitor = StressMonitor(controller, threshold_factor=1.2)
         self._warm(controller, instance, snort_patterns, packets=40)
         monitor.calibrate()
@@ -180,7 +180,7 @@ class TestStressMonitor:
 
     def test_deallocate_dedicated(self, snort_patterns):
         controller = build_controller(snort_patterns)
-        instance = controller.create_instance("dpi-1")
+        instance = controller.instances.provision("dpi-1")
         monitor = StressMonitor(controller, threshold_factor=1.2)
         self._warm(controller, instance, snort_patterns, packets=40)
         monitor.calibrate()

@@ -42,7 +42,7 @@ def push_load(controller, name, bytes_scanned, ns_per_byte):
 
 class TestObserveAndMitigateEdgeCases:
     def test_empty_window_produces_no_events(self, controller):
-        controller.create_instance("dpi-1")
+        controller.instances.provision("dpi-1")
         monitor = StressMonitor(controller)
         assert monitor.calibrate() == {}
         assert monitor.observe_and_mitigate() == []
@@ -52,7 +52,7 @@ class TestObserveAndMitigateEdgeCases:
         ) is None
 
     def test_window_below_minimum_bytes_is_ignored(self, controller):
-        controller.create_instance("dpi-1")
+        controller.instances.provision("dpi-1")
         monitor = StressMonitor(controller, min_window_bytes=1024)
         push_load(controller, "dpi-1", bytes_scanned=4096, ns_per_byte=10.0)
         assert "dpi-1" in monitor.calibrate()
@@ -61,7 +61,7 @@ class TestObserveAndMitigateEdgeCases:
         assert monitor.observe_and_mitigate() == []
 
     def test_stress_detected_from_registry_counters(self, controller):
-        controller.create_instance("dpi-1")
+        controller.instances.provision("dpi-1")
         monitor = StressMonitor(controller, threshold_factor=2.0)
         push_load(controller, "dpi-1", bytes_scanned=10_000, ns_per_byte=10.0)
         baselines = monitor.calibrate()
@@ -75,7 +75,7 @@ class TestObserveAndMitigateEdgeCases:
         assert registry.value("mca2_stress_events_total", instance="dpi-1") == 1
 
     def test_dedicated_instance_reused_across_rounds(self, controller):
-        controller.create_instance("dpi-1")
+        controller.instances.provision("dpi-1")
         monitor = StressMonitor(controller, threshold_factor=2.0)
         push_load(controller, "dpi-1", bytes_scanned=10_000, ns_per_byte=10.0)
         monitor.calibrate()
@@ -98,7 +98,7 @@ class TestObserveAndMitigateEdgeCases:
         assert registry.value("mca2_stress_events_total", instance="dpi-1") == 2
 
     def test_deallocation_after_load_drop(self, controller):
-        controller.create_instance("dpi-1")
+        controller.instances.provision("dpi-1")
         monitor = StressMonitor(controller, threshold_factor=2.0)
         push_load(controller, "dpi-1", bytes_scanned=10_000, ns_per_byte=10.0)
         monitor.calibrate()
@@ -122,7 +122,7 @@ class TestObserveAndMitigateEdgeCases:
         ) is None
 
     def test_dedicated_instances_are_not_monitored(self, controller):
-        controller.create_instance("dpi-1")
+        controller.instances.provision("dpi-1")
         monitor = StressMonitor(controller, threshold_factor=2.0)
         push_load(controller, "dpi-1", bytes_scanned=10_000, ns_per_byte=10.0)
         monitor.calibrate()
@@ -137,7 +137,7 @@ class TestObserveAndMitigateEdgeCases:
 
 class TestRegistryBackedLoadSamples:
     def test_load_samples_reflect_synthetic_counters(self, controller):
-        controller.create_instance("dpi-1")
+        controller.instances.provision("dpi-1")
         push_load(controller, "dpi-1", bytes_scanned=5000, ns_per_byte=20.0)
         samples = controller.load_samples(window_seconds=1.0)
         assert len(samples) == 1

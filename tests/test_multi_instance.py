@@ -63,8 +63,8 @@ def multiplexed_system():
     )
     tsa.realize()
 
-    instance_a = dpi_controller.create_instance("dpi_a")
-    instance_b = dpi_controller.create_instance("dpi_b")
+    instance_a = dpi_controller.instances.provision("dpi_a")
+    instance_b = dpi_controller.instances.provision("dpi_b")
     topo.hosts["dpi_a"].set_function(DPIServiceFunction(instance_a))
     topo.hosts["dpi_b"].set_function(DPIServiceFunction(instance_b))
     topo.hosts["mb_ids"].set_function(MiddleboxChainFunction(ids))

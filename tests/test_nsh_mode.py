@@ -45,7 +45,7 @@ def nsh_system():
     dpi_controller.attach_tsa(tsa)
     tsa.assign_traffic(TrafficAssignment("user1", "user2", "web"))
     tsa.realize()
-    instance = dpi_controller.create_instance("dpi1")
+    instance = dpi_controller.instances.provision("dpi1")
     topo.hosts["dpi1"].set_function(
         DPIServiceFunction(instance, result_mode="nsh")
     )

@@ -41,7 +41,7 @@ def orchestrated_system():
     tsa.assign_traffic(TrafficAssignment("user1", "user2", "web"))
     tsa.realize()
 
-    instance = controller.create_instance("dpi-one")
+    instance = controller.instances.provision("dpi-one")
     topo.hosts["dpi_one"].set_function(DPIServiceFunction(instance))
     topo.hosts["mb1"].set_function(MiddleboxChainFunction(ids))
 
@@ -118,7 +118,7 @@ class TestControlLoop:
         # Baseline while only dpi-one exists (the last instance is never
         # scaled in), then bring up the idle second instance.
         orchestrator.tick(window_seconds=1.0)
-        second = controller.create_instance("dpi-two")
+        second = controller.instances.provision("dpi-two")
         topo.hosts["dpi_spare"].set_function(DPIServiceFunction(second))
         orchestrator.register_instance("dpi-two", "dpi_spare")
         orchestrator.spare_hosts.clear()
@@ -143,7 +143,7 @@ class TestControlLoop:
         orchestrator = orchestrated_system["orchestrator"]
         controller = orchestrated_system["controller"]
         topo = orchestrated_system["topo"]
-        second = controller.create_instance("dpi-two")
+        second = controller.instances.provision("dpi-two")
         orchestrator.register_instance("dpi-two", "dpi_spare")
         orchestrator.spare_hosts.clear()
         # Both instances idle over an enormous window: both fall under the

@@ -54,7 +54,7 @@ def monitoring_system():
     tsa.assign_traffic(TrafficAssignment("user1", "user2", "monitor"))
     tsa.realize()
 
-    instance = dpi_controller.create_instance("dpi1")
+    instance = dpi_controller.instances.provision("dpi1")
     mb1 = topo.hosts["mb1"]
     topo.hosts["dpi1"].set_function(
         DPIServiceFunction(

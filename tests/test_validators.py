@@ -328,7 +328,7 @@ def test_create_instance_validates_its_config():
     controller.policy_chains_changed(
         {"c": PolicyChain("c", ("ids",), chain_id=100)}
     )
-    instance = controller.create_instance("ok")
+    instance = controller.instances.provision("ok")
     assert instance.config.chain_map == {100: (1,)}
 
 
