@@ -1,0 +1,188 @@
+"""Sharding ablation: sharded fan-out scanning vs the monolithic kernels.
+
+Compares one combined automaton scanning Snort-scale workloads against the
+same pattern set split across K shards, per corpus:
+
+* ``monolithic/reference`` and ``monolithic/flat`` — the PR-1 kernels, the
+  baselines every row is normalized against;
+* ``sharded/serial`` — fan-out and merge with in-process shard kernels:
+  measures the pure sharding overhead (K partial scans + merge);
+* ``sharded/process`` — the multiprocessing pool, scanned through the
+  batched path (one pool round-trip per shard per round) so the pool
+  actually amortizes; this is the row the ≥1.5× acceptance criterion on
+  ``speedup_vs_reference`` reads.
+
+Each corpus pairs with the shard-kernel family that fits it (the same
+bracketing as the kernel ablation): token-flavored ``snort-like`` patterns
+ride the flat-table shard kernel, high-entropy ``clamav-like`` signatures
+ride the regex-prefilter shard kernel, whose rare-byte anchors get *rarer*
+per shard — sharding there multiplies the prefilter's dismiss rate instead
+of just dividing the pattern count.
+
+Rounds are interleaved (row A, B, C, then A, B, C again ...) keeping the
+best round per row, like the kernel ablation, so scheduler noise hits every
+row equally.  ``cpu_count`` is recorded in the payload because the process
+row's speedup is hardware-dependent: with one core it leans entirely on
+per-shard kernel speedups; with K cores the shards genuinely overlap.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench.kernels import CORPORA, build_workload, write_results
+from repro.core.patterns import Pattern
+from repro.core.sharding import ShardedAutomaton
+
+__all__ = [
+    "ABLATION_CONFIGS",
+    "run_sharding_benchmark",
+    "format_sharding_results",
+    "write_results",
+]
+
+#: Corpus -> shard-kernel family pairings the ablation runs.
+ABLATION_CONFIGS = (
+    ("snort-like", "flat"),
+    ("clamav-like", "regex"),
+)
+
+
+def _throughput(total_bytes: int, elapsed: float) -> float:
+    return total_bytes * 8 / elapsed / 1e6 if elapsed > 0 else float("inf")
+
+
+def _run_corpus(
+    corpus: str,
+    shard_kernel: str,
+    pattern_count: int,
+    packets: int,
+    rounds: int,
+    shards: int,
+) -> dict:
+    """One corpus's four-row comparison (see the module doc)."""
+    workload = build_workload(
+        corpus, pattern_count=pattern_count, packets=packets
+    )
+    monolithic = workload.automaton
+    payloads = workload.payloads
+    total_bytes = workload.total_bytes
+    # The same pattern set build_workload fed the monolithic automaton
+    # (generator and pattern_seed=1 match build_workload's defaults).
+    contents = CORPORA[corpus](count=pattern_count, seed=1)
+    pattern_sets = {0: [Pattern(i, data) for i, data in enumerate(contents)]}
+
+    sharded = {
+        backend: ShardedAutomaton(
+            pattern_sets, shards, shard_kernel=shard_kernel, backend=backend
+        )
+        for backend in ("serial", "process")
+    }
+
+    def run_monolithic(kernel: str) -> float:
+        monolithic.select_kernel(kernel)
+        started = time.perf_counter()
+        for payload in payloads:
+            monolithic.scan(payload)
+        return _throughput(total_bytes, time.perf_counter() - started)
+
+    def run_sharded(backend: str) -> float:
+        automaton = sharded[backend]
+        started = time.perf_counter()
+        automaton.scan_batch(payloads)
+        return _throughput(total_bytes, time.perf_counter() - started)
+
+    rows = {
+        "monolithic/reference": lambda: run_monolithic("reference"),
+        "monolithic/flat": lambda: run_monolithic("flat"),
+        "sharded/serial": lambda: run_sharded("serial"),
+        "sharded/process": lambda: run_sharded("process"),
+    }
+    best = {name: 0.0 for name in rows}
+    for name, runner in rows.items():  # warm-up: builds kernels and pools
+        runner()
+    for _ in range(rounds):
+        for name, runner in rows.items():
+            best[name] = max(best[name], runner())
+    reference = best["monolithic/reference"]
+
+    plan = sharded["serial"].plan
+    entry = {
+        "shard_kernel": shard_kernel,
+        "total_bytes": total_bytes,
+        "pool_workers": sharded["process"]._kernel._backend.workers,
+        "plan": {
+            "strategy": plan.strategy,
+            "seed": plan.seed,
+            "shard_costs": plan.shard_costs(),
+            "balance_ratio": round(plan.balance_ratio(), 4),
+        },
+        "rows": {
+            name: {
+                "mbps": round(mbps, 2),
+                "speedup_vs_reference": (
+                    round(mbps / reference, 2) if reference else None
+                ),
+            }
+            for name, mbps in best.items()
+        },
+    }
+    for automaton in sharded.values():
+        automaton.shutdown()
+    return entry
+
+
+def run_sharding_benchmark(
+    pattern_count: int = 2000,
+    packets: int = 60,
+    rounds: int = 5,
+    shards: int = 4,
+    configs=ABLATION_CONFIGS,
+) -> dict:
+    """The full sharding ablation; returns the BENCH_sharding.json payload."""
+    results: dict = {
+        "benchmark": "sharding",
+        "config": {
+            "pattern_count": pattern_count,
+            "packets": packets,
+            "rounds": rounds,
+            "shards": shards,
+            "trace_style": "http",
+            "match_rate": 0.08,
+            "cpu_count": os.cpu_count(),
+        },
+        "corpora": {},
+    }
+    for corpus, shard_kernel in configs:
+        results["corpora"][corpus] = _run_corpus(
+            corpus, shard_kernel, pattern_count, packets, rounds, shards
+        )
+    return results
+
+
+def format_sharding_results(results: dict) -> str:
+    """Aligned text table of one :func:`run_sharding_benchmark` output."""
+    config = results["config"]
+    lines = [
+        f"sharding ablation — {config['pattern_count']} patterns, "
+        f"{config['packets']} packets ({config['trace_style']}), "
+        f"{config['shards']} shards, best of {config['rounds']} "
+        f"interleaved rounds, {config['cpu_count']} cpus"
+    ]
+    for corpus, entry in results["corpora"].items():
+        plan = entry["plan"]
+        lines.append(
+            f"  {corpus} (shard kernel {entry['shard_kernel']}, "
+            f"{entry['pool_workers']} pool workers, "
+            f"balance {plan['balance_ratio']:.3f}):"
+        )
+        for name, numbers in entry["rows"].items():
+            speedup = numbers["speedup_vs_reference"]
+            speedup_text = (
+                f"{speedup:6.2f}x" if speedup is not None else "   n/a"
+            )
+            lines.append(
+                f"    {name:22} {numbers['mbps']:10.2f} Mbps  {speedup_text}"
+            )
+    return "\n".join(lines)

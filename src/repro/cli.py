@@ -20,8 +20,10 @@ import time
 from pathlib import Path
 
 from repro.core.aho_corasick import AhoCorasick
+from repro.core.instance import INSTANCE_KERNEL_NAMES
 from repro.core.kernels import KERNEL_NAMES
 from repro.core.patterns import Pattern, PatternKind
+from repro.core.workers import BACKEND_NAMES
 from repro.core.wu_manber import WuManber
 from repro.workloads.patterns import generate_clamav_like, generate_snort_like
 from repro.workloads.traces import load_trace, save_trace
@@ -96,14 +98,33 @@ def _cmd_scan(args) -> int:
     if args.engine == "ac":
         engine = AhoCorasick(literals, layout=args.layout)
     elif args.engine == "combined":
-        from repro.core.combined import CombinedAutomaton
+        pattern_sets = {0: [Pattern(i, data) for i, data in enumerate(literals)]}
+        if args.kernel == "sharded":
+            from repro.core.sharding import ShardedAutomaton
 
-        automaton = CombinedAutomaton(
-            {0: [Pattern(i, data) for i, data in enumerate(literals)]},
-            layout=args.layout,
-            kernel=args.kernel,
-            scan_cache_size=args.cache_size,
-        )
+            if args.shards < 1:
+                print(
+                    "scan: --kernel sharded needs --shards >= 1",
+                    file=sys.stderr,
+                )
+                return 2
+            automaton = ShardedAutomaton(
+                pattern_sets,
+                args.shards,
+                layout=args.layout,
+                shard_kernel=args.shard_kernel,
+                backend=args.shard_backend,
+                scan_cache_size=args.cache_size,
+            )
+        else:
+            from repro.core.combined import CombinedAutomaton
+
+            automaton = CombinedAutomaton(
+                pattern_sets,
+                layout=args.layout,
+                kernel=args.kernel,
+                scan_cache_size=args.cache_size,
+            )
 
         def count_combined(payload):
             return sum(
@@ -124,12 +145,19 @@ def _cmd_scan(args) -> int:
         if found:
             matched_packets += 1
     elapsed = time.perf_counter() - started
+    if hasattr(engine, "shutdown"):
+        engine.shutdown()
     mbps = trace.total_bytes * 8 / elapsed / 1e6 if elapsed > 0 else float("inf")
     detail = ""
     if args.engine == "ac":
         detail = f" ({args.layout})"
     elif args.engine == "combined":
         detail = f" ({args.layout}, kernel={args.kernel})"
+        if args.kernel == "sharded":
+            detail = (
+                f" ({args.layout}, kernel=sharded x{args.shards}"
+                f" {args.shard_kernel}/{args.shard_backend})"
+            )
     print(f"engine: {args.engine}" + detail)
     print(f"packets: {len(trace)}  bytes: {trace.total_bytes}")
     print(f"matched packets: {matched_packets}  total matches: {total_matches}")
@@ -138,6 +166,25 @@ def _cmd_scan(args) -> int:
 
 
 def _cmd_bench_kernels(args) -> int:
+    if args.sharding:
+        from repro.bench.sharding import (
+            format_sharding_results,
+            run_sharding_benchmark,
+            write_results,
+        )
+
+        results = run_sharding_benchmark(
+            pattern_count=args.pattern_count,
+            packets=args.packets,
+            rounds=args.rounds,
+            shards=args.shards or 4,
+        )
+        print(format_sharding_results(results))
+        if args.out:
+            write_results(results, args.out)
+            print(f"wrote {args.out}")
+        return 0
+
     from repro.bench.kernels import (
         format_results,
         run_kernel_benchmark,
@@ -167,6 +214,9 @@ def _cmd_report(args) -> int:
         seed=args.seed,
         kernel=args.kernel,
         scan_cache_size=args.cache_size,
+        shards=args.shards,
+        shard_backend=args.shard_backend,
+        shard_kernel=args.shard_kernel,
     )
     # Export before printing: a closed stdout pipe (`report | head`) must
     # not cost the caller their --jsonl / --prom files.
@@ -301,6 +351,9 @@ def _cmd_chaos(args) -> int:
         scenario=args.scenario,
         packets=args.packets,
         kernel=args.kernel,
+        shards=args.shards,
+        shard_backend=args.shard_backend,
+        shard_kernel=args.shard_kernel,
         heartbeat=heartbeat,
         allow_spare=not args.no_spare,
     )
@@ -373,6 +426,28 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _add_sharding_flags(command: argparse.ArgumentParser) -> None:
+    """The --shards/--shard-backend/--shard-kernel trio (for --kernel sharded)."""
+    command.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="shard count for --kernel sharded (0 = unsharded)",
+    )
+    command.add_argument(
+        "--shard-backend",
+        choices=BACKEND_NAMES,
+        default="serial",
+        help="execution backend for sharded scans",
+    )
+    command.add_argument(
+        "--shard-kernel",
+        choices=KERNEL_NAMES,
+        default="flat",
+        help="per-shard kernel family for sharded scans",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -407,7 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--layout", choices=("sparse", "full"), default="sparse")
     scan.add_argument(
         "--kernel",
-        choices=KERNEL_NAMES,
+        choices=INSTANCE_KERNEL_NAMES,
         default="flat",
         help="scan kernel for --engine combined",
     )
@@ -417,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="LRU scan-cache capacity for --engine combined (0 = off)",
     )
+    _add_sharding_flags(scan)
     scan.set_defaults(func=_cmd_scan)
 
     bench = commands.add_parser(
@@ -426,6 +502,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--packets", type=int, default=60)
     bench.add_argument("--rounds", type=int, default=5)
     bench.add_argument("--cache-size", type=int, default=256)
+    bench.add_argument(
+        "--sharding",
+        action="store_true",
+        help="run the sharding ablation instead (BENCH_sharding.json)",
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="shard count for --sharding (default 4)",
+    )
     bench.add_argument("--out", help="write BENCH_kernels.json here")
     bench.set_defaults(func=_cmd_bench_kernels)
 
@@ -435,13 +522,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--packets", type=int, default=40)
     report.add_argument("--seed", type=int, default=7)
-    report.add_argument("--kernel", choices=KERNEL_NAMES, default="flat")
+    report.add_argument(
+        "--kernel", choices=INSTANCE_KERNEL_NAMES, default="flat"
+    )
     report.add_argument(
         "--cache-size",
         type=int,
         default=0,
         help="LRU scan-cache capacity for the DPI instance (0 = off)",
     )
+    _add_sharding_flags(report)
     report.add_argument("--jsonl", help="also export the JSONL event log here")
     report.add_argument(
         "--prom", help="also export a Prometheus text-format dump here"
@@ -484,7 +574,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan", required=True, help="fault plan JSON file to execute"
     )
     chaos.add_argument("--packets", type=int, default=60)
-    chaos.add_argument("--kernel", choices=KERNEL_NAMES, default="flat")
+    chaos.add_argument(
+        "--kernel", choices=INSTANCE_KERNEL_NAMES, default="flat"
+    )
+    _add_sharding_flags(chaos)
     chaos.add_argument(
         "--failover-budget",
         type=float,

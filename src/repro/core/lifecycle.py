@@ -92,6 +92,9 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
         layout: str = "sparse",
         kernel: str = "flat",
         scan_cache_size: int = 0,
+        shards: int = 0,
+        shard_backend: str = "serial",
+        shard_kernel: str = "flat",
     ) -> InstanceConfig:
         """The configuration for an instance serving *chain_ids* (None =
         every chain).  Only middleboxes on the selected chains are included
@@ -120,6 +123,9 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
             layout=layout,
             kernel=kernel,
             scan_cache_size=scan_cache_size,
+            shards=shards,
+            shard_backend=shard_backend,
+            shard_kernel=shard_kernel,
         )
 
     # --- lifecycle verbs ----------------------------------------------------
@@ -132,6 +138,9 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
         layout: str = "sparse",
         kernel: str = "flat",
         scan_cache_size: int = 0,
+        shards: int = 0,
+        shard_backend: str = "serial",
+        shard_kernel: str = "flat",
         validate: bool = True,
         dedicated: bool = False,
     ) -> DPIServiceInstance:
@@ -153,6 +162,9 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
             layout=layout,
             kernel=kernel,
             scan_cache_size=scan_cache_size,
+            shards=shards,
+            shard_backend=shard_backend,
+            shard_kernel=shard_kernel,
         )
         if validate:
             raise_on_errors(validate_instance_config(config))
@@ -230,6 +242,9 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
                     layout=instance.config.layout,
                     kernel=instance.config.kernel,
                     scan_cache_size=instance.config.scan_cache_size,
+                    shards=instance.config.shards,
+                    shard_backend=instance.config.shard_backend,
+                    shard_kernel=instance.config.shard_kernel,
                 )
             )
 

@@ -15,9 +15,17 @@ The :class:`VirtualScanner` ties together:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 
 from repro.core.combined import CombinedAutomaton
 from repro.core.flow_table import FlowTable
+
+#: Canonical per-middlebox match order: (position, pattern id).  Monolithic
+#: kernels already emit this order (one accepting state per position, match
+#: entries pattern-sorted within it), but a sharded automaton can split
+#: same-position accepts across shards, whose raw merge cannot interleave
+#: them — so the scanner canonicalizes after resolution.
+_MATCH_ORDER = itemgetter(1, 0)
 
 
 @dataclass(frozen=True)
@@ -240,6 +248,8 @@ class VirtualScanner:
                         continue
                     position = cnt
                 result.matches[middlebox_id].append((pattern_id, position))
+        for match_list in result.matches.values():
+            match_list.sort(key=_MATCH_ORDER)
 
         if any_stateful and flow_key is not None:
             self.flow_table.update(

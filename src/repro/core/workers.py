@@ -1,0 +1,226 @@
+"""Execution backends for the sharded scan-worker pool.
+
+A :class:`~repro.core.sharding.ShardedKernel` fans one payload out to K
+per-shard kernels and merges the results.  *Where* those per-shard scans run
+is this module's job, behind one small contract:
+
+* ``scan_shards(tasks)`` — one ``(shard, data, bitmap, state, limit)`` task
+  per shard of a single payload; returns raw ``(raw_matches, end_state,
+  bytes_scanned)`` tuples in task order.
+* ``scan_shard_batches(tasks)`` — one ``(shard, payloads, bitmap, state,
+  limit)`` task per shard covering a whole payload batch; returns a list of
+  raw result tuples per task.  This is the throughput path: a batch crosses
+  the pool boundary once per shard instead of once per payload.
+* ``shutdown()`` — release any pooled resources (idempotent).
+
+Two backends are provided.  ``serial`` runs the shard kernels in-process, in
+shard order — fully deterministic, zero overhead, the default.  ``process``
+keeps a ``multiprocessing`` pool whose workers each build every shard kernel
+once (from a picklable :func:`make_shard_spec` description) and then reuse
+them across calls; tasks are distributed with batched work queues
+(``chunksize`` sized to the worker count).  Pool failures are *not* handled
+here: any exception escapes to the sharded kernel, which drains the pool and
+falls back to serial execution (see ``repro.core.sharding``).
+
+Raw results cross the process boundary as plain tuples, not
+:class:`~repro.core.kernels.CombinedScanResult` objects — cheaper to pickle,
+and the merge layer rebuilds whatever shape it needs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any
+
+#: Backend names accepted by ``ShardedAutomaton`` / ``InstanceConfig``.
+BACKEND_NAMES = ("serial", "process")
+
+#: One per-shard scan request: ``(shard, data, active_bitmap, state, limit)``.
+ShardTask = "tuple[int, bytes, int, int, int | None]"
+
+#: One per-shard batch request: ``(shard, payloads, active_bitmap, state, limit)``.
+ShardBatchTask = "tuple[int, tuple[bytes, ...], int, int, int | None]"
+
+#: A raw scan result on the wire: ``(raw_matches, end_state, bytes_scanned)``.
+RawResult = "tuple[list[tuple[int, int]], int, int]"
+
+
+def make_shard_spec(pattern_sets, layout: str, kernel: str) -> tuple:
+    """A picklable description of one shard's combined automaton.
+
+    Pattern objects are flattened to ``(pattern id, bytes)`` pairs so the
+    spec crosses the process boundary without importing anything beyond
+    this module and rebuilds byte-identically on the other side.
+    """
+    wire = tuple(
+        (middlebox_id, tuple(
+            (pattern.pattern_id, pattern.data)
+            for pattern in pattern_sets[middlebox_id]
+        ))
+        for middlebox_id in sorted(pattern_sets)
+    )
+    return (wire, layout, kernel)
+
+
+def automaton_from_spec(spec: tuple):
+    """Rebuild a shard's combined automaton from a :func:`make_shard_spec`."""
+    from repro.core.combined import CombinedAutomaton
+    from repro.core.patterns import Pattern
+
+    wire, layout, kernel = spec
+    pattern_sets = {
+        middlebox_id: [Pattern(pattern_id, data) for pattern_id, data in pairs]
+        for middlebox_id, pairs in wire
+    }
+    return CombinedAutomaton(pattern_sets, layout=layout, kernel=kernel)
+
+
+# --- worker-process side -----------------------------------------------------
+
+#: Per-worker shard automata, built once by the pool initializer and reused
+#: across every task the worker processes ("shard-local kernel reuse").
+_WORKER_AUTOMATA: "list[Any] | None" = None
+
+
+def _init_worker(specs: "tuple[tuple, ...]") -> None:
+    """Pool initializer: build every shard automaton once per worker."""
+    global _WORKER_AUTOMATA
+    _WORKER_AUTOMATA = [automaton_from_spec(spec) for spec in specs]
+
+
+def _scan_task(task) -> "tuple":
+    """Run one per-shard scan inside a worker process."""
+    shard, data, active_bitmap, state, limit = task
+    result = _WORKER_AUTOMATA[shard].scan(data, active_bitmap, state, limit)
+    return (result.raw_matches, result.end_state, result.bytes_scanned)
+
+
+def _scan_batch_task(task) -> "list[tuple]":
+    """Run one shard over a whole payload batch inside a worker process."""
+    shard, payloads, active_bitmap, state, limit = task
+    automaton = _WORKER_AUTOMATA[shard]
+    out = []
+    for payload in payloads:
+        result = automaton.scan(payload, active_bitmap, state, limit)
+        out.append((result.raw_matches, result.end_state, result.bytes_scanned))
+    return out
+
+
+# --- backends ----------------------------------------------------------------
+
+
+class SerialBackend:
+    """Run the per-shard scans in-process, in shard order (deterministic)."""
+
+    name = "serial"
+
+    def __init__(self, automata) -> None:
+        self._automata = list(automata)
+
+    def scan_shards(self, tasks) -> "list[tuple]":
+        """One raw result tuple per task, in task order."""
+        out = []
+        for shard, data, active_bitmap, state, limit in tasks:
+            result = self._automata[shard].scan(data, active_bitmap, state, limit)
+            out.append((result.raw_matches, result.end_state, result.bytes_scanned))
+        return out
+
+    def scan_shard_batches(self, tasks) -> "list[list[tuple]]":
+        """One list of raw result tuples per batch task, in task order."""
+        out = []
+        for shard, payloads, active_bitmap, state, limit in tasks:
+            automaton = self._automata[shard]
+            results = []
+            for payload in payloads:
+                result = automaton.scan(payload, active_bitmap, state, limit)
+                results.append(
+                    (result.raw_matches, result.end_state, result.bytes_scanned)
+                )
+            out.append(results)
+        return out
+
+    def shutdown(self) -> None:
+        """Nothing pooled; provided for backend interchangeability."""
+
+
+class ProcessBackend:
+    """A multiprocessing pool with shard-local kernel reuse across calls.
+
+    The pool is created lazily on first use: each worker runs
+    :func:`_init_worker` once, building every shard automaton from the
+    pickled specs, so subsequent tasks only ship ``(shard, payload, ...)``
+    tuples.  Any pool exception propagates to the caller — the sharded
+    kernel owns the drain-and-fall-back-to-serial policy.
+    """
+
+    name = "process"
+
+    def __init__(self, specs, workers: "int | None" = None) -> None:
+        self._specs = tuple(specs)
+        if workers is not None and workers <= 0:
+            raise ValueError(f"worker count must be positive: {workers}")
+        self._workers = workers
+        self._pool = None
+
+    @property
+    def workers(self) -> int:
+        """The worker-process count the pool runs (or will run) with."""
+        if self._workers is not None:
+            return self._workers
+        return max(1, min(len(self._specs), os.cpu_count() or 1))
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            context = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self._specs,),
+            )
+        return self._pool
+
+    def _chunksize(self, count: int) -> int:
+        # Batched work queues: hand each worker one contiguous chunk per
+        # call instead of one task at a time.
+        return max(1, count // self.workers)
+
+    def scan_shards(self, tasks) -> "list[tuple]":
+        """Fan the per-shard tasks across the pool; results in task order."""
+        tasks = list(tasks)
+        pool = self._ensure_pool()
+        return pool.map(_scan_task, tasks, chunksize=self._chunksize(len(tasks)))
+
+    def scan_shard_batches(self, tasks) -> "list[list[tuple]]":
+        """Fan whole per-shard batches across the pool, one task per shard."""
+        tasks = list(tasks)
+        pool = self._ensure_pool()
+        return pool.map(_scan_batch_task, tasks, chunksize=1)
+
+    def shutdown(self) -> None:
+        """Terminate and join the pool so no worker outlives the backend."""
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        pool.terminate()
+        pool.join()
+
+
+def make_backend(name: str, *, automata, specs, workers: "int | None" = None):
+    """Build the named execution backend.
+
+    ``automata`` are the in-process shard automata (serial execution and
+    the fallback path); ``specs`` their picklable descriptions (pool
+    workers rebuild from these).
+    """
+    if name == "serial":
+        return SerialBackend(automata)
+    if name == "process":
+        return ProcessBackend(specs, workers=workers)
+    raise ValueError(
+        f"unknown shard backend {name!r}; expected one of {BACKEND_NAMES}"
+    )

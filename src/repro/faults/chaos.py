@@ -140,6 +140,9 @@ def run_chaos_scenario(
     packets: int = 60,
     packet_interval: float = 0.01,
     kernel: str = "flat",
+    shards: int = 0,
+    shard_backend: str = "serial",
+    shard_kernel: str = "flat",
     heartbeat: HeartbeatConfig | None = None,
     control_latency: float = 0.002,
     control_timeout: float = 0.02,
@@ -158,7 +161,11 @@ def run_chaos_scenario(
     heartbeat = heartbeat or HeartbeatConfig()
 
     system = build_figure5_system(
-        kernel=kernel, extra_hosts={STANDBY_HOST: "s3"}
+        kernel=kernel,
+        extra_hosts={STANDBY_HOST: "s3"},
+        shards=shards,
+        shard_backend=shard_backend,
+        shard_kernel=shard_kernel,
     )
     topo = system.topology
     hub = system.hub
@@ -180,6 +187,9 @@ def run_chaos_scenario(
         middlebox_functions=system.middlebox_functions,
         spare_hosts=[STANDBY_HOST] if allow_spare else [],
         kernel=kernel,
+        shards=shards,
+        shard_backend=shard_backend,
+        shard_kernel=shard_kernel,
         telemetry=hub,
     )
     monitor = HeartbeatMonitor(

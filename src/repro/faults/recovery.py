@@ -213,6 +213,9 @@ class FailoverCoordinator:
         middlebox_functions: "dict[str, object] | None" = None,
         spare_hosts: "list[str] | None" = None,
         kernel: str = "flat",
+        shards: int = 0,
+        shard_backend: str = "serial",
+        shard_kernel: str = "flat",
         telemetry=None,
     ) -> None:
         self.controller = controller
@@ -227,6 +230,9 @@ class FailoverCoordinator:
         #: Hosts failover may provision fresh instances onto, in order.
         self.spare_hosts = list(spare_hosts or [])
         self.kernel = kernel
+        self.shards = shards
+        self.shard_backend = shard_backend
+        self.shard_kernel = shard_kernel
         self.telemetry = telemetry
         self.records: dict[str, FailoverRecord] = {}
 
@@ -318,7 +324,11 @@ class FailoverCoordinator:
                 suffix += 1
                 new_name = f"{failed}-failover{suffix}"
             instance = self.controller.instances.provision(
-                new_name, kernel=self.kernel
+                new_name,
+                kernel=self.kernel,
+                shards=self.shards,
+                shard_backend=self.shard_backend,
+                shard_kernel=self.shard_kernel,
             )
             function = DPIServiceFunction(instance)
             self.topology.hosts[spare].set_function(function)

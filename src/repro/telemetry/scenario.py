@@ -92,6 +92,9 @@ def build_figure5_system(
     telemetry: bool = True,
     tracing: bool = True,
     extra_hosts: "dict[str, str] | None" = None,
+    shards: int = 0,
+    shard_backend: str = "serial",
+    shard_kernel: str = "flat",
 ) -> Figure5System:
     """Wire up the Figure 5 system without sending any traffic.
 
@@ -151,7 +154,12 @@ def build_figure5_system(
     tsa.realize()
 
     instance = dpi_controller.instances.provision(
-        "dpi3", kernel=kernel, scan_cache_size=scan_cache_size
+        "dpi3",
+        kernel=kernel,
+        scan_cache_size=scan_cache_size,
+        shards=shards,
+        shard_backend=shard_backend,
+        shard_kernel=shard_kernel,
     )
     dpi_function = DPIServiceFunction(instance)
     topo.hosts["dpi3"].set_function(dpi_function)
@@ -185,6 +193,9 @@ def run_figure5_scenario(
     scan_cache_size: int = 0,
     telemetry: bool = True,
     tracing: bool = True,
+    shards: int = 0,
+    shard_backend: str = "serial",
+    shard_kernel: str = "flat",
 ) -> ScenarioResult:
     """Build the Figure 5 system, run *packets* packets, return the result.
 
@@ -197,6 +208,9 @@ def run_figure5_scenario(
         scan_cache_size=scan_cache_size,
         telemetry=telemetry,
         tracing=tracing,
+        shards=shards,
+        shard_backend=shard_backend,
+        shard_kernel=shard_kernel,
     )
     topo = system.topology
     hub = system.hub

@@ -1,0 +1,523 @@
+"""Unit tests for the sharded scan-worker pool (plan, kernel, backends).
+
+The equivalence contract lives in ``test_sharding_properties.py``; this
+file pins the deterministic plan construction, the merge ordering, the
+backend lifecycle (pool reuse, drain-and-fall-back on failure, shutdown
+without orphans), configuration validation, and the telemetry binding.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.combined import CombinedAutomaton
+from repro.core.instance import DPIServiceInstance, InstanceConfig
+from repro.core.patterns import Pattern, PatternKind
+from repro.core.scanner import MiddleboxProfile
+from repro.core.sharding import (
+    ShardedAutomaton,
+    ShardPlan,
+    estimate_scan_cost,
+)
+from repro.core.workers import (
+    ProcessBackend,
+    SerialBackend,
+    automaton_from_spec,
+    make_backend,
+    make_shard_spec,
+)
+from repro.telemetry import TelemetryHub
+
+PATTERN_SETS = {
+    1: [Pattern(0, b"attack"), Pattern(1, b"worm"), Pattern(2, b"ab")],
+    3: [Pattern(0, b"worm"), Pattern(1, b"bad"), Pattern(2, b"aba")],
+}
+
+
+def make_instance_config(**overrides):
+    defaults = dict(
+        pattern_sets={1: [Pattern(0, b"attack")]},
+        profiles={1: MiddleboxProfile(1, name="ids")},
+        chain_map={100: (1,)},
+    )
+    defaults.update(overrides)
+    return InstanceConfig(**defaults)
+
+
+class TestShardPlan:
+    def test_same_inputs_same_plan(self):
+        first = ShardPlan.build(PATTERN_SETS, 3, seed=5)
+        second = ShardPlan.build(PATTERN_SETS, 3, seed=5)
+        assert first == second
+
+    def test_partition_is_disjoint_and_complete(self):
+        plan = ShardPlan.build(PATTERN_SETS, 3)
+        assigned = [data for shard in plan.assignments for data in shard]
+        distinct = {
+            pattern.data
+            for patterns in PATTERN_SETS.values()
+            for pattern in patterns
+        }
+        assert sorted(assigned) == sorted(distinct)
+        assert len(assigned) == len(set(assigned))
+
+    def test_cost_strategy_balances_estimates(self):
+        plan = ShardPlan.build(PATTERN_SETS, 2, strategy="cost")
+        costs = plan.shard_costs()
+        total = sum(
+            estimate_scan_cost(data)
+            for shard in plan.assignments
+            for data in shard
+        )
+        assert sum(costs) == total
+        assert plan.balance_ratio() < 1.5
+
+    def test_size_strategy_balances_counts(self):
+        plan = ShardPlan.build(PATTERN_SETS, 2, strategy="size")
+        sizes = sorted(len(shard) for shard in plan.assignments)
+        assert sizes == [2, 3]
+
+    def test_more_shards_than_patterns_leaves_empty_shards(self):
+        plan = ShardPlan.build({1: [Pattern(0, b"one")]}, 4)
+        assert plan.num_shards == 4
+        assert sum(len(shard) for shard in plan.assignments) == 1
+
+    def test_shard_of(self):
+        plan = ShardPlan.build(PATTERN_SETS, 3)
+        assert plan.assignments[plan.shard_of(b"attack")] == tuple(
+            sorted(plan.assignments[plan.shard_of(b"attack")])
+        )
+        with pytest.raises(KeyError):
+            plan.shard_of(b"missing")
+
+    def test_from_assignments(self):
+        plan = ShardPlan.from_assignments([[b"worm"], [b"attack", b"ab"]])
+        assert plan.strategy == "explicit"
+        assert plan.shard_of(b"worm") == 0
+        assert plan.shard_of(b"ab") == 1
+
+    def test_duplicate_assignment_rejected(self):
+        with pytest.raises(ValueError, match="assigned twice"):
+            ShardPlan(
+                num_shards=2,
+                strategy="explicit",
+                seed=0,
+                assignments=((b"x",), (b"x",)),
+            )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="positive"):
+            ShardPlan.build(PATTERN_SETS, 0)
+        with pytest.raises(ValueError, match="strategy"):
+            ShardPlan.build(PATTERN_SETS, 2, strategy="vibes")
+        with pytest.raises(ValueError, match="literal"):
+            ShardPlan.build(
+                {1: [Pattern(0, b"a+", kind=PatternKind.REGEX)]}, 2
+            )
+
+    def test_direct_construction_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            ShardPlan(num_shards=0, strategy="explicit", seed=0, assignments=())
+        with pytest.raises(ValueError, match="assignments for"):
+            ShardPlan(
+                num_shards=2,
+                strategy="explicit",
+                seed=0,
+                assignments=((b"x",),),
+            )
+
+    def test_balance_ratio_of_all_empty_plan_is_one(self):
+        plan = ShardPlan.from_assignments([[], []])
+        assert plan.shard_costs() == [0, 0]
+        assert plan.balance_ratio() == 1.0
+
+    def test_subset_pattern_sets_carry_every_middlebox(self):
+        plan = ShardPlan.build(PATTERN_SETS, 3)
+        subsets = plan.subset_pattern_sets(PATTERN_SETS)
+        assert len(subsets) == 3
+        for subset in subsets:
+            assert sorted(subset) == [1, 3]
+
+
+class TestShardedAutomaton:
+    def test_merge_order_is_cnt_then_global_state(self):
+        # "ab" and "aba"/"worm" land in different shards; a payload hitting
+        # several shards at interleaved positions must come back sorted by
+        # (cnt, global accepting state).
+        sharded = ShardedAutomaton(PATTERN_SETS, 3)
+        result = sharded.scan(b"abawormattack")
+        keys = [(cnt, state) for state, cnt in result.raw_matches]
+        assert keys == sorted(keys)
+        assert len(result.raw_matches) >= 3
+
+    def test_accept_state_bookkeeping_matches_shards(self):
+        sharded = ShardedAutomaton(PATTERN_SETS, 3)
+        mono = CombinedAutomaton(PATTERN_SETS)
+        assert sharded.num_accepting == mono.num_accepting
+        assert sharded.num_distinct_patterns == mono.num_distinct_patterns
+        seen = set()
+        for state in range(sharded.num_accepting):
+            entry = sharded.match_entry(state)
+            assert entry
+            assert sharded.bitmap_of_state(state)
+            seen.update(entry)
+        expected = {
+            (middlebox_id, pattern.pattern_id)
+            for middlebox_id, patterns in PATTERN_SETS.items()
+            for pattern in patterns
+        }
+        assert seen == expected
+        with pytest.raises(IndexError):
+            sharded.match_entry(sharded.num_accepting)
+
+    def test_bitmask_of_rejects_unknown_middlebox(self):
+        sharded = ShardedAutomaton(PATTERN_SETS, 2)
+        assert sharded.bitmask_of([1, 3]) == sharded.all_middleboxes_bitmap
+        with pytest.raises(KeyError):
+            sharded.bitmask_of([2])
+
+    def test_scan_cache_returns_fresh_equal_results(self):
+        sharded = ShardedAutomaton(PATTERN_SETS, 2, scan_cache_size=4)
+        first = sharded.scan(b"abattack")
+        second = sharded.scan(b"abattack")
+        assert first.raw_matches == second.raw_matches
+        assert first is not second
+        assert sharded.scan_cache.hits == 1
+        # Cached replay skips the backend entirely.
+        assert sharded.shard_scan_counts == (1, 1)
+
+    def test_select_kernel_rebuilds_shards(self):
+        sharded = ShardedAutomaton(PATTERN_SETS, 2, shard_kernel="reference")
+        before = sharded.scan(b"abawormattack")
+        sharded.select_kernel("regex")
+        assert sharded.shard_kernel_name == "regex"
+        after = sharded.scan(b"abawormattack")
+        assert after.raw_matches == before.raw_matches
+        assert after.end_state == before.end_state
+        sharded.select_kernel("sharded")  # no-op
+        assert sharded.shard_kernel_name == "regex"
+        with pytest.raises(ValueError, match="unknown kernel"):
+            sharded.select_kernel("gpu")
+
+    def test_accept_state_queries(self):
+        sharded = ShardedAutomaton(PATTERN_SETS, 2)
+        assert sharded.is_accepting(0)
+        assert not sharded.is_accepting(sharded.num_accepting)
+        for state in range(sharded.num_accepting):
+            entry = sharded.match_entry(state)
+            with_lengths = sharded.match_entry_with_lengths(state)
+            assert [pair for pair, _ in with_lengths] == list(entry)
+            assert all(length > 0 for _, length in with_lengths)
+
+    def test_construction_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="negative middlebox id"):
+            ShardedAutomaton({-1: [Pattern(0, b"x")]}, 2)
+        with pytest.raises(ValueError, match="negative scan cache size"):
+            ShardedAutomaton(PATTERN_SETS, 2, scan_cache_size=-1)
+
+    def test_select_kernel_clears_scan_cache(self):
+        sharded = ShardedAutomaton(PATTERN_SETS, 2, scan_cache_size=4)
+        before = sharded.scan(b"abattack")
+        sharded.select_kernel("regex")
+        after = sharded.scan(b"abattack")
+        assert after.raw_matches == before.raw_matches
+        # The rebuilt kernel starts fresh and actually ran the scan — a
+        # stale cache entry would have left its counters at zero.
+        assert sharded.shard_scan_counts == (1, 1)
+
+    def test_scan_accepts_buffer_payloads(self):
+        sharded = ShardedAutomaton(PATTERN_SETS, 2)
+        from_bytes = sharded.scan(b"abattack")
+        from_buffer = sharded.scan(bytearray(b"abattack"))
+        assert from_buffer.raw_matches == from_bytes.raw_matches
+        assert from_buffer.end_state == from_bytes.end_state
+
+    def test_scan_batch_matches_per_payload_scans(self):
+        payloads = [b"abawormattack", b"", b"badab", bytearray(b"worm")]
+        sharded = ShardedAutomaton(PATTERN_SETS, 3)
+        batch = sharded.scan_batch(payloads)
+        singles = [sharded.scan(bytes(payload)) for payload in payloads]
+        def as_tuples(results):
+            return [
+                (r.raw_matches, r.end_state, r.bytes_scanned) for r in results
+            ]
+        assert as_tuples(batch) == as_tuples(singles)
+        # Bitmap masking and limits ride through the batched path too.
+        bitmap = sharded.bitmask_of([3])
+        limited = sharded.scan_batch(payloads, bitmap, None, 4)
+        limited_singles = [
+            sharded.scan(bytes(payload), bitmap, None, 4)
+            for payload in payloads
+        ]
+        assert as_tuples(limited) == as_tuples(limited_singles)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="shard kernel"):
+            ShardedAutomaton(PATTERN_SETS, 2, shard_kernel="gpu")
+        with pytest.raises(ValueError, match="shard backend"):
+            ShardedAutomaton(PATTERN_SETS, 2, backend="threads")
+        with pytest.raises(ValueError, match="num_shards or plan"):
+            ShardedAutomaton(PATTERN_SETS)
+
+    def test_explicit_plan(self):
+        plan = ShardPlan.build(PATTERN_SETS, 2, seed=9)
+        sharded = ShardedAutomaton(PATTERN_SETS, plan=plan)
+        assert sharded.plan is plan
+        assert len(sharded.shards) == 2
+
+    def test_stats_aggregate_over_shards(self):
+        sharded = ShardedAutomaton(PATTERN_SETS, 3)
+        stats = sharded.stats
+        assert stats.num_patterns == sharded.num_distinct_patterns
+        assert stats.num_states == sum(
+            shard.num_states for shard in sharded.shards
+        )
+        assert stats.num_accepting_states == sharded.num_accepting
+
+
+class TestBackends:
+    def test_spec_round_trip(self):
+        spec = make_shard_spec(PATTERN_SETS, "sparse", "flat")
+        rebuilt = automaton_from_spec(spec)
+        original = CombinedAutomaton(PATTERN_SETS, kernel="flat")
+        payload = b"abawormattackbad"
+        left = rebuilt.scan(payload)
+        right = original.scan(payload)
+        assert left.raw_matches == right.raw_matches
+        assert left.end_state == right.end_state
+
+    def test_make_backend_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="shard backend"):
+            make_backend("threads", automata=[], specs=())
+
+    def test_serial_backend_runs_in_task_order(self):
+        automata = [
+            CombinedAutomaton({1: [Pattern(0, b"aa")]}),
+            CombinedAutomaton({1: [Pattern(0, b"ab")]}),
+        ]
+        backend = SerialBackend(automata)
+        results = backend.scan_shards(
+            [(0, b"aaab", 2, automata[0].root, None),
+             (1, b"aaab", 2, automata[1].root, None)]
+        )
+        assert len(results) == 2
+        assert results[0][0]  # "aa" matched in shard 0
+        assert results[1][0]  # "ab" matched in shard 1
+        backend.shutdown()  # no-op, must not raise
+
+    def test_process_backend_reuses_pool_and_shuts_down_clean(self):
+        sharded = ShardedAutomaton(PATTERN_SETS, 2, backend="process")
+        sharded.scan(b"abattack")
+        pool = sharded._kernel._backend._pool
+        assert pool is not None
+        sharded.scan(b"wormbad")
+        assert sharded._kernel._backend._pool is pool
+        sharded.shutdown()
+        assert sharded._kernel._backend._pool is None
+        assert multiprocessing.active_children() == []
+
+    def test_process_backend_worker_count(self):
+        backend = ProcessBackend(specs=(1, 2, 3))
+        assert 1 <= backend.workers <= 3
+        assert ProcessBackend(specs=(1, 2), workers=2).workers == 2
+        with pytest.raises(ValueError, match="positive"):
+            ProcessBackend(specs=(), workers=0)
+        assert backend._chunksize(10) >= 1
+
+    def test_worker_task_functions_match_serial_backend(self):
+        # The exact functions pool children run, exercised in-process:
+        # _init_worker builds the shard automata, the task functions must
+        # agree with the serial backend on every raw tuple.
+        import repro.core.workers as workers
+
+        plan = ShardPlan.build(PATTERN_SETS, 2)
+        subsets = plan.subset_pattern_sets(PATTERN_SETS)
+        specs = tuple(
+            make_shard_spec(subset, "sparse", "flat") for subset in subsets
+        )
+        automata = [automaton_from_spec(spec) for spec in specs]
+        serial = SerialBackend(automata)
+        saved = workers._WORKER_AUTOMATA
+        try:
+            workers._init_worker(specs)
+            tasks = [
+                (
+                    index,
+                    b"abawormattackbad",
+                    automata[index].all_middleboxes_bitmap,
+                    automata[index].root,
+                    None,
+                )
+                for index in range(len(automata))
+            ]
+            assert [
+                workers._scan_task(task) for task in tasks
+            ] == serial.scan_shards(tasks)
+            batch_tasks = [
+                (
+                    index,
+                    (b"abattack", b"", b"worm"),
+                    automata[index].all_middleboxes_bitmap,
+                    automata[index].root,
+                    None,
+                )
+                for index in range(len(automata))
+            ]
+            assert [
+                workers._scan_batch_task(task) for task in batch_tasks
+            ] == serial.scan_shard_batches(batch_tasks)
+        finally:
+            workers._WORKER_AUTOMATA = saved
+
+    def test_process_batch_path_and_batch_fallback(self):
+        sharded = ShardedAutomaton(PATTERN_SETS, 2, backend="process")
+        payloads = [b"abawormattack", b"badab"]
+        first = sharded.scan_batch(payloads)
+        # Sabotage the pool: the batched path must drain and fall back too.
+        pool = sharded._kernel._backend._pool
+        pool.terminate()
+        pool.join()
+        recovered = sharded.scan_batch(payloads)
+        assert [r.raw_matches for r in recovered] == [
+            r.raw_matches for r in first
+        ]
+        assert sharded.active_backend_name == "serial"
+        assert sharded.pool_fallbacks == 1
+        sharded.shutdown()
+        assert multiprocessing.active_children() == []
+
+    def test_fallback_survives_failing_drain(self):
+        sharded = ShardedAutomaton(PATTERN_SETS, 2, backend="process")
+
+        class ExplodingBackend:
+            def scan_shards(self, tasks):
+                raise RuntimeError("boom")
+
+            def shutdown(self):
+                raise RuntimeError("already dead")
+
+        sharded._kernel._backend = ExplodingBackend()
+        result = sharded.scan(b"abattack")
+        assert result.raw_matches
+        assert sharded.active_backend_name == "serial"
+        assert sharded.pool_fallbacks == 1
+        sharded.shutdown()
+
+    def test_pool_failure_falls_back_to_serial(self):
+        hub = TelemetryHub(tracing=False)
+        sharded = ShardedAutomaton(PATTERN_SETS, 2, backend="process")
+        sharded.bind_telemetry(hub, "dpi-test")
+        expected = sharded.scan(b"abawormattack")
+        # Sabotage: kill the pool out from under the kernel.
+        pool = sharded._kernel._backend._pool
+        pool.terminate()
+        pool.join()
+        recovered = sharded.scan(b"abawormattack")
+        assert recovered.raw_matches == expected.raw_matches
+        assert recovered.end_state == expected.end_state
+        assert sharded.active_backend_name == "serial"
+        assert sharded.pool_fallbacks == 1
+        assert multiprocessing.active_children() == []
+        kinds = [(event.kind, event.phase) for event in hub.faults]
+        assert ("shard_pool_failure", "recover") in kinds
+        sharded.shutdown()
+
+
+class TestInstanceWiring:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="shards >= 1"):
+            make_instance_config(kernel="sharded")
+        with pytest.raises(ValueError, match="requires kernel='sharded'"):
+            make_instance_config(kernel="flat", shards=2)
+        with pytest.raises(ValueError, match="shard backend"):
+            make_instance_config(
+                kernel="sharded", shards=2, shard_backend="threads"
+            )
+        with pytest.raises(ValueError, match="shard kernel"):
+            make_instance_config(
+                kernel="sharded", shards=2, shard_kernel="sharded"
+            )
+        config = make_instance_config(kernel="sharded", shards=2)
+        assert config.shard_backend == "serial"
+
+    def test_instance_builds_sharded_automaton(self):
+        instance = DPIServiceInstance(
+            make_instance_config(kernel="sharded", shards=3)
+        )
+        assert isinstance(instance.automaton, ShardedAutomaton)
+        output = instance.inspect(b"xx attack xx", 100)
+        assert output.matches == {1: [(0, 9)]}
+
+    def test_crash_drains_worker_pool(self):
+        instance = DPIServiceInstance(
+            make_instance_config(
+                kernel="sharded", shards=2, shard_backend="process"
+            )
+        )
+        instance.inspect(b"the attack payload", 100)
+        assert multiprocessing.active_children() != []
+        instance.crash()
+        assert multiprocessing.active_children() == []
+        instance.restart()
+        output = instance.inspect(b"the attack payload", 100)
+        assert output.has_matches
+        instance.crash()
+        assert multiprocessing.active_children() == []
+
+    def test_telemetry_binding_publishes_shard_metrics(self):
+        hub = TelemetryHub(tracing=False)
+        instance = DPIServiceInstance(
+            make_instance_config(kernel="sharded", shards=2),
+            name="dpi-shardy",
+            telemetry=hub,
+        )
+        instance.inspect(b"an attack here", 100)
+        instance.inspect(b"clean", 100)
+        counters = hub.registry.collect_named("dpi_shard_scans_total")
+        assert len(counters) == 2
+        assert all(counter.value == 2 for counter in counters)
+        histograms = hub.registry.collect_named("dpi_shard_merge_seconds")
+        assert len(histograms) == 1
+        assert histograms[0].count == 2
+
+
+class TestLifecycleWiring:
+    def build_controller(self):
+        from repro.core.controller import DPIController
+        from repro.core.messages import (
+            AddPatternsMessage,
+            RegisterMiddleboxMessage,
+        )
+        from repro.net.steering import PolicyChain
+
+        controller = DPIController()
+        controller.handle_message(RegisterMiddleboxMessage(1, "ids"))
+        controller.handle_message(
+            AddPatternsMessage(1, [Pattern(0, b"attack"), Pattern(1, b"worm")])
+        )
+        controller.policy_chains_changed(
+            {"c": PolicyChain("c", ("ids",), chain_id=100)}
+        )
+        return controller
+
+    def test_provision_and_refresh_keep_sharding_config(self):
+        controller = self.build_controller()
+        instance = controller.instances.provision(
+            "dpi-sharded", kernel="sharded", shards=3, shard_kernel="regex"
+        )
+        assert instance.config.shards == 3
+        assert isinstance(instance.automaton, ShardedAutomaton)
+        controller.instances.refresh()
+        refreshed = controller.instances["dpi-sharded"]
+        assert refreshed.config.kernel == "sharded"
+        assert refreshed.config.shards == 3
+        assert refreshed.config.shard_kernel == "regex"
+        assert isinstance(refreshed.automaton, ShardedAutomaton)
+
+    def test_build_config_passes_sharding_fields(self):
+        controller = self.build_controller()
+        config = controller.instances.build_config(
+            kernel="sharded", shards=2, shard_backend="process"
+        )
+        assert config.shards == 2
+        assert config.shard_backend == "process"

@@ -1,0 +1,190 @@
+"""Property-based shard-equivalence harness (the tentpole's contract).
+
+Sharding renumbers raw accepting states, so equivalence with the monolithic
+automaton is asserted at the resolved-match level: for every random pattern
+set, payload, shard count K in 1..8, per-shard kernel family and execution
+backend, the sharded scan must produce exactly the monolithic reference
+kernel's resolved ``(middlebox, pattern id, position)`` set — under
+``active_bitmap`` masking, ``limit`` cutoffs, and mid-flow resumes through
+each automaton's own end state.  A second property checks the same at the
+instance level, where matches become middlebox reports.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.combined import CombinedAutomaton
+from repro.core.instance import DPIServiceInstance, InstanceConfig
+from repro.core.kernels import KERNEL_NAMES
+from repro.core.patterns import Pattern
+from repro.core.scanner import MiddleboxProfile
+from repro.core.sharding import ShardedAutomaton
+
+# The kernel property suite's overlap-heavy alphabet (shared prefixes and
+# suffix matches stress the merge order; \x00 stresses regex anchors).
+ALPHABET = list(b"ab\x00c")
+
+pattern_bytes = st.builds(
+    bytes, st.lists(st.sampled_from(ALPHABET), min_size=1, max_size=6)
+)
+pattern_lists = st.lists(pattern_bytes, min_size=1, max_size=8)
+payloads = st.builds(
+    bytes, st.lists(st.sampled_from(ALPHABET), min_size=0, max_size=96)
+)
+
+
+def build_pattern_sets(patterns, second_set):
+    sets = {1: [Pattern(i, p) for i, p in enumerate(patterns)]}
+    if second_set:
+        sets[2] = [Pattern(i, p) for i, p in enumerate(second_set)]
+    return sets
+
+
+def resolved_matches(automaton, result, bitmap):
+    """Raw matches resolved into comparable (middlebox, pattern, cnt) rows."""
+    rows = []
+    for state, cnt in result.raw_matches:
+        for middlebox_id, pattern_id in automaton.resolve(state, bitmap):
+            rows.append((middlebox_id, pattern_id, cnt))
+    return sorted(rows)
+
+
+def pick_bitmap(automaton, choice):
+    return {
+        "all": None,
+        "everything": automaton.all_middleboxes_bitmap,
+        "first": automaton.bitmask_of([1]),
+        "zero": 0,
+    }[choice]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    patterns=pattern_lists,
+    second_set=st.one_of(st.just([]), pattern_lists),
+    payload=payloads,
+    num_shards=st.integers(min_value=1, max_value=8),
+    shard_kernel=st.sampled_from(KERNEL_NAMES),
+    strategy=st.sampled_from(("cost", "size")),
+    bitmap_choice=st.sampled_from(("all", "everything", "first", "zero")),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=100)),
+    cut_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_sharded_matches_monolithic_serial(
+    patterns,
+    second_set,
+    payload,
+    num_shards,
+    shard_kernel,
+    strategy,
+    bitmap_choice,
+    limit,
+    cut_fraction,
+):
+    sets = build_pattern_sets(patterns, second_set)
+    monolithic = CombinedAutomaton(sets, kernel="reference")
+    sharded = ShardedAutomaton(
+        sets, num_shards, shard_kernel=shard_kernel, strategy=strategy
+    )
+    mono_bitmap = pick_bitmap(monolithic, bitmap_choice)
+    shard_bitmap = pick_bitmap(sharded, bitmap_choice)
+    effective = (
+        monolithic.all_middleboxes_bitmap if mono_bitmap is None else mono_bitmap
+    )
+
+    mono = monolithic.scan(payload, mono_bitmap, None, limit)
+    shard = sharded.scan(payload, shard_bitmap, None, limit)
+    assert resolved_matches(sharded, shard, effective) == resolved_matches(
+        monolithic, mono, effective
+    )
+    assert shard.bytes_scanned == mono.bytes_scanned
+
+    # Mid-flow resume through each automaton's own end-state encoding.
+    cut = int(len(payload) * cut_fraction)
+    mono_state = monolithic.scan(payload[:cut]).end_state
+    shard_state = sharded.scan(payload[:cut]).end_state
+    mono2 = monolithic.scan(payload[cut:], mono_bitmap, mono_state, limit)
+    shard2 = sharded.scan(payload[cut:], shard_bitmap, shard_state, limit)
+    assert resolved_matches(sharded, shard2, effective) == resolved_matches(
+        monolithic, mono2, effective
+    )
+    assert shard2.bytes_scanned == mono2.bytes_scanned
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    patterns=pattern_lists,
+    payload=payloads,
+    num_shards=st.integers(min_value=1, max_value=4),
+    shard_kernel=st.sampled_from(KERNEL_NAMES),
+    bitmap_choice=st.sampled_from(("all", "first", "zero")),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=100)),
+)
+def test_sharded_matches_monolithic_process(
+    patterns, payload, num_shards, shard_kernel, bitmap_choice, limit
+):
+    # Few examples: every example spins up (and drains) a real worker pool.
+    sets = build_pattern_sets(patterns, [])
+    monolithic = CombinedAutomaton(sets, kernel="reference")
+    sharded = ShardedAutomaton(
+        sets, num_shards, shard_kernel=shard_kernel, backend="process"
+    )
+    try:
+        mono_bitmap = pick_bitmap(monolithic, bitmap_choice)
+        shard_bitmap = pick_bitmap(sharded, bitmap_choice)
+        effective = (
+            monolithic.all_middleboxes_bitmap
+            if mono_bitmap is None
+            else mono_bitmap
+        )
+        mono = monolithic.scan(payload, mono_bitmap, None, limit)
+        shard = sharded.scan(payload, shard_bitmap, None, limit)
+        assert resolved_matches(
+            sharded, shard, effective
+        ) == resolved_matches(monolithic, mono, effective)
+        assert shard.bytes_scanned == mono.bytes_scanned
+        assert sharded.pool_fallbacks == 0
+    finally:
+        sharded.shutdown()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    patterns=pattern_lists,
+    chunks=st.lists(payloads, min_size=1, max_size=4),
+    num_shards=st.integers(min_value=1, max_value=6),
+    shard_kernel=st.sampled_from(KERNEL_NAMES),
+    stateful=st.booleans(),
+)
+def test_sharded_instance_reports_identically(
+    patterns, chunks, num_shards, shard_kernel, stateful
+):
+    pattern_sets = {1: [Pattern(i, p) for i, p in enumerate(patterns)]}
+    profiles = {1: MiddleboxProfile(1, name="ids", stateful=stateful)}
+    monolithic = DPIServiceInstance(
+        InstanceConfig(
+            pattern_sets=pattern_sets,
+            profiles=profiles,
+            chain_map={100: (1,)},
+            kernel="reference",
+        )
+    )
+    sharded = DPIServiceInstance(
+        InstanceConfig(
+            pattern_sets=pattern_sets,
+            profiles=profiles,
+            chain_map={100: (1,)},
+            kernel="sharded",
+            shards=num_shards,
+            shard_kernel=shard_kernel,
+        )
+    )
+    for chunk in chunks:
+        expected = monolithic.inspect(chunk, 100, flow_key="flow")
+        actual = sharded.inspect(chunk, 100, flow_key="flow")
+        assert actual.matches == expected.matches
+        assert actual.report.encode() == expected.report.encode()
+        assert actual.bytes_scanned == expected.bytes_scanned
