@@ -7,23 +7,31 @@ same pattern set split across K shards, per corpus:
   baselines every row is normalized against;
 * ``sharded/serial`` — fan-out and merge with in-process shard kernels:
   measures the pure sharding overhead (K partial scans + merge);
-* ``sharded/process`` — the multiprocessing pool, scanned through the
-  batched path (one pool round-trip per shard per round) so the pool
-  actually amortizes; this is the row the ≥1.5× acceptance criterion on
-  ``speedup_vs_reference`` reads.
+* ``sharded/process/wN`` — the multiprocessing pool at N workers, scanned
+  through the batched path (one pool round-trip per shard per round):
+  every payload batch is pickled once per shard, the honest IPC cost;
+* ``sharded/zerocopy/wN`` — the shared-memory arena backend at N workers:
+  payloads are written into the arena once and workers pull descriptors,
+  so the batch never crosses a pickle boundary;
+* ``sharded/zerocopy-pipelined/wN`` — the same arena double-buffered:
+  writing chunk N+1 overlaps scanning chunk N.
 
-Each corpus pairs with the shard-kernel family that fits it (the same
-bracketing as the kernel ablation): token-flavored ``snort-like`` patterns
-ride the flat-table shard kernel, high-entropy ``clamav-like`` signatures
-ride the regex-prefilter shard kernel, whose rare-byte anchors get *rarer*
-per shard — sharding there multiplies the prefilter's dismiss rate instead
-of just dividing the pattern count.
+Worker counts are swept (default ``1, 2, 4``) and recorded per row:
+``cpu_count`` is in the config because the pooled rows' speedups are
+hardware-dependent — on one core they lean entirely on removing IPC
+overhead; with ≥2 cores the shards genuinely overlap and ``zerocopy``
+is expected to clear ``serial``.
+
+The shard-kernel family per corpus defaults to ``auto``: a short probe
+scans a payload subset with each candidate family and the faster one is
+selected, with the probe numbers recorded in ``shard_kernel_note`` — so a
+corpus is never silently benched on a known-losing family (the old fixed
+snort-like/flat pairing lost ~4× to the monolithic flat kernel; the note
+now documents whichever choice wins).
 
 Rounds are interleaved (row A, B, C, then A, B, C again ...) keeping the
 best round per row, like the kernel ablation, so scheduler noise hits every
-row equally.  ``cpu_count`` is recorded in the payload because the process
-row's speedup is hardware-dependent: with one core it leans entirely on
-per-shard kernel speedups; with K cores the shards genuinely overlap.
+row equally.
 """
 
 from __future__ import annotations
@@ -37,20 +45,58 @@ from repro.core.sharding import ShardedAutomaton
 
 __all__ = [
     "ABLATION_CONFIGS",
+    "WORKER_SWEEP",
     "run_sharding_benchmark",
     "format_sharding_results",
     "write_results",
 ]
 
-#: Corpus -> shard-kernel family pairings the ablation runs.
+#: Corpus -> shard-kernel family pairings the ablation runs (``auto``
+#: probes the candidates and records the choice in ``shard_kernel_note``).
 ABLATION_CONFIGS = (
-    ("snort-like", "flat"),
-    ("clamav-like", "regex"),
+    ("snort-like", "auto"),
+    ("clamav-like", "auto"),
 )
+
+#: Worker counts every pooled backend row is swept over.
+WORKER_SWEEP = (1, 2, 4)
+
+#: Shard-kernel families ``auto`` probes, in probe order.
+_KERNEL_CANDIDATES = ("flat", "regex")
+
+#: Payloads the auto-selection probe scans per candidate.
+_PROBE_PAYLOADS = 12
 
 
 def _throughput(total_bytes: int, elapsed: float) -> float:
     return total_bytes * 8 / elapsed / 1e6 if elapsed > 0 else float("inf")
+
+
+def _select_shard_kernel(
+    pattern_sets, shards: int, payloads
+) -> "tuple[str, str]":
+    """Probe the candidate shard-kernel families on a payload subset.
+
+    Returns ``(winner, note)`` where the note records every candidate's
+    probe throughput — the honest record of why this family was picked.
+    """
+    probe = list(payloads[:_PROBE_PAYLOADS])
+    probe_bytes = sum(len(payload) for payload in probe)
+    timings: "dict[str, float]" = {}
+    for kernel in _KERNEL_CANDIDATES:
+        automaton = ShardedAutomaton(pattern_sets, shards, shard_kernel=kernel)
+        automaton.scan_batch(probe)  # warm-up: builds the shard kernels
+        started = time.perf_counter()
+        automaton.scan_batch(probe)
+        timings[kernel] = _throughput(
+            probe_bytes, time.perf_counter() - started
+        )
+        automaton.shutdown()
+    winner = max(timings, key=lambda kernel: (timings[kernel], kernel))
+    note = "auto-selected from probe: " + ", ".join(
+        f"{kernel} {mbps:.0f} Mbps" for kernel, mbps in sorted(timings.items())
+    )
+    return winner, note
 
 
 def _run_corpus(
@@ -60,8 +106,9 @@ def _run_corpus(
     packets: int,
     rounds: int,
     shards: int,
+    worker_counts,
 ) -> dict:
-    """One corpus's four-row comparison (see the module doc)."""
+    """One corpus's full row comparison (see the module doc)."""
     workload = build_workload(
         corpus, pattern_count=pattern_count, packets=packets
     )
@@ -73,11 +120,35 @@ def _run_corpus(
     contents = CORPORA[corpus](count=pattern_count, seed=1)
     pattern_sets = {0: [Pattern(i, data) for i, data in enumerate(contents)]}
 
-    sharded = {
-        backend: ShardedAutomaton(
-            pattern_sets, shards, shard_kernel=shard_kernel, backend=backend
+    if shard_kernel == "auto":
+        shard_kernel, kernel_note = _select_shard_kernel(
+            pattern_sets, shards, payloads
         )
-        for backend in ("serial", "process")
+    else:
+        kernel_note = "fixed by configuration"
+
+    serial = ShardedAutomaton(
+        pattern_sets, shards, shard_kernel=shard_kernel, backend="serial"
+    )
+    pools = {
+        workers: ShardedAutomaton(
+            pattern_sets,
+            shards,
+            shard_kernel=shard_kernel,
+            backend="process",
+            workers=workers,
+        )
+        for workers in worker_counts
+    }
+    arenas = {
+        workers: ShardedAutomaton(
+            pattern_sets,
+            shards,
+            shard_kernel=shard_kernel,
+            backend="zerocopy",
+            workers=workers,
+        )
+        for workers in worker_counts
     }
 
     def run_monolithic(kernel: str) -> float:
@@ -87,31 +158,53 @@ def _run_corpus(
             monolithic.scan(payload)
         return _throughput(total_bytes, time.perf_counter() - started)
 
-    def run_sharded(backend: str) -> float:
-        automaton = sharded[backend]
+    def run_sharded(automaton, pipelined: bool = False) -> float:
         started = time.perf_counter()
-        automaton.scan_batch(payloads)
+        automaton.scan_batch(payloads, pipelined=pipelined)
         return _throughput(total_bytes, time.perf_counter() - started)
 
-    rows = {
-        "monolithic/reference": lambda: run_monolithic("reference"),
-        "monolithic/flat": lambda: run_monolithic("flat"),
-        "sharded/serial": lambda: run_sharded("serial"),
-        "sharded/process": lambda: run_sharded("process"),
+    rows: "dict[str, tuple[int | None, object]]" = {
+        "monolithic/reference": (None, lambda: run_monolithic("reference")),
+        "monolithic/flat": (None, lambda: run_monolithic("flat")),
+        "sharded/serial": (None, lambda: run_sharded(serial)),
     }
+    for workers in worker_counts:
+        rows[f"sharded/process/w{workers}"] = (
+            workers,
+            lambda automaton=pools[workers]: run_sharded(automaton),
+        )
+        rows[f"sharded/zerocopy/w{workers}"] = (
+            workers,
+            lambda automaton=arenas[workers]: run_sharded(automaton),
+        )
+        rows[f"sharded/zerocopy-pipelined/w{workers}"] = (
+            workers,
+            lambda automaton=arenas[workers]: run_sharded(
+                automaton, pipelined=True
+            ),
+        )
+
     best = {name: 0.0 for name in rows}
-    for name, runner in rows.items():  # warm-up: builds kernels and pools
+    for name, (_, runner) in rows.items():  # warm-up: kernels, pools, arenas
         runner()
     for _ in range(rounds):
-        for name, runner in rows.items():
+        for name, (_, runner) in rows.items():
             best[name] = max(best[name], runner())
     reference = best["monolithic/reference"]
 
-    plan = sharded["serial"].plan
+    zerocopy_rows = {
+        name: mbps for name, mbps in best.items() if "/zerocopy" in name
+    }
+    best_zerocopy = max(
+        zerocopy_rows, key=lambda name: (zerocopy_rows[name], name)
+    )
+    serial_mbps = best["sharded/serial"]
+
+    plan = serial.plan
     entry = {
         "shard_kernel": shard_kernel,
+        "shard_kernel_note": kernel_note,
         "total_bytes": total_bytes,
-        "pool_workers": sharded["process"]._kernel._backend.workers,
         "plan": {
             "strategy": plan.strategy,
             "seed": plan.seed,
@@ -121,14 +214,26 @@ def _run_corpus(
         "rows": {
             name: {
                 "mbps": round(mbps, 2),
+                "workers": rows[name][0],
                 "speedup_vs_reference": (
                     round(mbps / reference, 2) if reference else None
                 ),
             }
             for name, mbps in best.items()
         },
+        "headline": {
+            "best_zerocopy_row": best_zerocopy,
+            "best_zerocopy_mbps": round(zerocopy_rows[best_zerocopy], 2),
+            "sharded_serial_mbps": round(serial_mbps, 2),
+            "zerocopy_vs_serial": (
+                round(zerocopy_rows[best_zerocopy] / serial_mbps, 2)
+                if serial_mbps
+                else None
+            ),
+        },
     }
-    for automaton in sharded.values():
+    serial.shutdown()
+    for automaton in (*pools.values(), *arenas.values()):
         automaton.shutdown()
     return entry
 
@@ -139,6 +244,7 @@ def run_sharding_benchmark(
     rounds: int = 5,
     shards: int = 4,
     configs=ABLATION_CONFIGS,
+    worker_counts=WORKER_SWEEP,
 ) -> dict:
     """The full sharding ablation; returns the BENCH_sharding.json payload."""
     results: dict = {
@@ -148,6 +254,7 @@ def run_sharding_benchmark(
             "packets": packets,
             "rounds": rounds,
             "shards": shards,
+            "worker_counts": list(worker_counts),
             "trace_style": "http",
             "match_rate": 0.08,
             "cpu_count": os.cpu_count(),
@@ -156,7 +263,13 @@ def run_sharding_benchmark(
     }
     for corpus, shard_kernel in configs:
         results["corpora"][corpus] = _run_corpus(
-            corpus, shard_kernel, pattern_count, packets, rounds, shards
+            corpus,
+            shard_kernel,
+            pattern_count,
+            packets,
+            rounds,
+            shards,
+            worker_counts,
         )
     return results
 
@@ -174,15 +287,24 @@ def format_sharding_results(results: dict) -> str:
         plan = entry["plan"]
         lines.append(
             f"  {corpus} (shard kernel {entry['shard_kernel']}, "
-            f"{entry['pool_workers']} pool workers, "
-            f"balance {plan['balance_ratio']:.3f}):"
+            f"balance {plan['balance_ratio']:.3f}; "
+            f"{entry['shard_kernel_note']}):"
         )
         for name, numbers in entry["rows"].items():
             speedup = numbers["speedup_vs_reference"]
             speedup_text = (
                 f"{speedup:6.2f}x" if speedup is not None else "   n/a"
             )
+            workers = numbers["workers"]
+            workers_text = f"{workers:>2} workers" if workers else "          "
             lines.append(
-                f"    {name:22} {numbers['mbps']:10.2f} Mbps  {speedup_text}"
+                f"    {name:30} {numbers['mbps']:10.2f} Mbps  "
+                f"{speedup_text}  {workers_text}"
             )
+        headline = entry["headline"]
+        lines.append(
+            f"    headline: {headline['best_zerocopy_row']} at "
+            f"{headline['best_zerocopy_mbps']:.2f} Mbps = "
+            f"{headline['zerocopy_vs_serial']}x sharded/serial"
+        )
     return "\n".join(lines)

@@ -115,6 +115,8 @@ def _cmd_scan(args) -> int:
                 shard_kernel=args.shard_kernel,
                 backend=args.shard_backend,
                 scan_cache_size=args.cache_size,
+                workers=args.shard_workers or None,
+                pipelined=args.pipelined,
             )
         else:
             from repro.core.combined import CombinedAutomaton
@@ -139,11 +141,23 @@ def _cmd_scan(args) -> int:
     started = time.perf_counter()
     total_matches = 0
     matched_packets = 0
-    for payload in trace.payloads:
-        found = engine.count_matches(payload)
-        total_matches += found
-        if found:
-            matched_packets += 1
+    if args.engine == "combined" and args.kernel == "sharded" and args.pipelined:
+        # The pipelined arena path is batched by construction: scan the
+        # whole trace in one double-buffered pass.
+        for result in engine.scan_batch(list(trace.payloads), pipelined=True):
+            found = sum(
+                len(engine.match_entry(state))
+                for state, _ in result.raw_matches
+            )
+            total_matches += found
+            if found:
+                matched_packets += 1
+    else:
+        for payload in trace.payloads:
+            found = engine.count_matches(payload)
+            total_matches += found
+            if found:
+                matched_packets += 1
     elapsed = time.perf_counter() - started
     if hasattr(engine, "shutdown"):
         engine.shutdown()
@@ -154,9 +168,10 @@ def _cmd_scan(args) -> int:
     elif args.engine == "combined":
         detail = f" ({args.layout}, kernel={args.kernel})"
         if args.kernel == "sharded":
+            pipeline_note = ", pipelined" if args.pipelined else ""
             detail = (
                 f" ({args.layout}, kernel=sharded x{args.shards}"
-                f" {args.shard_kernel}/{args.shard_backend})"
+                f" {args.shard_kernel}/{args.shard_backend}{pipeline_note})"
             )
     print(f"engine: {args.engine}" + detail)
     print(f"packets: {len(trace)}  bytes: {trace.total_bytes}")
@@ -217,6 +232,8 @@ def _cmd_report(args) -> int:
         shards=args.shards,
         shard_backend=args.shard_backend,
         shard_kernel=args.shard_kernel,
+        shard_workers=args.shard_workers,
+        shard_pipelined=args.pipelined,
     )
     # Export before printing: a closed stdout pipe (`report | head`) must
     # not cost the caller their --jsonl / --prom files.
@@ -354,6 +371,8 @@ def _cmd_chaos(args) -> int:
         shards=args.shards,
         shard_backend=args.shard_backend,
         shard_kernel=args.shard_kernel,
+        shard_workers=args.shard_workers,
+        shard_pipelined=args.pipelined,
         heartbeat=heartbeat,
         allow_spare=not args.no_spare,
     )
@@ -427,7 +446,7 @@ def _cmd_demo(args) -> int:
 
 
 def _add_sharding_flags(command: argparse.ArgumentParser) -> None:
-    """The --shards/--shard-backend/--shard-kernel trio (for --kernel sharded)."""
+    """The --shards/--shard-backend/... family (for --kernel sharded)."""
     command.add_argument(
         "--shards",
         type=int,
@@ -445,6 +464,19 @@ def _add_sharding_flags(command: argparse.ArgumentParser) -> None:
         choices=KERNEL_NAMES,
         default="flat",
         help="per-shard kernel family for sharded scans",
+    )
+    command.add_argument(
+        "--shard-workers",
+        type=int,
+        default=0,
+        help="worker processes for pooled shard backends "
+        "(0 = min(shards, cpu count))",
+    )
+    command.add_argument(
+        "--pipelined",
+        action="store_true",
+        help="double-buffer batched sharded scans through two arena "
+        "regions (zerocopy backend)",
     )
 
 

@@ -72,6 +72,12 @@ class InstanceConfig:
     shard_backend: str = "serial"
     #: Per-shard kernel family for sharded scans.
     shard_kernel: str = "flat"
+    #: Worker-process count for pooled shard backends (0 picks
+    #: min(shards, cpu_count); any other kernel requires it to stay 0).
+    shard_workers: int = 0
+    #: Double-buffer batched sharded scans through two arena regions
+    #: (effective on the ``zerocopy`` backend; others ignore it).
+    shard_pipelined: bool = False
 
     def __post_init__(self) -> None:
         for middlebox_id in self.pattern_sets:
@@ -102,6 +108,21 @@ class InstanceConfig:
                 f"unknown shard kernel {self.shard_kernel!r}; "
                 f"expected one of {KERNEL_NAMES}"
             )
+        if self.shard_workers < 0:
+            raise ValueError(
+                f"negative shard worker count: {self.shard_workers}"
+            )
+        if self.kernel != SHARDED_KERNEL_NAME:
+            if self.shard_workers:
+                raise ValueError(
+                    f"shard_workers={self.shard_workers} requires "
+                    f"kernel='sharded', not {self.kernel!r}"
+                )
+            if self.shard_pipelined:
+                raise ValueError(
+                    f"shard_pipelined requires kernel='sharded', "
+                    f"not {self.kernel!r}"
+                )
         if self.scan_cache_size < 0:
             raise ValueError(f"negative scan cache size: {self.scan_cache_size}")
 
@@ -209,6 +230,8 @@ class DPIServiceInstance:
                 shard_kernel=config.shard_kernel,
                 backend=config.shard_backend,
                 scan_cache_size=config.scan_cache_size,
+                workers=config.shard_workers or None,
+                pipelined=config.shard_pipelined,
             )
         else:
             self.automaton = CombinedAutomaton(

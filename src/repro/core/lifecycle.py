@@ -95,6 +95,8 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
         shards: int = 0,
         shard_backend: str = "serial",
         shard_kernel: str = "flat",
+        shard_workers: int = 0,
+        shard_pipelined: bool = False,
     ) -> InstanceConfig:
         """The configuration for an instance serving *chain_ids* (None =
         every chain).  Only middleboxes on the selected chains are included
@@ -126,6 +128,8 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
             shards=shards,
             shard_backend=shard_backend,
             shard_kernel=shard_kernel,
+            shard_workers=shard_workers,
+            shard_pipelined=shard_pipelined,
         )
 
     # --- lifecycle verbs ----------------------------------------------------
@@ -141,6 +145,8 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
         shards: int = 0,
         shard_backend: str = "serial",
         shard_kernel: str = "flat",
+        shard_workers: int = 0,
+        shard_pipelined: bool = False,
         validate: bool = True,
         dedicated: bool = False,
     ) -> DPIServiceInstance:
@@ -165,6 +171,8 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
             shards=shards,
             shard_backend=shard_backend,
             shard_kernel=shard_kernel,
+            shard_workers=shard_workers,
+            shard_pipelined=shard_pipelined,
         )
         if validate:
             raise_on_errors(validate_instance_config(config))
@@ -245,6 +253,8 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
                     shards=instance.config.shards,
                     shard_backend=instance.config.shard_backend,
                     shard_kernel=instance.config.shard_kernel,
+                    shard_workers=instance.config.shard_workers,
+                    shard_pipelined=instance.config.shard_pipelined,
                 )
             )
 

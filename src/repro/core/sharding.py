@@ -22,11 +22,16 @@ deterministic object and gives it a parallel execution backend:
 * :class:`ShardedKernel` — satisfies the
   :class:`~repro.core.kernels.ScanKernel` protocol: it fans a payload out
   to the per-shard kernels (any of reference/flat/regex) through an
-  execution backend (``serial`` or ``process``, see
-  :mod:`repro.core.workers`) and merges the per-shard results with stable
-  ``(bytes consumed, global accepting state)`` match ordering.  If the
-  process pool fails mid-flight the kernel drains it and permanently falls
-  back to serial execution, reporting the event through the telemetry hook.
+  execution backend (``serial``, ``process`` or the shared-memory
+  ``zerocopy`` arena — see :mod:`repro.core.workers` and
+  :mod:`repro.core.zerocopy`) and merges the per-shard results with stable
+  ``(bytes consumed, global accepting state)`` match ordering.  Batched
+  scans additionally support a ``pipelined`` mode on arena backends: the
+  batch is split into contiguous chunks double-buffered across two arena
+  regions, so writing chunk N+1's payloads overlaps scanning chunk N.  If
+  a worker pool fails mid-flight the kernel drains it and permanently
+  falls back to serial execution, reporting the event through the
+  telemetry hook.
 
 Sharding changes *raw* accepting-state numbering, so sharded scans are
 equivalent to monolithic scans at the resolved-match level (per-middlebox
@@ -65,6 +70,10 @@ SHARDED_KERNEL_NAME = "sharded"
 
 #: Merge order of raw matches: by bytes consumed, then global accept state.
 _MERGE_ORDER = itemgetter(1, 0)
+
+#: Chunks a pipelined batch is split into (bounded so per-chunk dispatch
+#: overhead stays amortized; two are in flight at any moment).
+_PIPELINE_CHUNKS = 4
 
 
 def estimate_scan_cost(data: bytes) -> int:
@@ -372,24 +381,85 @@ class ShardedKernel:
         ]
         return self._merge(self._run_shards(tasks))
 
-    def _scan_batch(self, payloads, active_bitmap: int, state: int, limit):
-        """Batched fan-out: each shard crosses the backend once per batch."""
+    def _batch_tasks(self, batch, active_bitmap, states, limit):
+        return [
+            (index, batch, active_bitmap, states[index], limit)
+            for index in range(len(self._automata))
+        ]
+
+    def _scan_batch(
+        self,
+        payloads,
+        active_bitmap: int,
+        state: int,
+        limit,
+        pipelined: bool = False,
+    ):
+        """Batched fan-out: each shard crosses the backend once per batch.
+
+        With ``pipelined`` on an arena backend, the batch is split into
+        contiguous chunks double-buffered through
+        ``scan_chunked_batches`` — results are identical (merge order is
+        per payload), only the overlap differs.  Backends without the
+        pipeline (serial, process) silently take the plain batched path.
+        """
         payloads = [
             payload if payload.__class__ is bytes else bytes(payload)
             for payload in payloads
         ]
         states = self._decode(state)
+        if (
+            pipelined
+            and len(payloads) > 1
+            and hasattr(self._backend, "scan_chunked_batches")
+        ):
+            return self._scan_batch_pipelined(
+                payloads, active_bitmap, states, limit
+            )
         batch = tuple(payloads)
-        tasks = [
-            (index, batch, active_bitmap, states[index], limit)
-            for index in range(len(self._automata))
-        ]
+        tasks = self._batch_tasks(batch, active_bitmap, states, limit)
         per_shard = self._run_batches(tasks, len(payloads))
         # per_shard[shard][payload] -> raw tuple; merge column-wise.
         return [
             self._merge([shard_results[row] for shard_results in per_shard])
             for row in range(len(payloads))
         ]
+
+    def _scan_batch_pipelined(self, payloads, active_bitmap, states, limit):
+        """Double-buffered batched fan-out (see :meth:`_scan_batch`).
+
+        A mid-pipeline failure reruns the *entire* batch serially: chunk
+        results are only consumed on full success, so the fallback can
+        neither lose nor duplicate matches.
+        """
+        count = len(payloads)
+        chunk_count = min(_PIPELINE_CHUNKS, count)
+        bounds = [
+            (count * index) // chunk_count for index in range(chunk_count + 1)
+        ]
+        chunks = [
+            self._batch_tasks(
+                tuple(payloads[start:stop]), active_bitmap, states, limit
+            )
+            for start, stop in zip(bounds, bounds[1:])
+        ]
+        try:
+            per_chunk = self._backend.scan_chunked_batches(chunks)
+        except Exception as error:
+            self._fall_back(error)
+            batch = tuple(payloads)
+            tasks = self._batch_tasks(batch, active_bitmap, states, limit)
+            per_chunk = [self._backend.scan_shard_batches(tasks)]
+        self._count_scans(count)
+        results = []
+        for per_shard in per_chunk:
+            for row in range(len(per_shard[0])):
+                results.append(
+                    self._merge(
+                        [shard_results[row] for shard_results in per_shard]
+                    )
+                )
+        return results
 
     def _shutdown(self) -> None:
         self._backend.shutdown()
@@ -419,6 +489,7 @@ class ShardedAutomaton:
         backend: str = "serial",
         scan_cache_size: int = 0,
         workers: "int | None" = None,
+        pipelined: bool = False,
         strategy: str = "cost",
         seed: int = 0,
     ) -> None:
@@ -443,6 +514,9 @@ class ShardedAutomaton:
         self.shard_kernel_name = shard_kernel
         self.backend_name = backend
         self._workers = workers
+        #: Default for ``scan_batch``'s ``pipelined`` argument (arena
+        #: backends only; others ignore it).
+        self.pipelined = bool(pipelined)
         self.middlebox_ids = sorted(pattern_sets)
         self._middlebox_set = frozenset(self.middlebox_ids)
         bitmap = 0
@@ -594,26 +668,33 @@ class ShardedAutomaton:
         active_bitmap: "int | None" = None,
         state: "int | None" = None,
         limit: "int | None" = None,
+        pipelined: "bool | None" = None,
     ) -> "list[CombinedScanResult]":
         """Scan a batch of payloads, one backend round-trip per shard.
 
         All payloads start from the same *state* (the root by default) —
         the batched path exists for independent-packet throughput, where
         per-payload pool dispatch would dominate.  Results come back in
-        payload order; the scan cache is bypassed.
+        payload order; the scan cache is bypassed.  ``pipelined``
+        (defaulting to the constructor flag) double-buffers the batch
+        through two arena regions on backends that support it.
         """
         if state is None:
             state = self.root
         if active_bitmap is None:
             active_bitmap = self.all_middleboxes_bitmap
-        return self._kernel._scan_batch(payloads, active_bitmap, state, limit)
+        if pipelined is None:
+            pipelined = self.pipelined
+        return self._kernel._scan_batch(
+            payloads, active_bitmap, state, limit, pipelined=pipelined
+        )
 
     # --- telemetry and lifecycle ------------------------------------------
 
     def bind_telemetry(self, hub, instance_name: str) -> None:
-        """Publish per-shard scan counters and the merge-time histogram
-        into *hub*'s registry, and route pool-failure events to its fault
-        timeline."""
+        """Publish per-shard scan counters, the merge-time histogram and
+        the arena backend's gauges/counters into *hub*'s registry, and
+        route pool-failure events to its fault timeline."""
         registry = hub.registry
         kernel = self._kernel
         kernel._shard_counters = [
@@ -625,6 +706,30 @@ class ShardedAutomaton:
         kernel._merge_hist = registry.histogram(
             "dpi_shard_merge_seconds", instance=instance_name
         )
+
+        # Arena telemetry: the callbacks read through ``kernel._backend``
+        # so a fallback to serial makes them report zero instead of a
+        # drained arena's stale numbers.
+        def arena_occupancy() -> float:
+            return float(getattr(kernel._backend, "occupied_bytes", 0))
+
+        def queue_depth() -> float:
+            probe = getattr(kernel._backend, "descriptor_queue_depth", None)
+            return float(probe()) if probe is not None else 0.0
+
+        registry.gauge_callback(
+            "dpi_shard_arena_bytes", arena_occupancy, instance=instance_name
+        )
+        registry.gauge_callback(
+            "dpi_shard_descriptor_queue_depth",
+            queue_depth,
+            instance=instance_name,
+        )
+        backend = kernel._backend
+        if hasattr(backend, "copy_counter"):
+            backend.copy_counter = registry.counter(
+                "dpi_shard_copy_bytes_avoided_total", instance=instance_name
+            )
 
         def on_pool_failure(error: BaseException) -> None:
             hub.record_fault(
@@ -652,7 +757,8 @@ class ShardedAutomaton:
         return self._kernel.fallback_count
 
     def shutdown(self) -> None:
-        """Release the execution backend (terminates any worker pool)."""
+        """Release the execution backend (drains worker pools; the
+        zerocopy backend also unlinks its shared-memory arena)."""
         self._kernel._shutdown()
 
     @property

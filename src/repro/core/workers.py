@@ -13,14 +13,18 @@ is this module's job, behind one small contract:
   the pool boundary once per shard instead of once per payload.
 * ``shutdown()`` — release any pooled resources (idempotent).
 
-Two backends are provided.  ``serial`` runs the shard kernels in-process, in
-shard order — fully deterministic, zero overhead, the default.  ``process``
-keeps a ``multiprocessing`` pool whose workers each build every shard kernel
-once (from a picklable :func:`make_shard_spec` description) and then reuse
-them across calls; tasks are distributed with batched work queues
-(``chunksize`` sized to the worker count).  Pool failures are *not* handled
-here: any exception escapes to the sharded kernel, which drains the pool and
-falls back to serial execution (see ``repro.core.sharding``).
+Three backends are provided.  ``serial`` runs the shard kernels in-process,
+in shard order — fully deterministic, zero overhead, the default.
+``process`` keeps a ``multiprocessing`` pool whose workers each build every
+shard kernel once (from a picklable :func:`make_shard_spec` description) and
+then reuse them across calls; tasks are distributed with batched work queues
+(``chunksize`` sized to the worker count).  ``zerocopy``
+(:mod:`repro.core.zerocopy`) replaces the pool with a shared-memory payload
+arena and persistent descriptor-pulling workers, so a batch's payloads cross
+the process boundary zero times instead of once per shard.  Pool failures
+are *not* handled here: any exception escapes to the sharded kernel, which
+drains the pool and falls back to serial execution (see
+``repro.core.sharding``).
 
 Raw results cross the process boundary as plain tuples, not
 :class:`~repro.core.kernels.CombinedScanResult` objects — cheaper to pickle,
@@ -34,7 +38,19 @@ import os
 from typing import Any
 
 #: Backend names accepted by ``ShardedAutomaton`` / ``InstanceConfig``.
-BACKEND_NAMES = ("serial", "process")
+BACKEND_NAMES = ("serial", "process", "zerocopy")
+
+
+def get_mp_context():
+    """The multiprocessing context every pooled backend uses.
+
+    Fork is preferred (workers inherit the parent's pages; automaton specs
+    still travel explicitly so spawn platforms behave identically).
+    """
+    return multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
 
 #: One per-shard scan request: ``(shard, data, active_bitmap, state, limit)``.
 ShardTask = "tuple[int, bytes, int, int, int | None]"
@@ -172,10 +188,7 @@ class ProcessBackend:
 
     def _ensure_pool(self):
         if self._pool is None:
-            context = multiprocessing.get_context(
-                "fork" if "fork" in multiprocessing.get_all_start_methods()
-                else "spawn"
-            )
+            context = get_mp_context()
             self._pool = context.Pool(
                 processes=self.workers,
                 initializer=_init_worker,
@@ -201,26 +214,40 @@ class ProcessBackend:
         return pool.map(_scan_batch_task, tasks, chunksize=1)
 
     def shutdown(self) -> None:
-        """Terminate and join the pool so no worker outlives the backend."""
+        """Close and join the pool so no worker outlives the backend.
+
+        ``close()`` lets in-flight tasks finish before the join —
+        ``terminate()`` could orphan resources a task holds (the lesson
+        generalized from the zerocopy arena's unlink protocol).  If the
+        pool is too broken even to close, terminate it.
+        """
         pool = self._pool
         if pool is None:
             return
         self._pool = None
-        pool.terminate()
-        pool.join()
+        try:
+            pool.close()
+            pool.join()
+        except Exception:  # pragma: no cover - sabotaged-pool path
+            pool.terminate()
+            pool.join()
 
 
 def make_backend(name: str, *, automata, specs, workers: "int | None" = None):
     """Build the named execution backend.
 
     ``automata`` are the in-process shard automata (serial execution and
-    the fallback path); ``specs`` their picklable descriptions (pool
-    workers rebuild from these).
+    the fallback path); ``specs`` their picklable descriptions (pool and
+    arena workers rebuild from these).
     """
     if name == "serial":
         return SerialBackend(automata)
     if name == "process":
         return ProcessBackend(specs, workers=workers)
+    if name == "zerocopy":
+        from repro.core.zerocopy import ZeroCopyBackend
+
+        return ZeroCopyBackend(specs, workers=workers)
     raise ValueError(
         f"unknown shard backend {name!r}; expected one of {BACKEND_NAMES}"
     )

@@ -143,6 +143,8 @@ def run_chaos_scenario(
     shards: int = 0,
     shard_backend: str = "serial",
     shard_kernel: str = "flat",
+    shard_workers: int = 0,
+    shard_pipelined: bool = False,
     heartbeat: HeartbeatConfig | None = None,
     control_latency: float = 0.002,
     control_timeout: float = 0.02,
@@ -166,6 +168,8 @@ def run_chaos_scenario(
         shards=shards,
         shard_backend=shard_backend,
         shard_kernel=shard_kernel,
+        shard_workers=shard_workers,
+        shard_pipelined=shard_pipelined,
     )
     topo = system.topology
     hub = system.hub
@@ -190,6 +194,8 @@ def run_chaos_scenario(
         shards=shards,
         shard_backend=shard_backend,
         shard_kernel=shard_kernel,
+        shard_workers=shard_workers,
+        shard_pipelined=shard_pipelined,
         telemetry=hub,
     )
     monitor = HeartbeatMonitor(

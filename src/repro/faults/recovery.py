@@ -216,6 +216,8 @@ class FailoverCoordinator:
         shards: int = 0,
         shard_backend: str = "serial",
         shard_kernel: str = "flat",
+        shard_workers: int = 0,
+        shard_pipelined: bool = False,
         telemetry=None,
     ) -> None:
         self.controller = controller
@@ -233,6 +235,8 @@ class FailoverCoordinator:
         self.shards = shards
         self.shard_backend = shard_backend
         self.shard_kernel = shard_kernel
+        self.shard_workers = shard_workers
+        self.shard_pipelined = shard_pipelined
         self.telemetry = telemetry
         self.records: dict[str, FailoverRecord] = {}
 
@@ -329,6 +333,8 @@ class FailoverCoordinator:
                 shards=self.shards,
                 shard_backend=self.shard_backend,
                 shard_kernel=self.shard_kernel,
+                shard_workers=self.shard_workers,
+                shard_pipelined=self.shard_pipelined,
             )
             function = DPIServiceFunction(instance)
             self.topology.hosts[spare].set_function(function)

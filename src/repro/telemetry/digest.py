@@ -20,9 +20,17 @@ import json
 #: excluded from the digest (token match on ``_``-separated name parts).
 TIMING_TOKENS = frozenset({"seconds", "latency"})
 
+#: Tokens naming execution-backend internals (arena occupancy, descriptor
+#: queues, copy-avoidance accounting).  These describe *how* a scan ran,
+#: not what the workload produced — backend choice must not move the
+#: digest, exactly like wall-clock timings.
+BACKEND_TOKENS = frozenset({"arena", "descriptor", "copy"})
+
+_EXCLUDED_TOKENS = TIMING_TOKENS | BACKEND_TOKENS
+
 
 def _is_timing_metric(name: str) -> bool:
-    return not TIMING_TOKENS.isdisjoint(name.split("_"))
+    return not _EXCLUDED_TOKENS.isdisjoint(name.split("_"))
 
 
 def _clean_attributes(attributes: dict) -> dict:

@@ -95,6 +95,8 @@ def build_figure5_system(
     shards: int = 0,
     shard_backend: str = "serial",
     shard_kernel: str = "flat",
+    shard_workers: int = 0,
+    shard_pipelined: bool = False,
 ) -> Figure5System:
     """Wire up the Figure 5 system without sending any traffic.
 
@@ -160,6 +162,8 @@ def build_figure5_system(
         shards=shards,
         shard_backend=shard_backend,
         shard_kernel=shard_kernel,
+        shard_workers=shard_workers,
+        shard_pipelined=shard_pipelined,
     )
     dpi_function = DPIServiceFunction(instance)
     topo.hosts["dpi3"].set_function(dpi_function)
@@ -196,6 +200,8 @@ def run_figure5_scenario(
     shards: int = 0,
     shard_backend: str = "serial",
     shard_kernel: str = "flat",
+    shard_workers: int = 0,
+    shard_pipelined: bool = False,
 ) -> ScenarioResult:
     """Build the Figure 5 system, run *packets* packets, return the result.
 
@@ -211,6 +217,8 @@ def run_figure5_scenario(
         shards=shards,
         shard_backend=shard_backend,
         shard_kernel=shard_kernel,
+        shard_workers=shard_workers,
+        shard_pipelined=shard_pipelined,
     )
     topo = system.topology
     hub = system.hub

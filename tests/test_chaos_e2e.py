@@ -314,6 +314,83 @@ class TestShardedChaos:
         shutdown_instances(result)
         assert multiprocessing.active_children() == []
 
+    def test_zerocopy_pool_failure_drains_to_serial_with_clean_arena(self):
+        import multiprocessing
+        import os
+
+        result = run_chaos_scenario(
+            CRASH_RESTART_PLAN,
+            packets=30,
+            kernel="sharded",
+            shards=2,
+            shard_backend="zerocopy",
+            shard_workers=2,
+        )
+        assert result.ok
+        instance = result.dpi_controller.instances["dpi3"]
+        assert instance.config.shard_backend == "zerocopy"
+        assert instance.config.shard_workers == 2
+        chain_id = next(
+            cid
+            for cid, middleboxes in sorted(instance.scanner.chain_map.items())
+            if 1 in middleboxes
+        )
+        probe = b"carrying chain-one-threat now"
+        # The serial-backend twin provides the zero-lost/zero-duplicated
+        # expectation for the post-failure scan.
+        baseline = run_chaos_scenario(
+            CRASH_RESTART_PLAN, packets=30, kernel="sharded", shards=2
+        )
+        expected = baseline.dpi_controller.instances["dpi3"].inspect(
+            probe, chain_id
+        )
+        backend = instance.automaton._kernel._backend
+        if backend._state is None:  # restart rebuilt the automaton
+            instance.inspect(b"warm the arena up", chain_id)
+            backend = instance.automaton._kernel._backend
+        arena = backend.arena_name
+        assert arena is not None
+        # Kill every arena worker mid-run, then push one more scan
+        # through: the kernel must drain the arena (unlinking the shared
+        # memory), fall back to serial, and lose nothing.
+        for process in backend._state.processes:
+            process.terminate()
+            process.join()
+        output = instance.inspect(probe, chain_id)
+        assert output.matches == expected.matches
+        assert output.report.encode() == expected.report.encode()
+        assert instance.automaton.active_backend_name == "serial"
+        assert instance.automaton.pool_fallbacks == 1
+        assert not os.path.exists(f"/dev/shm/{arena}")
+        events = [
+            (event.kind, event.phase, event.target)
+            for event in result.hub.faults
+        ]
+        assert ("shard_pool_failure", "recover", "dpi3") in events
+        shutdown_instances(result)
+        shutdown_instances(baseline)
+        assert multiprocessing.active_children() == []
+
+    def test_zerocopy_failover_replacement_inherits_arena_config(self):
+        import multiprocessing
+
+        result = run_chaos_scenario(
+            CRASH_ONLY_PLAN,
+            packets=40,
+            kernel="sharded",
+            shards=2,
+            shard_backend="zerocopy",
+            shard_workers=1,
+        )
+        failover = result.dpi_controller.instances["dpi3-failover"]
+        assert failover.config.kernel == "sharded"
+        assert failover.config.shard_backend == "zerocopy"
+        assert failover.config.shard_workers == 1
+        # The crashed instance drained its own arena; after shutting the
+        # replacement down too, no worker or segment survives.
+        shutdown_instances(result)
+        assert multiprocessing.active_children() == []
+
     def test_sharded_serial_digest_matches_repeat_run(self):
         first = run_chaos_scenario(
             CRASH_RESTART_PLAN, packets=40, kernel="sharded", shards=4

@@ -113,6 +113,11 @@ class TestShardedMergeDeterminism:
         excludes wall-clock quantities) must not see it."""
         assert self.run_digest("process") == self.run_digest("serial")
 
+    def test_zerocopy_backend_digests_like_serial(self):
+        """The shared-memory arena backend (and its extra gauges, which
+        the digest excludes as backend internals) digests identically."""
+        assert self.run_digest("zerocopy") == self.run_digest("serial")
+
     def test_sharded_digest_is_stable_across_shard_counts_for_matches(self):
         """Match-derived metrics agree between shard counts; the full
         digest differs only through the per-shard counter labels."""

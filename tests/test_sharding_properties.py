@@ -114,6 +114,7 @@ def test_sharded_matches_monolithic_serial(
     assert shard2.bytes_scanned == mono2.bytes_scanned
 
 
+@pytest.mark.parametrize("backend", ("process", "zerocopy"))
 @settings(max_examples=10, deadline=None)
 @given(
     patterns=pattern_lists,
@@ -123,14 +124,15 @@ def test_sharded_matches_monolithic_serial(
     bitmap_choice=st.sampled_from(("all", "first", "zero")),
     limit=st.one_of(st.none(), st.integers(min_value=0, max_value=100)),
 )
-def test_sharded_matches_monolithic_process(
-    patterns, payload, num_shards, shard_kernel, bitmap_choice, limit
+def test_sharded_matches_monolithic_pooled(
+    backend, patterns, payload, num_shards, shard_kernel, bitmap_choice, limit
 ):
-    # Few examples: every example spins up (and drains) a real worker pool.
+    # Few examples: every example spins up (and drains) a real worker pool
+    # (or, for zerocopy, a shared-memory arena plus persistent workers).
     sets = build_pattern_sets(patterns, [])
     monolithic = CombinedAutomaton(sets, kernel="reference")
     sharded = ShardedAutomaton(
-        sets, num_shards, shard_kernel=shard_kernel, backend="process"
+        sets, num_shards, shard_kernel=shard_kernel, backend=backend
     )
     try:
         mono_bitmap = pick_bitmap(monolithic, bitmap_choice)
@@ -146,7 +148,55 @@ def test_sharded_matches_monolithic_process(
             sharded, shard, effective
         ) == resolved_matches(monolithic, mono, effective)
         assert shard.bytes_scanned == mono.bytes_scanned
+        # Mid-flow resume through the zerocopy descriptors' state field.
+        cut = len(payload) // 2
+        first = sharded.scan(payload[:cut]).end_state
+        mono_first = monolithic.scan(payload[:cut]).end_state
+        shard2 = sharded.scan(payload[cut:], shard_bitmap, first, limit)
+        mono2 = monolithic.scan(payload[cut:], mono_bitmap, mono_first, limit)
+        assert resolved_matches(
+            sharded, shard2, effective
+        ) == resolved_matches(monolithic, mono2, effective)
         assert sharded.pool_fallbacks == 0
+    finally:
+        sharded.shutdown()
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    patterns=pattern_lists,
+    batch=st.lists(payloads, min_size=2, max_size=8),
+    num_shards=st.integers(min_value=1, max_value=4),
+    shard_kernel=st.sampled_from(KERNEL_NAMES),
+    pipelined=st.booleans(),
+)
+def test_zerocopy_mid_run_failure_agrees_bit_for_bit(
+    patterns, batch, num_shards, shard_kernel, pipelined
+):
+    """Killing every arena worker mid-run must drain to serial with the
+    batch rerun bit-for-bit: no lost matches, no duplicates, no surviving
+    shared-memory workers."""
+    sets = build_pattern_sets(patterns, [])
+    serial = ShardedAutomaton(sets, num_shards, shard_kernel=shard_kernel)
+    sharded = ShardedAutomaton(
+        sets, num_shards, shard_kernel=shard_kernel, backend="zerocopy"
+    )
+    try:
+        expected = [
+            (result.raw_matches, result.end_state, result.bytes_scanned)
+            for result in serial.scan_batch(batch)
+        ]
+        sharded.scan(batch[0])  # warm the arena and workers up
+        for process in sharded._kernel._backend._state.processes:
+            process.terminate()
+            process.join()
+        actual = [
+            (result.raw_matches, result.end_state, result.bytes_scanned)
+            for result in sharded.scan_batch(batch, pipelined=pipelined)
+        ]
+        assert actual == expected
+        assert sharded.active_backend_name == "serial"
+        assert sharded.pool_fallbacks == 1
     finally:
         sharded.shutdown()
 

@@ -1,0 +1,375 @@
+"""Unit tests for the zero-copy shared-memory shard backend.
+
+Pins the arena lifecycle (lazy start, growth, retire, unlink-on-shutdown),
+the descriptor scan path's equivalence with serial execution, the
+double-buffered pipeline, the drain-to-serial fallback when workers die
+mid-flight, and — the teardown satellite's contract — that no shared-memory
+segment or worker process survives shutdown, failover, or garbage
+collection.
+"""
+
+import glob
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.instance import DPIServiceInstance, InstanceConfig
+from repro.core.patterns import Pattern
+from repro.core.scanner import MiddleboxProfile
+from repro.core.sharding import ShardedAutomaton
+from repro.core.workers import BACKEND_NAMES, make_backend, make_shard_spec
+from repro.core.zerocopy import (
+    ARENA_NAME_PREFIX,
+    DEFAULT_ARENA_BYTES,
+    ZeroCopyBackend,
+    _scan_descriptors,
+    automaton_from_spec,
+)
+
+PATTERN_SETS = {
+    1: [Pattern(0, b"attack"), Pattern(1, b"worm"), Pattern(2, b"ab")],
+    3: [Pattern(0, b"worm"), Pattern(1, b"bad"), Pattern(2, b"aba")],
+}
+
+PAYLOADS = [
+    b"an attack rides this worm of a packet",
+    b"",
+    b"ababababad",
+    b"nothing to see",
+    b"worm" * 40,
+]
+
+
+def shm_segments() -> list:
+    """Live /dev/shm segments created by *this* process's backends.
+
+    Arena names embed the creating pid, so the leak check stays immune to
+    other repro processes (parallel test runs, a benchmark) that hold
+    their own live arenas.
+    """
+    return glob.glob(f"/dev/shm/{ARENA_NAME_PREFIX}_{os.getpid()}_*")
+
+
+def build_pair(shards=3, workers=2, **kwargs):
+    serial = ShardedAutomaton(PATTERN_SETS, shards)
+    zerocopy = ShardedAutomaton(
+        PATTERN_SETS, shards, backend="zerocopy", workers=workers, **kwargs
+    )
+    return serial, zerocopy
+
+
+def raw(results):
+    return [
+        (result.raw_matches, result.end_state, result.bytes_scanned)
+        for result in results
+    ]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("shard_kernel", ("reference", "flat", "regex"))
+    def test_scan_matches_serial(self, shard_kernel):
+        serial = ShardedAutomaton(PATTERN_SETS, 3, shard_kernel=shard_kernel)
+        zerocopy = ShardedAutomaton(
+            PATTERN_SETS, 3, shard_kernel=shard_kernel,
+            backend="zerocopy", workers=2,
+        )
+        try:
+            for payload in PAYLOADS:
+                expected = serial.scan(payload)
+                actual = zerocopy.scan(payload)
+                assert actual.raw_matches == expected.raw_matches
+                assert actual.end_state == expected.end_state
+                assert actual.bytes_scanned == expected.bytes_scanned
+        finally:
+            zerocopy.shutdown()
+
+    def test_scan_batch_matches_serial(self):
+        serial, zerocopy = build_pair()
+        try:
+            assert raw(zerocopy.scan_batch(PAYLOADS)) == raw(
+                serial.scan_batch(PAYLOADS)
+            )
+        finally:
+            zerocopy.shutdown()
+
+    def test_pipelined_batch_matches_plain_batch(self):
+        serial, zerocopy = build_pair()
+        try:
+            expected = raw(serial.scan_batch(PAYLOADS))
+            assert raw(zerocopy.scan_batch(PAYLOADS, pipelined=True)) == expected
+            # The constructor default routes through the same path.
+            flagged = ShardedAutomaton(
+                PATTERN_SETS, 3, backend="zerocopy", workers=2, pipelined=True
+            )
+            try:
+                assert raw(flagged.scan_batch(PAYLOADS)) == expected
+            finally:
+                flagged.shutdown()
+        finally:
+            zerocopy.shutdown()
+
+    def test_bitmap_state_and_limit_ride_the_descriptors(self):
+        serial, zerocopy = build_pair()
+        try:
+            bitmap = serial.bitmask_of([3])
+            prefix = zerocopy.scan(b"an atta").end_state
+            expected = serial.scan(
+                b"ck and a worm", bitmap, serial.scan(b"an atta").end_state, 5
+            )
+            actual = zerocopy.scan(b"ck and a worm", bitmap, prefix, 5)
+            assert actual.raw_matches == expected.raw_matches
+            assert actual.bytes_scanned == expected.bytes_scanned
+        finally:
+            zerocopy.shutdown()
+
+    def test_pipelined_on_serial_backend_is_a_silent_no_op(self):
+        serial = ShardedAutomaton(PATTERN_SETS, 3)
+        assert raw(serial.scan_batch(PAYLOADS, pipelined=True)) == raw(
+            serial.scan_batch(PAYLOADS)
+        )
+
+    def test_scan_descriptors_runs_the_worker_path_in_process(self):
+        # The exact function pool children run, driven directly: payload
+        # slices come out of a buffer by (offset, length) descriptor.
+        spec = make_shard_spec(PATTERN_SETS, "sparse", "flat")
+        automaton = automaton_from_spec(spec)
+        arena = bytearray(b"##an attack##")
+        view = memoryview(arena)
+        out = _scan_descriptors(
+            [automaton], view, [(0, 2, 9, automaton.all_middleboxes_bitmap,
+                                 automaton.root, None)]
+        )
+        expected = automaton.scan(b"an attack")
+        assert out == [
+            (expected.raw_matches, expected.end_state, expected.bytes_scanned)
+        ]
+        view.release()
+
+
+class TestArenaLifecycle:
+    def test_lazy_start_and_named_segment(self):
+        backend = ZeroCopyBackend(
+            (make_shard_spec(PATTERN_SETS, "sparse", "flat"),), workers=1
+        )
+        assert backend.arena_name is None
+        assert backend.arena_capacity == 0
+        assert backend.descriptor_queue_depth() == 0
+        backend.scan_shards([(0, b"attack", (1 << 1) | (1 << 3), 0, None)])
+        assert backend.arena_name.startswith(ARENA_NAME_PREFIX)
+        assert backend.arena_capacity == DEFAULT_ARENA_BYTES
+        assert len(shm_segments()) == 1
+        backend.shutdown()
+        assert shm_segments() == []
+
+    def test_arena_grows_and_old_segment_is_unlinked(self):
+        serial, zerocopy = build_pair(workers=1)
+        try:
+            big = [b"x" * (700 * 1024), b"attack" + b"y" * (600 * 1024)]
+            assert raw(zerocopy.scan_batch(big)) == raw(serial.scan_batch(big))
+            backend = zerocopy._kernel._backend
+            assert backend.arena_capacity > DEFAULT_ARENA_BYTES
+            assert len(shm_segments()) == 1  # the retired arena is gone
+        finally:
+            zerocopy.shutdown()
+        assert shm_segments() == []
+
+    def test_copy_avoidance_accounting(self):
+        _, zerocopy = build_pair(shards=3)
+        try:
+            zerocopy.scan_batch(PAYLOADS)
+            backend = zerocopy._kernel._backend
+            batch_bytes = sum(len(payload) for payload in PAYLOADS)
+            # 3 shards would each have pickled the batch; the arena wrote
+            # it once.
+            assert backend.copy_bytes_avoided == 2 * batch_bytes
+            assert backend.occupied_bytes == batch_bytes
+        finally:
+            zerocopy.shutdown()
+
+    def test_shutdown_is_idempotent_and_restartable(self):
+        _, zerocopy = build_pair()
+        zerocopy.scan(b"attack")
+        zerocopy.shutdown()
+        zerocopy.shutdown()
+        assert shm_segments() == []
+        # The backend lazily restarts after a shutdown (restart semantics).
+        assert zerocopy.scan(b"attack").raw_matches
+        zerocopy.shutdown()
+        assert shm_segments() == []
+        assert multiprocessing.active_children() == []
+
+    def test_garbage_collection_runs_the_finalizer(self):
+        backend = ZeroCopyBackend(
+            (make_shard_spec(PATTERN_SETS, "sparse", "flat"),), workers=1
+        )
+        backend.scan_shards([(0, b"attack", (1 << 1) | (1 << 3), 0, None)])
+        assert len(shm_segments()) == 1
+        del backend
+        import gc
+
+        gc.collect()
+        assert shm_segments() == []
+        assert multiprocessing.active_children() == []
+
+    def test_validation(self):
+        specs = (make_shard_spec(PATTERN_SETS, "sparse", "flat"),)
+        with pytest.raises(ValueError, match="positive"):
+            ZeroCopyBackend(specs, workers=0)
+        with pytest.raises(ValueError, match="positive"):
+            ZeroCopyBackend(specs, arena_bytes=0)
+        assert "zerocopy" in BACKEND_NAMES
+        backend = make_backend(
+            "zerocopy", automata=(), specs=specs, workers=None
+        )
+        assert isinstance(backend, ZeroCopyBackend)
+        assert backend.workers >= 1
+
+    def test_empty_task_lists(self):
+        backend = ZeroCopyBackend(
+            (make_shard_spec(PATTERN_SETS, "sparse", "flat"),), workers=1
+        )
+        assert backend.scan_shards([]) == []
+        assert backend.scan_shard_batches([]) == []
+        assert backend.scan_chunked_batches([]) == []
+        assert backend.arena_name is None  # nothing was ever started
+        backend.shutdown()
+
+
+class TestFailureDrain:
+    def test_worker_death_falls_back_to_serial_without_lost_matches(self):
+        serial, zerocopy = build_pair()
+        try:
+            expected = raw(serial.scan_batch(PAYLOADS))
+            assert raw(zerocopy.scan_batch(PAYLOADS)) == expected
+            backend = zerocopy._kernel._backend
+            for process in backend._state.processes:
+                process.terminate()
+                process.join()
+            # The dead pool is detected mid-batch; the kernel drains it
+            # (unlinking the arena) and reruns the batch serially.
+            assert raw(zerocopy.scan_batch(PAYLOADS)) == expected
+            assert zerocopy.active_backend_name == "serial"
+            assert zerocopy.pool_fallbacks == 1
+            assert shm_segments() == []
+        finally:
+            zerocopy.shutdown()
+        assert multiprocessing.active_children() == []
+
+    def test_worker_death_mid_pipeline_reruns_whole_batch(self):
+        serial, zerocopy = build_pair()
+        try:
+            expected = raw(serial.scan_batch(PAYLOADS))
+            backend = zerocopy._kernel._backend
+            zerocopy.scan(b"warm the arena up")
+            for process in backend._state.processes:
+                process.terminate()
+                process.join()
+            assert raw(zerocopy.scan_batch(PAYLOADS, pipelined=True)) == expected
+            assert zerocopy.active_backend_name == "serial"
+            assert shm_segments() == []
+        finally:
+            zerocopy.shutdown()
+
+    def test_instance_crash_drains_arena(self):
+        config = InstanceConfig(
+            pattern_sets={1: [Pattern(0, b"attack")]},
+            profiles={1: MiddleboxProfile(1, name="ids")},
+            chain_map={100: (1,)},
+            kernel="sharded",
+            shards=2,
+            shard_backend="zerocopy",
+            shard_workers=1,
+        )
+        instance = DPIServiceInstance(config)
+        assert instance.inspect(b"an attack packet", 100).has_matches
+        assert len(shm_segments()) == 1
+        instance.crash()
+        assert shm_segments() == []
+        assert multiprocessing.active_children() == []
+        instance.restart()
+        assert instance.inspect(b"an attack packet", 100).has_matches
+        instance.automaton.shutdown()
+        assert shm_segments() == []
+
+
+class TestConfigWiring:
+    def test_shard_workers_and_pipelined_require_sharded_kernel(self):
+        base = dict(
+            pattern_sets={1: [Pattern(0, b"attack")]},
+            profiles={1: MiddleboxProfile(1, name="ids")},
+            chain_map={100: (1,)},
+        )
+        with pytest.raises(ValueError, match="shard_workers"):
+            InstanceConfig(**base, shard_workers=2)
+        with pytest.raises(ValueError, match="shard_pipelined"):
+            InstanceConfig(**base, shard_pipelined=True)
+        with pytest.raises(ValueError, match="negative shard worker"):
+            InstanceConfig(
+                **base, kernel="sharded", shards=2, shard_workers=-1
+            )
+
+    def test_instance_respects_worker_count_and_pipeline_flag(self):
+        config = InstanceConfig(
+            pattern_sets={1: [Pattern(0, b"attack")]},
+            profiles={1: MiddleboxProfile(1, name="ids")},
+            chain_map={100: (1,)},
+            kernel="sharded",
+            shards=3,
+            shard_backend="zerocopy",
+            shard_workers=2,
+            shard_pipelined=True,
+        )
+        instance = DPIServiceInstance(config)
+        try:
+            assert instance.automaton._kernel._backend.workers == 2
+            assert instance.automaton.pipelined is True
+            assert instance.inspect(b"the attack", 100).has_matches
+        finally:
+            instance.automaton.shutdown()
+        assert shm_segments() == []
+
+
+class TestTelemetry:
+    def test_arena_gauges_and_copy_counter(self):
+        from repro.telemetry import TelemetryHub
+
+        hub = TelemetryHub()
+        _, zerocopy = build_pair(shards=2)
+        try:
+            zerocopy.bind_telemetry(hub, "dpi-zc")
+            zerocopy.scan_batch(PAYLOADS)
+            registry = hub.registry
+            occupancy = registry.collect_named("dpi_shard_arena_bytes")
+            assert occupancy and occupancy[0].value == sum(
+                len(payload) for payload in PAYLOADS
+            )
+            depth = registry.collect_named("dpi_shard_descriptor_queue_depth")
+            assert depth and depth[0].value == 0  # drained between batches
+            avoided = registry.collect_named(
+                "dpi_shard_copy_bytes_avoided_total"
+            )
+            assert avoided and avoided[0].value == sum(
+                len(payload) for payload in PAYLOADS
+            )
+        finally:
+            zerocopy.shutdown()
+
+    def test_gauges_read_zero_after_serial_fallback(self):
+        from repro.telemetry import TelemetryHub
+
+        hub = TelemetryHub()
+        _, zerocopy = build_pair(shards=2)
+        try:
+            zerocopy.bind_telemetry(hub, "dpi-zc")
+            zerocopy.scan_batch(PAYLOADS)
+            backend = zerocopy._kernel._backend
+            for process in backend._state.processes:
+                process.terminate()
+                process.join()
+            zerocopy.scan(b"post-fallback attack")
+            assert zerocopy.active_backend_name == "serial"
+            occupancy = hub.registry.collect_named("dpi_shard_arena_bytes")
+            assert occupancy and occupancy[0].value == 0
+        finally:
+            zerocopy.shutdown()
