@@ -32,6 +32,7 @@ from repro.analysis.validators import (
     validate_chains,
     validate_flow_tables,
     validate_instance_config,
+    validate_load_spec,
     validate_pattern_list,
     validate_pattern_registry,
     validate_scenario,
@@ -57,6 +58,7 @@ __all__ = [
     "validate_chains",
     "validate_flow_tables",
     "validate_instance_config",
+    "validate_load_spec",
     "validate_pattern_list",
     "validate_pattern_registry",
     "validate_scenario",

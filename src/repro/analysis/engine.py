@@ -32,7 +32,13 @@ _NOQA_PATTERN = re.compile(
 )
 
 #: Module prefixes treated as simulation paths by determinism rules.
-SIM_SCOPE_PREFIXES = ("repro.net", "repro.core", "repro.faults")
+SIM_SCOPE_PREFIXES = (
+    "repro.net",
+    "repro.core",
+    "repro.faults",
+    "repro.load",
+    "repro.autoscale",
+)
 
 
 def module_name_for(path: str) -> str:

@@ -31,6 +31,11 @@ PAT001      warning    duplicate pattern content within one middlebox set
 PAT002      error      empty pattern
 PAT003      warning    registered middlebox with an empty pattern set
 CFG001      error      chain map references a middlebox without a config
+LOAD001     error      unknown traffic profile or mix name
+LOAD002     error      non-positive flow count / packet cap / instance count
+LOAD003     error      ramp schedule never terminates (epochs/epoch length)
+LOAD004     error      non-positive SLO or modeled service rate
+LOAD005     warning    peak flow target below the initial instance count
 ==========  =========  ====================================================
 """
 
@@ -466,6 +471,171 @@ def validate_instance_config(config: "InstanceConfig") -> list[ValidationIssue]:
                         f"but has no {' or '.join(missing)} in the config",
                     )
                 )
+    return issues
+
+
+# --- load specifications ----------------------------------------------------
+
+
+def _as_number(value: Any) -> float | None:
+    """*value* as a float when it is a real number, else None."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def validate_load_spec(
+    document: Any,
+    *,
+    profile_names: Sequence[str] = (),
+    ramp_kinds: Sequence[str] = (),
+) -> list[ValidationIssue]:
+    """Consistency of a load-profile document (``LoadSpec.to_dict`` shape).
+
+    Structural on purpose: takes the plain-dict JSON form, not the
+    :class:`~repro.load.profiles.LoadSpec` dataclass, so this module keeps
+    importing none of the subsystems that import *it*.  ``profile_names``
+    and ``ramp_kinds`` carry the caller's vocabulary (pass
+    ``repro.load.profiles.profile_vocabulary()`` / ``RAMP_KINDS``); empty
+    sequences skip the corresponding name checks.
+    """
+    issues: list[ValidationIssue] = []
+    if not isinstance(document, dict):
+        return [
+            ValidationIssue(
+                code="LOAD002",
+                severity=Severity.ERROR,
+                subject="load-spec",
+                message=f"load spec must be a JSON object, got "
+                f"{type(document).__name__}",
+            )
+        ]
+
+    mix = document.get("profile_mix", "mixed")
+    if profile_names and mix not in profile_names:
+        issues.append(
+            ValidationIssue(
+                code="LOAD001",
+                severity=Severity.ERROR,
+                subject=str(mix),
+                message=f"unknown traffic profile or mix {mix!r} "
+                f"(known: {', '.join(profile_names)})",
+            )
+        )
+
+    for field_name in ("flows", "max_packets_per_epoch", "initial_instances"):
+        raw = document.get(field_name)
+        if raw is None:
+            continue
+        value = _as_number(raw)
+        if value is None or value < 1 or value != int(value):
+            issues.append(
+                ValidationIssue(
+                    code="LOAD002",
+                    severity=Severity.ERROR,
+                    subject=field_name,
+                    message=f"{field_name} must be a positive integer, "
+                    f"got {raw!r}",
+                )
+            )
+
+    epochs = _as_number(document.get("epochs", 1))
+    epoch_seconds = _as_number(document.get("epoch_seconds", 0.1))
+    if (
+        epochs is None
+        or epochs < 1
+        or epochs != int(epochs)
+        or epochs != epochs  # NaN guard
+        or epochs == float("inf")
+    ):
+        issues.append(
+            ValidationIssue(
+                code="LOAD003",
+                severity=Severity.ERROR,
+                subject="epochs",
+                message=f"ramp never terminates: epochs must be a positive "
+                f"finite integer, got {document.get('epochs')!r}",
+            )
+        )
+    if epoch_seconds is None or not epoch_seconds > 0:
+        issues.append(
+            ValidationIssue(
+                code="LOAD003",
+                severity=Severity.ERROR,
+                subject="epoch_seconds",
+                message=f"ramp never terminates: epoch_seconds must be > 0, "
+                f"got {document.get('epoch_seconds')!r}",
+            )
+        )
+    ramp = document.get("ramp", {})
+    if isinstance(ramp, dict):
+        kind = ramp.get("kind", "constant")
+        if ramp_kinds and kind not in ramp_kinds:
+            issues.append(
+                ValidationIssue(
+                    code="LOAD003",
+                    severity=Severity.ERROR,
+                    subject="ramp",
+                    message=f"unknown ramp kind {kind!r} "
+                    f"(known: {', '.join(ramp_kinds)})",
+                )
+            )
+        period = _as_number(ramp.get("period", 4))
+        if kind == "burst" and (period is None or period < 1):
+            issues.append(
+                ValidationIssue(
+                    code="LOAD003",
+                    severity=Severity.ERROR,
+                    subject="ramp",
+                    message=f"burst ramp period must be >= 1, "
+                    f"got {ramp.get('period')!r}",
+                )
+            )
+    else:
+        issues.append(
+            ValidationIssue(
+                code="LOAD003",
+                severity=Severity.ERROR,
+                subject="ramp",
+                message=f"ramp must be a JSON object, got {ramp!r}",
+            )
+        )
+
+    for field_name in ("slo_ms", "rate_mbps"):
+        raw = document.get(field_name)
+        if raw is None:
+            continue
+        value = _as_number(raw)
+        if value is None or not value > 0:
+            issues.append(
+                ValidationIssue(
+                    code="LOAD004",
+                    severity=Severity.ERROR,
+                    subject=field_name,
+                    message=f"{field_name} must be a positive number, "
+                    f"got {raw!r}",
+                )
+            )
+
+    flows = _as_number(document.get("flows", 0))
+    instances = _as_number(document.get("initial_instances", 1))
+    if (
+        flows is not None
+        and instances is not None
+        and flows >= 1
+        and instances >= 1
+        and flows < instances
+    ):
+        issues.append(
+            ValidationIssue(
+                code="LOAD005",
+                severity=Severity.WARNING,
+                subject="flows",
+                message=f"peak flow target {int(flows)} is below the "
+                f"initial instance count {int(instances)}; instances will "
+                "idle from epoch 0",
+            )
+        )
     return issues
 
 

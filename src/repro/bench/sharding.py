@@ -127,6 +127,12 @@ def _run_corpus(
     else:
         kernel_note = "fixed by configuration"
 
+    # Pooled rows with more workers than cores only measure time-slicing
+    # overhead — they cannot win.  Skip them and record why.
+    cpu_count = os.cpu_count() or 1
+    usable_counts = [w for w in worker_counts if w <= cpu_count]
+    skipped_counts = [w for w in worker_counts if w > cpu_count]
+
     serial = ShardedAutomaton(
         pattern_sets, shards, shard_kernel=shard_kernel, backend="serial"
     )
@@ -138,7 +144,7 @@ def _run_corpus(
             backend="process",
             workers=workers,
         )
-        for workers in worker_counts
+        for workers in usable_counts
     }
     arenas = {
         workers: ShardedAutomaton(
@@ -148,7 +154,7 @@ def _run_corpus(
             backend="zerocopy",
             workers=workers,
         )
-        for workers in worker_counts
+        for workers in usable_counts
     }
 
     def run_monolithic(kernel: str) -> float:
@@ -168,7 +174,7 @@ def _run_corpus(
         "monolithic/flat": (None, lambda: run_monolithic("flat")),
         "sharded/serial": (None, lambda: run_sharded(serial)),
     }
-    for workers in worker_counts:
+    for workers in usable_counts:
         rows[f"sharded/process/w{workers}"] = (
             workers,
             lambda automaton=pools[workers]: run_sharded(automaton),
@@ -195,9 +201,15 @@ def _run_corpus(
     zerocopy_rows = {
         name: mbps for name, mbps in best.items() if "/zerocopy" in name
     }
-    best_zerocopy = max(
-        zerocopy_rows, key=lambda name: (zerocopy_rows[name], name)
-    )
+    # Guard: with every pooled width over the core count there is nothing
+    # to compare; the serial row becomes its own headline.
+    if zerocopy_rows:
+        best_zerocopy = max(
+            zerocopy_rows, key=lambda name: (zerocopy_rows[name], name)
+        )
+    else:
+        zerocopy_rows = {"sharded/serial": best["sharded/serial"]}
+        best_zerocopy = "sharded/serial"
     serial_mbps = best["sharded/serial"]
 
     plan = serial.plan
@@ -220,6 +232,14 @@ def _run_corpus(
                 ),
             }
             for name, mbps in best.items()
+        },
+        "skipped_rows": {
+            f"sharded/{backend}/w{workers}": {
+                "workers": workers,
+                "skipped": "insufficient cores",
+            }
+            for workers in skipped_counts
+            for backend in ("process", "zerocopy", "zerocopy-pipelined")
         },
         "headline": {
             "best_zerocopy_row": best_zerocopy,
@@ -300,6 +320,12 @@ def format_sharding_results(results: dict) -> str:
             lines.append(
                 f"    {name:30} {numbers['mbps']:10.2f} Mbps  "
                 f"{speedup_text}  {workers_text}"
+            )
+        for name, numbers in entry.get("skipped_rows", {}).items():
+            lines.append(
+                f"    {name:30} {'—':>10}       "
+                f"skipped: {numbers['skipped']}  "
+                f"{numbers['workers']:>2} workers"
             )
         headline = entry["headline"]
         lines.append(

@@ -25,6 +25,9 @@ from repro.core.kernels import KERNEL_NAMES
 from repro.core.patterns import Pattern, PatternKind
 from repro.core.workers import BACKEND_NAMES
 from repro.core.wu_manber import WuManber
+from repro.autoscale.policies import POLICY_NAMES as LOAD_POLICY_NAMES
+from repro.load.profiles import RAMP_KINDS as LOAD_RAMP_KINDS
+from repro.load.profiles import SCENARIOS as LOAD_SCENARIOS
 from repro.workloads.patterns import generate_clamav_like, generate_snort_like
 from repro.workloads.traces import load_trace, save_trace
 from repro.workloads.traffic import TrafficGenerator
@@ -347,11 +350,156 @@ def _cmd_check(args) -> int:
         tsa=result.tsa,
         controller=result.dpi_controller,
     )
+    if args.load_spec:
+        import json
+
+        from repro.analysis.validators import validate_load_spec
+        from repro.load.profiles import RAMP_KINDS, profile_vocabulary
+
+        try:
+            with open(args.load_spec) as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(
+                f"check: cannot load spec {args.load_spec}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        issues = issues + validate_load_spec(
+            document,
+            profile_names=profile_vocabulary(),
+            ramp_kinds=RAMP_KINDS,
+        )
     if args.format == "json":
         sys.stdout.write(render_issues_json(issues))
     else:
         sys.stdout.write(format_issues(issues))
     return 1 if errors_in(issues) else 0
+
+
+def _cmd_load(args) -> int:
+    import json
+
+    from repro.analysis.validators import ValidationError, format_issues
+    from repro.load.driver import run_load_scenario
+    from repro.load.profiles import LoadSpec, RampSchedule
+
+    if args.spec:
+        try:
+            spec = LoadSpec.load(args.spec)
+        except (OSError, ValueError, TypeError) as error:
+            print(f"load: cannot load spec {args.spec}: {error}", file=sys.stderr)
+            return 2
+    else:
+        spec = LoadSpec()
+    overrides = {
+        "profile_mix": args.profile,
+        "flows": args.flows,
+        "epochs": args.epochs,
+        "epoch_seconds": args.epoch_seconds,
+        "seed": args.seed,
+        "slo_ms": args.slo_ms,
+        "rate_mbps": args.rate_mbps,
+        "initial_instances": args.instances,
+        "max_packets_per_epoch": args.max_packets,
+    }
+    overrides = {key: value for key, value in overrides.items() if value is not None}
+    if args.ramp is not None:
+        overrides["ramp"] = RampSchedule(kind=args.ramp)
+    spec = spec.with_overrides(**overrides)
+
+    plan = None
+    if args.plan:
+        from repro.faults import FaultPlan
+
+        try:
+            plan = FaultPlan.load(args.plan)
+        except (OSError, ValueError) as error:
+            print(f"load: cannot load plan {args.plan}: {error}", file=sys.stderr)
+            return 2
+
+    try:
+        result = run_load_scenario(
+            spec,
+            autoscale=args.autoscale,
+            policy=args.policy,
+            max_instances=args.max_instances,
+            plan=plan,
+            instance_kwargs={"kernel": args.kernel},
+            validate=not args.no_validate,
+        )
+    except ValidationError as error:
+        print(format_issues(error.issues), file=sys.stderr)
+        return 2
+
+    summary = result.summary()
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"load scenario: {args.scenario}  profile: {spec.profile_mix}  "
+        f"flows: {spec.flows}  epochs: {spec.epochs}  "
+        f"autoscale: {'on' if args.autoscale else 'off'}"
+    )
+    print(
+        f"{'epoch':>5} {'flows':>8} {'packets':>8} {'p99 ms':>9} "
+        f"{'viol':>6} {'inst':>5}  actions"
+    )
+    for report in result.epochs:
+        actions = ", ".join(report.actions)
+        print(
+            f"{report.epoch:>5} {report.concurrent_flows:>8} "
+            f"{report.offered_packets:>8} "
+            f"{report.p99_latency_seconds * 1e3:>9.2f} "
+            f"{report.slo_violations:>6} {report.alive_instances:>5}  {actions}"
+        )
+    totals = summary["totals"]
+    print(
+        f"totals: {totals['packets']} packets, {totals['matches']} matches, "
+        f"{totals['slo_violations']} SLO violations, "
+        f"{totals['suppressed']} suppressed"
+    )
+    print(
+        f"peak flows within SLO: {summary['peak_flows_within_slo']}  "
+        f"throughput: {summary['throughput_mbps']} Mbps  "
+        f"worst epoch p99: {summary['overall_p99_ms']} ms"
+    )
+    print(f"digest: {result.digest}")
+    return 0
+
+
+def _cmd_bench_e2e(args) -> int:
+    from repro.bench.e2e import (
+        format_e2e_results,
+        run_e2e_benchmark,
+        validate_e2e_schema,
+        write_results,
+    )
+
+    flow_steps = tuple(int(step) for step in args.flow_steps.split(","))
+    results = run_e2e_benchmark(
+        flow_steps,
+        epochs=args.epochs,
+        seed=args.seed,
+        profile=args.profile,
+        slo_ms=args.slo_ms,
+        rate_mbps=args.rate_mbps,
+        max_instances=args.max_instances,
+    )
+    problems = validate_e2e_schema(results)
+    if problems:
+        for problem in problems:
+            print(f"bench-e2e: schema: {problem}", file=sys.stderr)
+        return 1
+    print(format_e2e_results(results))
+    if args.out:
+        write_results(results, args.out)
+        print(f"wrote {args.out}")
+    return 0
 
 
 def _cmd_chaos(args) -> int:
@@ -594,8 +742,92 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(CHECK_FAULTS),
         help="break the scenario in a known way first (repeatable)",
     )
+    check.add_argument(
+        "--load-spec",
+        help="also validate a load-profile JSON file (LOAD0xx codes)",
+    )
     check.add_argument("--format", choices=("text", "json"), default="text")
     check.set_defaults(func=_cmd_check)
+
+    load = commands.add_parser(
+        "load",
+        help="drive a deterministic load scenario, optionally autoscaled",
+    )
+    load.add_argument("scenario", choices=LOAD_SCENARIOS)
+    load.add_argument("--spec", help="LoadSpec JSON file (flags override it)")
+    load.add_argument(
+        "--profile", help="traffic mix or profile name (default mixed)"
+    )
+    load.add_argument("--flows", type=int, help="peak concurrent flows")
+    load.add_argument("--epochs", type=int, help="epoch count")
+    load.add_argument("--epoch-seconds", type=float, help="epoch length")
+    load.add_argument("--seed", type=int, help="load generator seed")
+    load.add_argument("--slo-ms", type=float, help="p99 latency SLO (ms)")
+    load.add_argument(
+        "--rate-mbps", type=float, help="modeled per-instance scan rate"
+    )
+    load.add_argument(
+        "--instances", type=int, help="initial DPI instance count"
+    )
+    load.add_argument(
+        "--max-packets", type=int, help="per-epoch packet cap (harness bound)"
+    )
+    load.add_argument(
+        "--ramp", choices=LOAD_RAMP_KINDS, help="ramp schedule kind"
+    )
+    load.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="close the loop: elastic instance pool against the SLO",
+    )
+    load.add_argument(
+        "--policy",
+        choices=LOAD_POLICY_NAMES,
+        default="isolation",
+        help="autoscaling policy stack (isolation includes hysteresis)",
+    )
+    load.add_argument(
+        "--max-instances", type=int, default=8, help="autoscaler pool ceiling"
+    )
+    load.add_argument(
+        "--plan", help="fault plan JSON to inject during the run"
+    )
+    load.add_argument(
+        "--kernel",
+        # Standalone kernels only: the load driver provisions instances
+        # without shard flags, so the sharded kernel cannot be configured
+        # from here.
+        choices=tuple(
+            name for name in INSTANCE_KERNEL_NAMES if name != "sharded"
+        ),
+        default="flat",
+    )
+    load.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip LOAD0xx spec validation (not recommended)",
+    )
+    load.add_argument("--out", help="also write the JSON summary here")
+    load.add_argument("--format", choices=("text", "json"), default="text")
+    load.set_defaults(func=_cmd_load)
+
+    bench_e2e = commands.add_parser(
+        "bench-e2e",
+        help="capacity curves: flows vs p99/throughput, static vs autoscaled",
+    )
+    bench_e2e.add_argument(
+        "--flow-steps",
+        default="200,600,1200,2000",
+        help="comma-separated concurrent-flow steps",
+    )
+    bench_e2e.add_argument("--epochs", type=int, default=18)
+    bench_e2e.add_argument("--seed", type=int, default=7)
+    bench_e2e.add_argument("--profile", default="mixed")
+    bench_e2e.add_argument("--slo-ms", type=float, default=50.0)
+    bench_e2e.add_argument("--rate-mbps", type=float, default=40.0)
+    bench_e2e.add_argument("--max-instances", type=int, default=6)
+    bench_e2e.add_argument("--out", help="write BENCH_e2e.json here")
+    bench_e2e.set_defaults(func=_cmd_bench_e2e)
 
     chaos = commands.add_parser(
         "chaos",

@@ -191,6 +191,10 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
     ) -> "DPIServiceInstance | None":
         """Tear down an instance and drop its registry metrics.
 
+        The instance's scan engine is shut down so external resources
+        (shared-memory arenas, worker pools) are released immediately
+        rather than at garbage collection — churn must not leak.
+
         Raises ``KeyError(f"no instance named {name}")`` for an unknown
         name unless ``missing_ok=True`` (then returns None) — the same
         contract :meth:`DPIController.migrate_flow` follows for missing
@@ -204,6 +208,9 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
         self._chain_filter.pop(name, None)
         self._dedicated.pop(name, None)
         self._controller.telemetry.registry.drop(instance=name)
+        automaton = getattr(instance, "automaton", None)
+        if automaton is not None and hasattr(automaton, "shutdown"):
+            automaton.shutdown()
         return instance
 
     def plan_groups(

@@ -1,0 +1,33 @@
+"""Deterministic million-flow load generation for the DPI service.
+
+Three layers: :mod:`repro.load.profiles` (traffic profiles, ramp
+schedules, the serializable :class:`LoadSpec`), :mod:`repro.load.generator`
+(compact-state seeded flow generator streaming per-epoch batches), and
+:mod:`repro.load.driver` (the sim-clocked driver with a deterministic
+queueing model, optionally closed-loop with :mod:`repro.autoscale`).
+"""
+
+from repro.load.generator import LoadBatch, LoadGenerator
+from repro.load.profiles import (
+    MIXES,
+    PROFILES,
+    RAMP_KINDS,
+    LoadSpec,
+    RampSchedule,
+    TrafficProfile,
+    profile_vocabulary,
+    resolve_mix,
+)
+
+__all__ = [
+    "LoadBatch",
+    "LoadGenerator",
+    "LoadSpec",
+    "MIXES",
+    "PROFILES",
+    "RAMP_KINDS",
+    "RampSchedule",
+    "TrafficProfile",
+    "profile_vocabulary",
+    "resolve_mix",
+]

@@ -35,6 +35,7 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     MetricsWindow,
     WindowDelta,
+    percentile_from_counts,
 )
 from repro.telemetry.snapshot import FaultEvent, TelemetrySnapshot
 from repro.telemetry.tracing import DEFAULT_MAX_SPANS, Tracer, TraceSpan
@@ -51,6 +52,7 @@ __all__ = [
     "TelemetrySnapshot",
     "Tracer",
     "TraceSpan",
+    "percentile_from_counts",
 ]
 
 

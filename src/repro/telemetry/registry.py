@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from bisect import bisect_left
-from typing import Any, Callable, Iterable, TypedDict
+from typing import Any, Callable, Iterable, Sequence, TypedDict
 
 #: Default histogram bucket upper bounds (seconds), tuned for per-packet
 #: scan latencies: one microsecond up to one second.
@@ -133,6 +133,45 @@ class Gauge:
         }
 
 
+def percentile_from_counts(
+    bounds: "Sequence[float]", counts: "Sequence[int]", quantile: float
+) -> float:
+    """Estimate the value at ``quantile`` from histogram bucket counts.
+
+    ``bounds`` are the finite inclusive upper bounds and ``counts`` the
+    per-bucket (non-cumulative) counts, one longer than ``bounds`` with the
+    +Inf overflow bucket last — exactly the :class:`Histogram` layout.  This
+    also works on *deltas* of ``bucket_counts`` between two snapshots, which
+    is how the autoscaler computes a windowed p99 without resetting the
+    histogram.  Interpolates linearly inside the winning bucket; overflow
+    observations clamp to the largest finite bound.  Returns 0.0 when there
+    are no observations.
+    """
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1]: {quantile}")
+    if len(counts) != len(bounds) + 1:
+        raise ValueError(
+            f"expected {len(bounds) + 1} bucket counts, got {len(counts)}"
+        )
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    rank = quantile * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count <= 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            if index >= len(bounds):  # +Inf overflow: clamp to last bound
+                return bounds[-1] if bounds else 0.0
+            lower = bounds[index - 1] if index else 0.0
+            upper = bounds[index]
+            fraction = (rank - cumulative) / bucket_count
+            return lower + (upper - lower) * fraction
+        cumulative += bucket_count
+    return bounds[-1] if bounds else 0.0
+
+
 class Histogram:
     """Fixed-bucket histogram: per-bucket counts plus sum and count.
 
@@ -169,6 +208,22 @@ class Histogram:
     def mean(self) -> float:
         """Average observed value (0.0 before any observation)."""
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, quantile: float) -> float:
+        """Estimated value at ``quantile`` (0 < q <= 1) from the buckets.
+
+        Linear interpolation inside the winning bucket; observations that
+        landed in the +Inf overflow bucket clamp to the largest finite
+        bound (the histogram cannot see past it).  Returns 0.0 before any
+        observation.
+        """
+        return percentile_from_counts(self.bounds, self.bucket_counts, quantile)
+
+    def percentiles(
+        self, quantiles: "Iterable[float]" = (0.50, 0.95, 0.99)
+    ) -> dict[float, float]:
+        """``{quantile: estimated value}`` for each requested quantile."""
+        return {q: self.percentile(q) for q in quantiles}
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``(upper bound, cumulative count)`` pairs, +Inf last."""

@@ -40,6 +40,13 @@ def _instance_rows(registry) -> list:
         ns_per_byte = seconds * 1e9 / scanned if scanned else 0.0
         latency = registry.get("dpi_scan_latency_seconds", instance=name)
         mean_us = latency.mean * 1e6 if latency is not None else 0.0
+        if latency is not None:
+            quantiles = latency.percentiles((0.50, 0.95, 0.99))
+            p50_us = quantiles[0.50] * 1e6
+            p95_us = quantiles[0.95] * 1e6
+            p99_us = quantiles[0.99] * 1e6
+        else:
+            p50_us = p95_us = p99_us = 0.0
         cache_hits = registry.value("dpi_scan_cache_hits", default=None, instance=name)
         if cache_hits is None:
             cache = "off"
@@ -57,6 +64,9 @@ def _instance_rows(registry) -> list:
                 matches,
                 f"{ns_per_byte:.0f}",
                 f"{mean_us:.1f}",
+                f"{p50_us:.1f}",
+                f"{p95_us:.1f}",
+                f"{p99_us:.1f}",
                 registry.value("dpi_active_flows", instance=name),
                 cache,
             )
@@ -118,7 +128,7 @@ def render_report(hub) -> str:
         sections.extend(
             _table(
                 ["instance", "packets", "bytes", "matches", "ns/B",
-                 "mean us", "flows", "cache"],
+                 "mean us", "p50 us", "p95 us", "p99 us", "flows", "cache"],
                 instance_rows,
             )
         )

@@ -1,0 +1,69 @@
+"""Sharding-benchmark harness tests: the insufficient-cores skip rule.
+
+Pooled rows with more workers than cores only measure time-slicing
+overhead, so the sweep must drop them — and say so in the payload and
+the rendered table — rather than publish misleading numbers.
+"""
+
+import pytest
+
+from repro.bench.sharding import (
+    format_sharding_results,
+    run_sharding_benchmark,
+)
+
+TINY = dict(
+    pattern_count=30,
+    packets=4,
+    rounds=1,
+    shards=2,
+    configs=(("snort-like", "flat"),),
+)
+
+
+class TestInsufficientCoreSkips:
+    def test_oversized_worker_rows_are_skipped(self, monkeypatch):
+        monkeypatch.setattr("repro.bench.sharding.os.cpu_count", lambda: 1)
+        results = run_sharding_benchmark(**TINY, worker_counts=(1, 64))
+        assert results["config"]["cpu_count"] == 1
+        entry = results["corpora"]["snort-like"]
+        skipped = entry["skipped_rows"]
+        for backend in ("process", "zerocopy", "zerocopy-pipelined"):
+            name = f"sharded/{backend}/w64"
+            assert skipped[name] == {
+                "workers": 64,
+                "skipped": "insufficient cores",
+            }
+            # And the measured rows must NOT contain the oversized pool.
+            assert name not in entry["rows"]
+            assert f"sharded/{backend}/w1" in entry["rows"]
+
+    def test_skipped_rows_render_in_the_table(self, monkeypatch):
+        monkeypatch.setattr("repro.bench.sharding.os.cpu_count", lambda: 1)
+        results = run_sharding_benchmark(**TINY, worker_counts=(1, 64))
+        rendered = format_sharding_results(results)
+        assert "skipped: insufficient cores" in rendered
+        assert "sharded/zerocopy/w64" in rendered
+
+    def test_all_usable_counts_keep_empty_skip_map(self):
+        results = run_sharding_benchmark(**TINY, worker_counts=(1,))
+        entry = results["corpora"]["snort-like"]
+        assert entry["skipped_rows"] == {}
+
+    def test_headline_survives_a_fully_skipped_zerocopy_sweep(
+        self, monkeypatch
+    ):
+        # Every pooled width oversized: serial is the only sharded row
+        # left, and the headline comparison must fall back to it instead
+        # of crashing on an empty zerocopy set.
+        monkeypatch.setattr("repro.bench.sharding.os.cpu_count", lambda: 1)
+        results = run_sharding_benchmark(**TINY, worker_counts=(64,))
+        entry = results["corpora"]["snort-like"]
+        assert entry["rows"]  # monolithic + sharded/serial still measured
+        headline = entry["headline"]
+        assert headline["best_zerocopy_row"] == "sharded/serial"
+        assert headline["zerocopy_vs_serial"] == pytest.approx(1.0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

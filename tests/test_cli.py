@@ -193,3 +193,90 @@ class TestKernelCommands:
             assert set(kernels) == {"reference", "flat", "regex"}
             for numbers in kernels.values():
                 assert numbers["mbps"] > 0
+
+
+class TestLoadCommand:
+    def test_load_text_run_prints_table_and_digest(self, capsys):
+        code = main(
+            [
+                "load", "service",
+                "--profile", "mixed",
+                "--flows", "300",
+                "--epochs", "4",
+                "--seed", "9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out and "p99 ms" in out
+        assert "digest:" in out
+
+    def test_load_json_digest_is_reproducible(self, tmp_path, capsys):
+        import json
+
+        digests = []
+        for _ in range(2):
+            out_path = tmp_path / "run.json"
+            code = main(
+                [
+                    "load", "service",
+                    "--flows", "300",
+                    "--epochs", "4",
+                    "--autoscale",
+                    "--format", "json",
+                    "--out", str(out_path),
+                ]
+            )
+            assert code == 0
+            capsys.readouterr()
+            digests.append(json.loads(out_path.read_text())["digest"])
+        assert digests[0] == digests[1]
+
+    def test_load_invalid_spec_exits_2_with_code(self, capsys):
+        code = main(["load", "service", "--flows", "0", "--epochs", "4"])
+        assert code == 2
+        assert "LOAD002" in capsys.readouterr().err
+
+    def test_load_spec_file_round_trip(self, tmp_path, capsys):
+        from repro.load.profiles import LoadSpec
+
+        spec_path = tmp_path / "spec.json"
+        LoadSpec(flows=200, epochs=3).save(str(spec_path))
+        code = main(["load", "service", "--spec", str(spec_path)])
+        assert code == 0
+        assert "digest:" in capsys.readouterr().out
+
+    def test_check_load_spec_flag(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"profile_mix": "nope", "flows": -1}))
+        code = main(["check", "figure5", "--load-spec", str(bad)])
+        assert code == 1
+        err_or_out = capsys.readouterr()
+        combined = err_or_out.out + err_or_out.err
+        assert "LOAD001" in combined
+        assert "LOAD002" in combined
+
+    def test_bench_e2e_writes_capacity_curve(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_e2e.json"
+        code = main(
+            [
+                "bench-e2e",
+                "--flow-steps", "100,300",
+                "--epochs", "6",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out_path.read_text())
+        assert document["benchmark"] == "e2e"
+        for mode in ("static", "autoscaled"):
+            assert [
+                point["flows"] for point in document["curves"][mode]
+            ] == [100, 300]
+        headline = document["headline"]
+        assert "autoscaled_sustains_more" in headline
+        assert "capacity curves" in capsys.readouterr().out

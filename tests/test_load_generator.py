@@ -1,0 +1,187 @@
+"""Unit tests for repro.load: profiles, ramp schedules, the generator.
+
+Pins the subsystem's two structural claims: bit-for-bit determinism from a
+seed (batches, payload pools, heavy-hitter selection) and compact per-flow
+state that really does hold about a million concurrent flows.
+"""
+
+import json
+
+import pytest
+
+from repro.load.generator import (
+    SIGNATURES,
+    LoadGenerator,
+    all_signatures,
+    profile_of_chain,
+)
+from repro.load.profiles import (
+    MIXES,
+    PROFILES,
+    RAMP_KINDS,
+    LoadSpec,
+    RampSchedule,
+    profile_vocabulary,
+    resolve_mix,
+)
+
+
+def drain(spec):
+    generator = LoadGenerator(spec)
+    return generator, list(generator.batches())
+
+
+class TestProfiles:
+    def test_vocabulary_covers_mixes_and_profiles(self):
+        names = profile_vocabulary()
+        for name in MIXES:
+            assert name in names
+        for name in PROFILES:
+            assert name in names
+
+    def test_resolve_mix_normalizes_weights(self):
+        resolved = resolve_mix("mixed")
+        assert sum(weight for _, weight in resolved) == pytest.approx(1.0)
+
+    def test_resolve_single_profile(self):
+        resolved = resolve_mix("benign-http")
+        assert len(resolved) == 1
+        assert resolved[0][0].name == "benign-http"
+        assert resolved[0][1] == pytest.approx(1.0)
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown profile"):
+            resolve_mix("nope")
+
+    def test_every_ramp_kind_terminates_and_peaks(self):
+        for kind in RAMP_KINDS:
+            ramp = RampSchedule(kind=kind, step_epoch=2)
+            fractions = [ramp.fraction(epoch, 8) for epoch in range(8)]
+            assert all(0.0 < f <= 1.0 for f in fractions), (kind, fractions)
+            assert max(fractions) == pytest.approx(1.0), kind
+
+    def test_linear_ramp_is_monotonic(self):
+        ramp = RampSchedule(kind="linear", floor_fraction=0.2)
+        fractions = [ramp.fraction(epoch, 10) for epoch in range(10)]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == pytest.approx(0.2)
+
+    def test_unknown_ramp_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown ramp kind"):
+            RampSchedule(kind="bogus").fraction(0, 4)
+
+    def test_spec_json_round_trip(self, tmp_path):
+        spec = LoadSpec(
+            profile_mix="flood",
+            flows=1234,
+            epochs=9,
+            seed=42,
+            ramp=RampSchedule(kind="step", step_epoch=3),
+        )
+        path = tmp_path / "spec.json"
+        spec.save(str(path))
+        assert LoadSpec.load(str(path)) == spec
+        # The file is plain JSON a validator can read structurally.
+        document = json.loads(path.read_text())
+        assert document["profile_mix"] == "flood"
+        assert document["ramp"]["kind"] == "step"
+
+    def test_with_overrides(self):
+        spec = LoadSpec().with_overrides(flows=77, slo_ms=5.0)
+        assert spec.flows == 77
+        assert spec.slo_ms == 5.0
+        assert spec.epochs == LoadSpec().epochs
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_identical_batches(self):
+        spec = LoadSpec(flows=600, epochs=6, ramp=RampSchedule(kind="linear"))
+        _, first = drain(spec)
+        _, second = drain(spec)
+        assert [batch.items for batch in first] == [
+            batch.items for batch in second
+        ]
+        assert [batch.suppressed for batch in first] == [
+            batch.suppressed for batch in second
+        ]
+
+    def test_different_seed_differs(self):
+        base = LoadSpec(flows=600, epochs=4)
+        _, first = drain(base)
+        _, second = drain(base.with_overrides(seed=base.seed + 1))
+        assert [b.items for b in first] != [b.items for b in second]
+
+    def test_batches_stream_lazily(self):
+        generator = LoadGenerator(LoadSpec(flows=300, epochs=50))
+        iterator = generator.batches()
+        first = next(iterator)
+        assert first.epoch == 0
+        # Only epoch 0 has been generated; the rest of the run has not.
+        assert generator.stats.packets_emitted == len(first.items)
+
+
+class TestGeneratorBehavior:
+    def test_profile_mix_respected(self):
+        generator, _ = drain(LoadSpec(flows=3000, epochs=2))
+        by_profile = generator.stats.spawned_by_profile
+        total = sum(by_profile.values())
+        assert by_profile["benign-http"] / total == pytest.approx(0.7, abs=0.1)
+        assert by_profile["mirai-burst"] / total == pytest.approx(0.2, abs=0.1)
+
+    def test_flows_complete_and_respawn(self):
+        generator, batches = drain(LoadSpec(flows=400, epochs=12))
+        assert generator.stats.flows_completed > 0
+        # Constant ramp: the pool is topped back up every epoch.
+        for batch in batches:
+            assert batch.concurrent_flows <= 400
+
+    def test_heavy_hitters_flagged_and_oversized(self):
+        spec = LoadSpec(profile_mix="flood", flows=600, epochs=3)
+        generator, batches = drain(spec)
+        assert generator.stats.heavy_flows > 0
+        heavy_payloads = [
+            payload
+            for batch in batches
+            for _, _, payload, heavy in batch.items
+            if heavy
+        ]
+        assert heavy_payloads
+        signatures = all_signatures()
+        for payload in heavy_payloads:
+            assert any(signature in payload for signature in signatures)
+
+    def test_packet_cap_suppresses_deterministically(self):
+        spec = LoadSpec(flows=2000, epochs=3, max_packets_per_epoch=100)
+        _, batches = drain(spec)
+        for batch in batches:
+            assert len(batch.items) <= 100
+        assert sum(batch.suppressed for batch in batches) > 0
+
+    def test_chain_ids_match_profiles(self):
+        _, batches = drain(LoadSpec(flows=500, epochs=3))
+        chains = {chain for _, chain, _, _ in batches[0].items}
+        for chain in chains:
+            assert profile_of_chain(chain) in PROFILES
+
+    def test_signature_corpus_is_stable(self):
+        # The middlebox registrations and payload pools share this corpus.
+        assert set(SIGNATURES) == {"ids", "av"}
+        assert all_signatures() == sorted(all_signatures())
+
+
+class TestMillionFlows:
+    def test_million_concurrent_flows_compact_state(self):
+        spec = LoadSpec(
+            flows=1_000_000, epochs=1, max_packets_per_epoch=500
+        )
+        generator = LoadGenerator(spec)
+        batch = next(generator.batches())
+        assert batch.concurrent_flows > 900_000
+        assert len(batch.items) == 500
+        # Columnar state: ~5 bytes/flow + the active-id array, not objects.
+        column_bytes = (
+            generator._profile_of.itemsize * len(generator._profile_of)
+            + generator._packets_left.itemsize * len(generator._packets_left)
+            + generator._active.itemsize * len(generator._active)
+        )
+        assert column_bytes < 32 * 1_000_000

@@ -292,3 +292,63 @@ class TestInstanceTelemetry:
         assert hub.registry.value(
             "dpi_packets_scanned_total", instance="dpi-t"
         ) == 2
+
+
+class TestPercentiles:
+    def test_from_counts_interpolates_within_bucket(self):
+        from repro.telemetry import percentile_from_counts
+
+        bounds = (10.0, 20.0, 30.0)
+        # 10 observations in (10, 20]: the median sits mid-bucket.
+        counts = [0, 10, 0, 0]
+        assert percentile_from_counts(bounds, counts, 0.50) == pytest.approx(
+            15.0
+        )
+        assert percentile_from_counts(bounds, counts, 1.0) == pytest.approx(
+            20.0
+        )
+
+    def test_from_counts_overflow_clamps_to_top_bound(self):
+        from repro.telemetry import percentile_from_counts
+
+        bounds = (10.0, 20.0)
+        counts = [0, 0, 5]  # everything beyond the last finite bound
+        assert percentile_from_counts(bounds, counts, 0.99) == 20.0
+
+    def test_from_counts_empty_is_zero(self):
+        from repro.telemetry import percentile_from_counts
+
+        assert percentile_from_counts((1.0, 2.0), [0, 0, 0], 0.99) == 0.0
+
+    def test_from_counts_validation(self):
+        from repro.telemetry import percentile_from_counts
+
+        with pytest.raises(ValueError, match="quantile"):
+            percentile_from_counts((1.0,), [1, 1], 0.0)
+        with pytest.raises(ValueError, match="quantile"):
+            percentile_from_counts((1.0,), [1, 1], 1.5)
+        with pytest.raises(ValueError, match="counts"):
+            percentile_from_counts((1.0, 2.0), [1, 1], 0.5)
+
+    def test_histogram_percentile_methods(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for _ in range(99):
+            hist.observe(0.05)
+        hist.observe(5.0)  # one overflow outlier
+        assert hist.percentile(0.50) <= 0.1
+        assert hist.percentile(0.99) <= 1.0
+        tail = hist.percentiles((0.50, 0.95, 0.99))
+        assert sorted(tail) == [0.50, 0.95, 0.99]
+        assert tail[0.50] <= tail[0.95] <= tail[0.99]
+
+    def test_report_surfaces_tail_latency_columns(self):
+        hub = TelemetryHub()
+        instance = make_instance(telemetry=hub)
+        for _ in range(10):
+            instance.inspect(b"some needle-alpha traffic", CHAIN, flow_key="f")
+        rendered = render_report(hub)
+        header = rendered.splitlines()
+        header = [line for line in header if "p99 us" in line]
+        assert header, rendered
+        assert "p50 us" in header[0] and "p95 us" in header[0]
