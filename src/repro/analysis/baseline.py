@@ -1,0 +1,103 @@
+"""Checked-in finding baselines: the zero-new-findings CI ratchet.
+
+A baseline is a JSON file of *accepted* findings.  CI runs the linter
+with ``--baseline``: findings matching a baseline entry are absorbed,
+anything else fails the build — so the debt can only shrink.  Entries
+are keyed ``(path, code, message)`` and deliberately **not** by line
+number, so unrelated edits that shift a finding a few lines do not
+churn the file or mask a genuinely new finding elsewhere in it.
+
+Matching is multiset-style: one entry absorbs one finding, a finding
+repeated N times needs N entries.  ``--write-baseline`` regenerates the
+file from the current findings (sorted, stable), which is also how debt
+is retired: fix the code, regenerate, commit the smaller file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+_Entry = tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or has an unsupported version."""
+
+
+def _identity(finding: Finding) -> _Entry:
+    return (finding.path, finding.code, finding.message)
+
+
+def load_baseline(path: str | Path) -> list[_Entry]:
+    """The accepted-finding identities a baseline file records."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}")
+    if not isinstance(document, dict) or "entries" not in document:
+        raise BaselineError(f"baseline {path} has no 'entries' list")
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has version {version!r}; "
+            f"this tool reads version {BASELINE_VERSION}"
+        )
+    entries: list[_Entry] = []
+    for raw in document["entries"]:
+        if not isinstance(raw, dict) or not {"path", "code", "message"} <= set(raw):
+            raise BaselineError(
+                f"baseline {path}: every entry needs path/code/message keys"
+            )
+        entries.append((str(raw["path"]), str(raw["code"]), str(raw["message"])))
+    return entries
+
+
+def write_baseline(findings: Sequence[Finding], path: str | Path) -> int:
+    """Write the baseline file for *findings*; returns the entry count."""
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "path": finding.path,
+                "code": finding.code,
+                "message": finding.message,
+            }
+            for finding in sorted(findings)
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(document["entries"])
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[_Entry]
+) -> tuple[list[Finding], list[_Entry]]:
+    """``(new findings, stale entries)`` after absorbing baselined ones.
+
+    Stale entries — debt that no longer exists — are reported so the
+    caller can prompt for a ``--write-baseline`` refresh; they never
+    fail a run on their own.
+    """
+    budget: dict[_Entry, int] = {}
+    for entry in entries:
+        budget[entry] = budget.get(entry, 0) + 1
+    fresh: list[Finding] = []
+    for finding in sorted(findings):
+        key = _identity(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(finding)
+    stale = sorted(
+        entry for entry, remaining in budget.items() for _ in range(remaining)
+    )
+    return fresh, stale

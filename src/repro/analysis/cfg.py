@@ -1,0 +1,464 @@
+"""Intraprocedural control-flow graphs over ``ast`` function bodies.
+
+The per-node lint rules of :mod:`repro.analysis.rules` see one statement
+at a time; the resource/concurrency family (RES/CON, DESIGN.md section
+14) needs *paths* — "is there a way from this ``SharedMemory`` acquisition
+to the function's exit that skips ``unlink()``?".  This module builds the
+graph those rules walk.
+
+Shape of the graph
+------------------
+
+* A :class:`Block` holds a run of simple statements.  Compound statements
+  (``if``/``while``/``for``/``with``/``try``) contribute their *header
+  node* to the block where they start; their bodies live in successor
+  blocks.  Dataflow clients must therefore interpret only the header when
+  they see an ``ast.If``/``ast.With``/... in a block (for ``with`` that
+  means the ``items``; bodies are walked via edges).
+* Every :class:`CFG` has three distinguished empty blocks: ``entry``,
+  ``exit`` (normal completion and ``return``) and ``raise_exit`` (an
+  exception escaping the function).
+* Edges carry a ``kind`` tag (``next``, ``true``, ``false``, ``loop``,
+  ``break``, ``continue``, ``except``, ``finally``, ``return``,
+  ``raise``) — purely informational except for ``except``, which dataflow
+  engines treat specially (the exception may occur at *any* statement of
+  the source block, so the edge carries the join over the block's
+  intermediate states, see :mod:`repro.analysis.dataflow`).
+
+Compromises (documented, deliberate)
+------------------------------------
+
+* A ``finally`` suite is built **once** and shared by every completion of
+  its ``try`` (normal, ``return``, ``raise``, ``break``, ``continue``):
+  the paths merge through it and fan back out.  This over-approximates
+  (a state can appear to flow from one completion to another's target),
+  which for may-leak analyses errs toward reporting.
+* Statements lexically inside a ``try`` that has handlers or a
+  ``finally`` are marked :attr:`Block.protected`.  Exception edges are
+  added from every block of a protected ``try`` body to each handler;
+  *unprotected* statements get no implicit exception edges — clients that
+  care about exceptions escaping the function (the RES001 acquisition
+  window) test :attr:`Block.protected` themselves.
+* ``while True:`` (any constant-true test) gets no false edge, so code
+  after an escape-only loop is not spuriously reachable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, NamedTuple
+
+__all__ = ["Block", "CFG", "Edge", "build_cfg", "function_cfgs"]
+
+#: Edge kinds, for reference and reporters.
+EDGE_KINDS = (
+    "next",
+    "true",
+    "false",
+    "loop",
+    "break",
+    "continue",
+    "except",
+    "finally",
+    "return",
+    "raise",
+)
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+class Edge(NamedTuple):
+    """One directed CFG edge."""
+
+    dest: "Block"
+    kind: str
+
+
+class Block:
+    """A straight-line run of statements with tagged successor edges."""
+
+    def __init__(self, block_id: int, *, protected: bool = False) -> None:
+        self.id = block_id
+        self.statements: list[ast.stmt] = []
+        self.edges: list[Edge] = []
+        #: True when the block sits inside a ``try`` with handlers or a
+        #: ``finally`` — an exception raised here stays in the function.
+        self.protected = protected
+
+    def successors(self) -> list["Block"]:
+        """Successor blocks, edge order, duplicates removed."""
+        seen: list[Block] = []
+        for edge in self.edges:
+            if edge.dest not in seen:
+                seen.append(edge.dest)
+        return seen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = [f"{edge.kind}->{edge.dest.id}" for edge in self.edges]
+        return f"<Block {self.id} stmts={len(self.statements)} {kinds}>"
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, function: FunctionNode, qualname: str) -> None:
+        self.function = function
+        self.qualname = qualname
+        self.blocks: list[Block] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+        self.raise_exit = self.new_block()
+
+    def new_block(self, *, protected: bool = False) -> Block:
+        block = Block(len(self.blocks), protected=protected)
+        self.blocks.append(block)
+        return block
+
+    def reachable_blocks(self) -> list[Block]:
+        """Blocks reachable from ``entry``, in discovery (DFS) order."""
+        seen: set[int] = set()
+        order: list[Block] = []
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            if block.id in seen:
+                continue
+            seen.add(block.id)
+            order.append(block)
+            for edge in reversed(block.edges):
+                stack.append(edge.dest)
+        return order
+
+    def describe(self) -> str:
+        """A stable multi-line text rendering (used by the golden tests).
+
+        One line per reachable block::
+
+            B0[entry] -> next:B3
+            B3 'seg = ...' -> true:B4 false:B1[exit]
+
+        Statements render as their first source line's
+        ``ast.dump``-independent summary (the node type plus line), so the
+        goldens do not depend on unparse details.
+        """
+        labels = {self.exit.id: "[exit]", self.raise_exit.id: "[raise]"}
+        labels[self.entry.id] = "[entry]"
+        lines = []
+        for block in self.reachable_blocks():
+            label = labels.get(block.id, "")
+            stmts = ",".join(
+                type(statement).__name__ for statement in block.statements
+            )
+            edges = " ".join(
+                f"{edge.kind}:B{edge.dest.id}" for edge in block.edges
+            )
+            protected = " protected" if block.protected else ""
+            lines.append(
+                f"B{block.id}{label}({stmts}){protected} -> {edges}".rstrip()
+            )
+        return "\n".join(lines)
+
+
+class _Frame(NamedTuple):
+    """One enclosing loop: where ``continue`` and ``break`` go, plus the
+    finally-stack depth at loop entry (jumps drain finallys below it)."""
+
+    continue_target: Block
+    break_target: Block
+    finally_depth: int
+
+
+class _Finally(NamedTuple):
+    """One enclosing ``finally`` suite (shared entry/exit blocks)."""
+
+    entry: Block
+    exit: Block
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+class _Builder:
+    """Builds one function's CFG with a single statement-list walk."""
+
+    def __init__(self, function: FunctionNode, qualname: str) -> None:
+        self.cfg = CFG(function, qualname)
+        self.current: Block | None = None
+        self.loops: list[_Frame] = []
+        self.finallys: list[_Finally] = []
+        #: Nesting depth of try statements that keep exceptions in the
+        #: function (handlers or finally) — new blocks copy this.
+        self.protected_depth = 0
+
+    # --- plumbing -----------------------------------------------------------
+
+    def _new_block(self) -> Block:
+        return self.cfg.new_block(protected=self.protected_depth > 0)
+
+    def _link(self, src: Block, dst: Block, kind: str) -> None:
+        edge = Edge(dst, kind)
+        if edge not in src.edges:
+            src.edges.append(edge)
+
+    def _start_block(self, preds: list[tuple[Block, str]]) -> Block:
+        block = self._new_block()
+        for pred, kind in preds:
+            self._link(pred, block, kind)
+        return block
+
+    def _jump(self, target: Block, kind: str, *, depth: int = 0) -> None:
+        """Route ``current`` to *target* through enclosing finallys.
+
+        *depth* is the finally-stack depth of the target: a ``return``
+        drains every finally (depth 0-from-bottom means all); ``break``/
+        ``continue`` drain only finallys entered inside the loop.
+        """
+        if self.current is None:
+            return
+        chain = self.finallys[depth:]
+        src = self.current
+        if not chain:
+            self._link(src, target, kind)
+        else:
+            self._link(src, chain[-1].entry, "finally")
+            for inner, outer in zip(chain[::-1], chain[-2::-1]):
+                self._link(inner.exit, outer.entry, "finally")
+            self._link(chain[0].exit, target, kind)
+        self.current = None
+
+    # --- statement dispatch -------------------------------------------------
+
+    def build(self) -> CFG:
+        body_entry = self._start_block([(self.cfg.entry, "next")])
+        self.current = body_entry
+        self._walk(self.cfg.function.body)
+        if self.current is not None:
+            self._link(self.current, self.cfg.exit, "next")
+        return self.cfg
+
+    def _walk(self, statements: list[ast.stmt]) -> None:
+        for statement in statements:
+            if self.current is None:
+                # Unreachable code after a jump: park it in a fresh block
+                # with no predecessors so the walk stays total.
+                self.current = self._new_block()
+            handler = _DISPATCH.get(type(statement))
+            if handler is None:
+                self.current.statements.append(statement)
+            else:
+                handler(self, statement)
+
+    def _handle_return(self, statement: ast.stmt) -> None:
+        assert self.current is not None
+        self.current.statements.append(statement)
+        self._jump(self.cfg.exit, "return")
+
+    def _handle_raise(self, statement: ast.stmt) -> None:
+        assert self.current is not None
+        self.current.statements.append(statement)
+        # A raise may be caught by an enclosing handler (edges from the
+        # protected region already point there); it may also escape.
+        self._jump(self.cfg.raise_exit, "raise")
+
+    def _handle_break(self, statement: ast.stmt) -> None:
+        assert self.current is not None
+        self.current.statements.append(statement)
+        if self.loops:
+            frame = self.loops[-1]
+            self._jump(frame.break_target, "break", depth=frame.finally_depth)
+        else:  # pragma: no cover - syntactically invalid input
+            self.current = None
+
+    def _handle_continue(self, statement: ast.stmt) -> None:
+        assert self.current is not None
+        self.current.statements.append(statement)
+        if self.loops:
+            frame = self.loops[-1]
+            self._jump(
+                frame.continue_target, "continue", depth=frame.finally_depth
+            )
+        else:  # pragma: no cover - syntactically invalid input
+            self.current = None
+
+    def _handle_if(self, statement: ast.stmt) -> None:
+        assert isinstance(statement, ast.If)
+        assert self.current is not None
+        self.current.statements.append(statement)
+        header = self.current
+        after = self._new_block()
+        then_entry = self._start_block([(header, "true")])
+        self.current = then_entry
+        self._walk(statement.body)
+        if self.current is not None:
+            self._link(self.current, after, "next")
+        if statement.orelse:
+            else_entry = self._start_block([(header, "false")])
+            self.current = else_entry
+            self._walk(statement.orelse)
+            if self.current is not None:
+                self._link(self.current, after, "next")
+        else:
+            self._link(header, after, "false")
+        self.current = after
+
+    def _handle_loop(self, statement: ast.stmt) -> None:
+        assert isinstance(statement, (ast.While, ast.For, ast.AsyncFor))
+        assert self.current is not None
+        header = self._start_block([(self.current, "next")])
+        header.statements.append(statement)
+        after = self._new_block()
+        body_entry = self._start_block([(header, "true")])
+        escape_only = isinstance(statement, ast.While) and _is_constant_true(
+            statement.test
+        )
+        self.loops.append(_Frame(header, after, len(self.finallys)))
+        self.current = body_entry
+        self._walk(statement.body)
+        if self.current is not None:
+            self._link(self.current, header, "loop")
+        self.loops.pop()
+        if statement.orelse:
+            else_entry = (
+                self._new_block()
+                if escape_only
+                else self._start_block([(header, "false")])
+            )
+            self.current = else_entry
+            self._walk(statement.orelse)
+            if self.current is not None:
+                self._link(self.current, after, "next")
+        elif not escape_only:
+            self._link(header, after, "false")
+        self.current = after
+
+    def _handle_with(self, statement: ast.stmt) -> None:
+        assert isinstance(statement, (ast.With, ast.AsyncWith))
+        assert self.current is not None
+        self.current.statements.append(statement)
+        body_entry = self._start_block([(self.current, "next")])
+        self.current = body_entry
+        self._walk(statement.body)
+        # Fall through: __exit__ runs on every path, but the with itself
+        # adds no branching; exceptions propagate as usual.
+
+    def _handle_try(self, statement: ast.stmt) -> None:
+        assert isinstance(statement, ast.Try)
+        assert self.current is not None
+        self.current.statements.append(statement)
+        header = self.current
+        after = self._new_block()
+        has_finally = bool(statement.finalbody)
+        has_handlers = bool(statement.handlers)
+
+        finally_frame: _Finally | None = None
+        if has_finally:
+            # Build the shared finally suite first so abrupt jumps inside
+            # the body can route through it.
+            finally_entry = self._new_block()
+            saved = self.current
+            self.current = finally_entry
+            self._walk(statement.finalbody)
+            finally_tail = self.current if self.current is not None else (
+                self._new_block()
+            )
+            finally_frame = _Finally(finally_entry, finally_tail)
+            self.finallys.append(finally_frame)
+            self.current = saved
+
+        if has_handlers or has_finally:
+            self.protected_depth += 1
+        body_start = len(self.cfg.blocks)
+        body_entry = self._start_block([(header, "next")])
+        self.current = body_entry
+        self._walk(statement.body)
+        body_end = self.current
+        body_blocks = self.cfg.blocks[body_start : len(self.cfg.blocks)]
+        if has_handlers or has_finally:
+            self.protected_depth -= 1
+
+        # else: runs only after the body completes normally; exceptions
+        # there are NOT covered by this try's handlers.
+        if statement.orelse and body_end is not None:
+            self.current = self._start_block([(body_end, "next")])
+            self._walk(statement.orelse)
+            body_end = self.current
+
+        handler_entries: list[Block] = []
+        for handler in statement.handlers:
+            entry = self._new_block()
+            entry.statements.append(handler)  # ExceptHandler header node
+            handler_entries.append(entry)
+            self.current = entry
+            self._walk(handler.body)
+            if self.current is not None:
+                if finally_frame is not None:
+                    self._link(self.current, finally_frame.entry, "finally")
+                    self._link(finally_frame.exit, after, "next")
+                else:
+                    self._link(self.current, after, "next")
+            self.current = None
+
+        # The exception can surface at any block of the protected body.
+        for block in body_blocks:
+            for entry in handler_entries:
+                self._link(block, entry, "except")
+            if not has_handlers and finally_frame is not None:
+                # finally-only try: the exception runs the finally, then
+                # keeps propagating.
+                self._link(block, finally_frame.entry, "except")
+
+        if finally_frame is not None:
+            self.finallys.pop()
+            self._link(finally_frame.exit, self.cfg.raise_exit, "raise")
+            if body_end is not None:
+                self._link(body_end, finally_frame.entry, "finally")
+                self._link(finally_frame.exit, after, "next")
+        elif body_end is not None:
+            self._link(body_end, after, "next")
+        self.current = after
+
+
+_DISPATCH = {
+    ast.Return: _Builder._handle_return,
+    ast.Raise: _Builder._handle_raise,
+    ast.Break: _Builder._handle_break,
+    ast.Continue: _Builder._handle_continue,
+    ast.If: _Builder._handle_if,
+    ast.While: _Builder._handle_loop,
+    ast.For: _Builder._handle_loop,
+    ast.AsyncFor: _Builder._handle_loop,
+    ast.With: _Builder._handle_with,
+    ast.AsyncWith: _Builder._handle_with,
+    ast.Try: _Builder._handle_try,
+}
+
+
+def build_cfg(function: FunctionNode, qualname: str | None = None) -> CFG:
+    """The CFG of one ``ast`` function definition."""
+    return _Builder(function, qualname or function.name).build()
+
+
+def _functions(
+    tree: ast.AST, scope: tuple[str, ...] = ()
+) -> Iterator[tuple[str, FunctionNode]]:
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = ".".join(scope + (node.name,))
+            yield qualname, node
+            yield from _functions(node, scope + (node.name,))
+        elif isinstance(node, ast.ClassDef):
+            yield from _functions(node, scope + (node.name,))
+
+
+def function_cfgs(tree: ast.Module) -> dict[str, CFG]:
+    """``{qualname: CFG}`` for every function/method in a module tree.
+
+    Qualnames join nested scopes with dots (``Class.method``,
+    ``outer.inner``); duplicate names keep the last definition, matching
+    runtime semantics.
+    """
+    return {
+        qualname: build_cfg(function, qualname)
+        for qualname, function in _functions(tree)
+    }

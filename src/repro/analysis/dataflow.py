@@ -1,0 +1,141 @@
+"""A forward dataflow engine over :mod:`repro.analysis.cfg` graphs.
+
+The engine is deliberately small: states are immutable mappings from
+client-chosen string keys (variable names, dotted ``root.attr`` paths) to
+frozensets of abstract facts; the join is per-key set union; transfer is
+supplied per *statement* by the client.  That combination has two useful
+properties for lint-grade analyses:
+
+* it is a **may**-analysis — after a join, a fact is present if it held
+  on *any* inflowing path, which is the right direction for leak checks
+  ("may still be acquired at exit"); and
+* it terminates — facts are drawn from a finite alphabet and keys from
+  the finite set of names the function assigns, so the per-block states
+  grow monotonically to a fixpoint.
+
+Exception edges (kind ``except``) are treated specially: the exception
+may occur at *any* statement of the source block, so the state propagated
+along them is the join over every intermediate state of the block
+(including its entry state), not just the block's final state.  For a
+may-analysis this only adds possibilities, keeping the handler view
+sound.
+
+Clients observe the run through :class:`TransferClient`: ``transfer``
+rewrites the state per statement, and the optional ``observe`` hook sees
+every (statement, pre-state, post-state, block) tuple — the RES001
+"acquisition window" check lives there, because "would a raise at this
+call leak?" is a per-statement question, not a per-edge one.  ``observe``
+runs on every fixpoint iteration; clients must collect findings into sets
+keyed by source location so re-visits deduplicate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+from repro.analysis.cfg import CFG, Block
+
+__all__ = ["State", "TransferClient", "join_states", "run_forward"]
+
+#: One dataflow state: key -> set of facts.  Missing key = untracked.
+State = Mapping[str, frozenset[str]]
+
+#: The empty state.
+EMPTY_STATE: State = {}
+
+
+def join_states(left: State, right: State) -> State:
+    """Per-key union of two states (the lattice join)."""
+    if not left:
+        return right
+    if not right:
+        return left
+    merged: dict[str, frozenset[str]] = dict(left)
+    for key, facts in right.items():
+        existing = merged.get(key)
+        merged[key] = facts if existing is None else existing | facts
+    return merged
+
+
+class TransferClient:
+    """What a concrete analysis implements.
+
+    ``transfer`` must be pure (same statement + state -> same state);
+    ``observe`` may accumulate findings but must be idempotent per
+    (statement, state) pair because the engine revisits blocks until the
+    fixpoint settles.
+    """
+
+    def initial_state(self, cfg: CFG) -> State:
+        """The state on entry to the function."""
+        return EMPTY_STATE
+
+    def transfer(self, statement: ast.stmt, state: State) -> State:
+        """The state after *statement* executes normally."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def observe(
+        self,
+        statement: ast.stmt,
+        before: State,
+        after: State,
+        block: Block,
+    ) -> None:
+        """Called for every statement visit (including re-visits)."""
+
+
+def _states_equal(left: State, right: State) -> bool:
+    if len(left) != len(right):
+        return False
+    for key, facts in left.items():
+        if right.get(key) != facts:
+            return False
+    return True
+
+
+def run_forward(
+    cfg: CFG, client: TransferClient, *, max_iterations: int = 10_000
+) -> dict[int, State]:
+    """Run *client* to fixpoint; returns the entry state per block id.
+
+    The returned mapping covers every block the worklist reached
+    (unreachable blocks are absent).  ``cfg.exit`` / ``cfg.raise_exit``
+    entries are the states a leak check inspects.
+
+    *max_iterations* bounds total block visits as a defence against a
+    non-monotone client; hitting it raises ``RuntimeError`` rather than
+    silently under-approximating.
+    """
+    entry_states: dict[int, State] = {cfg.entry.id: client.initial_state(cfg)}
+    worklist: list[Block] = [cfg.entry]
+    visits = 0
+    while worklist:
+        visits += 1
+        if visits > max_iterations:
+            raise RuntimeError(
+                f"dataflow did not converge in {max_iterations} visits "
+                f"({cfg.qualname})"
+            )
+        block = worklist.pop(0)
+        state = entry_states[block.id]
+        intermediate = [state]
+        for statement in block.statements:
+            after = client.transfer(statement, state)
+            client.observe(statement, state, after, block)
+            state = after
+            intermediate.append(state)
+        exceptional = intermediate[0]
+        for snapshot in intermediate[1:]:
+            exceptional = join_states(exceptional, snapshot)
+        for dest, kind in block.edges:
+            incoming = exceptional if kind == "except" else state
+            known = entry_states.get(dest.id)
+            merged = (
+                incoming if known is None else join_states(known, incoming)
+            )
+            if known is None or not _states_equal(known, merged):
+                entry_states[dest.id] = merged
+                if dest not in worklist:
+                    worklist.append(dest)
+    return entry_states

@@ -4,13 +4,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Recognized severities, strongest first.  ``error`` findings gate CI;
+#: ``warning`` findings (the suppression audit) inform but still fail an
+#: unbaselined run so they cannot silently accumulate.
+SEVERITIES = ("error", "warning")
+
 
 @dataclass(frozen=True, order=True)
 class Finding:
     """One lint finding, anchored to a source location.
 
     Ordering is (path, line, col, code) so reporter output is stable
-    regardless of rule evaluation order.
+    regardless of rule evaluation order; ``severity`` participates last
+    and defaults to ``error`` so pre-severity call sites are unchanged.
     """
 
     path: str
@@ -18,7 +24,13 @@ class Finding:
     col: int
     code: str
     message: str
+    severity: str = "error"
 
     def render(self) -> str:
-        """The conventional one-line ``path:line:col: CODE message`` form."""
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        """The conventional one-line ``path:line:col: CODE message`` form
+        (warnings carry an explicit ``warning:`` tag)."""
+        tag = "" if self.severity == "error" else f"{self.severity}: "
+        return (
+            f"{self.path}:{self.line}:{self.col}: {tag}{self.code} "
+            f"{self.message}"
+        )

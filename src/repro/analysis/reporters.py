@@ -35,14 +35,16 @@ def render_json(findings: Sequence[Finding]) -> str:
           "version": 1,
           "counts": {"DET001": 2, ...},
           "findings": [
-            {"path": ..., "line": ..., "col": ..., "code": ..., "message": ...},
+            {"path": ..., "line": ..., "col": ..., "code": ...,
+             "message": ..., "severity": "error" | "warning"},
             ...
           ]
         }
 
     Findings are sorted by (path, line, col, code); ``counts`` is keyed
     by rule code.  The schema is covered by tests — CI consumers may
-    rely on it.
+    rely on it.  (``severity`` was added by the dataflow-analyzer PR as
+    a compatible extension, so the version stays 1.)
     """
     ordered = sorted(findings)
     counts: dict[str, int] = {}
@@ -58,6 +60,7 @@ def render_json(findings: Sequence[Finding]) -> str:
                 "col": finding.col,
                 "code": finding.code,
                 "message": finding.message,
+                "severity": finding.severity,
             }
             for finding in ordered
         ],

@@ -2,7 +2,10 @@
 
 A rule subclasses :class:`Rule`, declares a unique ``code``, the AST
 node types it wants to see, and yields findings from :meth:`Rule.visit`.
-Registration happens through :func:`register_rule`, which keeps
+Rules that need whole-program facts (control-flow paths, the call graph,
+suppression usage) override :meth:`Rule.finish`, which runs once per
+lint run with a :class:`~repro.analysis.program.Program`.  Registration
+happens through :func:`register_rule`, which keeps
 :data:`RULE_REGISTRY` (code -> rule class) that the engine, the CLI and
 the documentation all read.
 
@@ -11,10 +14,16 @@ Catalog:
 ========  ==================================================================
 DET001    wall-clock / unseeded randomness on simulation paths
 DET002    iteration over unordered sets on simulation paths
+DET003    sim-scoped call transitively reaching wall clock / global RNG
 TEL001    unbounded metric label cardinality
 API001    mutable default argument
 API002    in-repo call to a deprecated DPIController lifecycle shim
 KER001    scan-kernel public method outside the kernel contract surface
+RES001    resource acquisition with an exit path that skips release
+RES002    resource escapes to an attribute with no owning teardown
+CON001    thread/lock/fed-queue state live before a fork Process start
+CON002    queue protocol violation (put/get after close, double close)
+NOQ001    ``# repro: noqa`` comment that suppresses nothing (warning)
 PARSE001  (engine-emitted) unparseable module
 ========  ==================================================================
 """
@@ -24,10 +33,12 @@ from __future__ import annotations
 import ast
 from typing import TYPE_CHECKING, Iterator, Type
 
+from repro.analysis.astutil import dotted_name
 from repro.analysis.findings import Finding
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.analysis.engine import LintContext
+    from repro.analysis.program import Program
 
 #: Every registered rule class, keyed by code.
 RULE_REGISTRY: dict[str, Type["Rule"]] = {}
@@ -39,12 +50,20 @@ class Rule:
     Subclasses set :attr:`code` (stable identifier, used in reports and
     ``# repro: noqa[CODE]`` suppressions), :attr:`summary` (one line for
     the catalog) and :attr:`node_types` (the AST node classes the engine
-    dispatches to :meth:`visit`).
+    dispatches to :meth:`visit`).  Project-phase rules override
+    :meth:`finish` instead of (or as well as) :meth:`visit`;
+    :attr:`finish_priority` orders the phase (NOQ001 runs last, after
+    every other rule's findings have marked their suppressions used) and
+    :attr:`suppressible` is cleared by rules whose findings must not be
+    noqa'd away (the suppression audit itself).
     """
 
     code: str = ""
     summary: str = ""
     node_types: tuple[type[ast.AST], ...] = ()
+    severity: str = "error"
+    finish_priority: int = 0
+    suppressible: bool = True
 
     def prepare(self, context: "LintContext") -> None:
         """Called once per module before the walk; collect module facts."""
@@ -53,6 +72,10 @@ class Rule:
         """Yield findings for one dispatched node."""
         raise NotImplementedError
         yield  # pragma: no cover - makes every override a generator
+
+    def finish(self, program: "Program") -> Iterator[Finding]:
+        """Yield findings once per lint run, after every module's walk."""
+        return iter(())
 
 
 def register_rule(cls: Type[Rule]) -> Type[Rule]:
@@ -64,19 +87,6 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
         raise ValueError(f"duplicate rule code {cls.code!r}")
     RULE_REGISTRY[cls.code] = cls
     return cls
-
-
-def dotted_name(node: ast.AST) -> str | None:
-    """``a.b.c`` for a Name/Attribute chain, or None for anything else."""
-    parts: list[str] = []
-    current = node
-    while isinstance(current, ast.Attribute):
-        parts.append(current.attr)
-        current = current.value
-    if not isinstance(current, ast.Name):
-        return None
-    parts.append(current.id)
-    return ".".join(reversed(parts))
 
 
 def default_rules() -> list[Rule]:
@@ -96,7 +106,10 @@ __all__ = [
 # Rule/register_rule exist because each module imports them from here.
 from repro.analysis.rules import (  # noqa: E402,F401
     api,
+    concurrency,
     determinism,
     kernel,
+    resources,
+    suppressions,
     telemetry,
 )

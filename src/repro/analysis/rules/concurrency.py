@@ -1,0 +1,258 @@
+"""Concurrency rules: CON001 (fork-unsafe state before a Process start)
+and CON002 (multiprocessing queue protocol violations).
+
+Both are path problems, so both run as forward dataflow clients over the
+per-function CFGs rather than per-node visitors:
+
+* **CON001** — the zerocopy pool starts its workers with the ``fork``
+  start method, so a child inherits a snapshot of the parent at the
+  moment of ``Process.start()``.  Threads do not survive the fork (their
+  locks can be copied *held*), ``threading`` locks copied mid-acquire
+  deadlock the child, and a ``multiprocessing.Queue`` that has been
+  ``put()`` to has a live feeder thread whose buffered items the child
+  never sees.  Creating queues before the fork is the normal inheritance
+  pattern and stays clean — only *feeding* them, starting threads or
+  creating threading locks taints the state.
+* **CON002** — after ``close()`` (or on a second ``close()``), a
+  multiprocessing queue raises at best and corrupts the feeder at worst.
+  The client tracks the close point per path so a ``close()`` inside a
+  loop (re-executed on the back edge) is not mistaken for a double
+  close.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.dataflow import State, TransferClient, run_forward
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register_rule
+from repro.analysis.rules.resources import _calls_in
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.analysis.program import Program
+
+#: Constructors whose result is a multiprocessing-style queue.  A bare
+#: ``queue.Queue`` (thread queue, no feeder process) is excluded by its
+#: ``queue.`` root.
+_QUEUE_CONSTRUCTORS = frozenset({"Queue", "JoinableQueue", "SimpleQueue"})
+
+#: ``threading`` synchronization constructors that are fork hazards.
+_LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Barrier"}
+)
+
+#: Pseudo-key carrying accumulated fork-taint descriptions.
+_TAINT = "<fork taint>"
+
+
+def _constructor_kind(call: ast.Call) -> str | None:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    parts = name.split(".")
+    trailing = parts[-1]
+    if trailing == "Process":
+        return "process"
+    if trailing == "Thread":
+        return "thread"
+    if trailing in _QUEUE_CONSTRUCTORS and parts[0] != "queue":
+        return "queue"
+    return None
+
+
+def _is_threading_lock(call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    if name is None:
+        return False
+    parts = name.split(".")
+    return (
+        len(parts) == 2
+        and parts[0] == "threading"
+        and parts[1] in _LOCK_CONSTRUCTORS
+    )
+
+
+class _ForkSafetyClient(TransferClient):
+    """CON001: taints fork-unsafe state, checks it at Process starts."""
+
+    def __init__(self) -> None:
+        #: (line, col) -> (anchor node, taint description)
+        self.findings: dict[tuple[int, int], tuple[ast.AST, str]] = {}
+
+    def transfer(self, statement: ast.stmt, state: State) -> State:
+        if isinstance(statement, ast.Assign) and isinstance(
+            statement.value, ast.Call
+        ):
+            kind = _constructor_kind(statement.value)
+            if kind is not None:
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        state = {**state, target.id: frozenset((kind,))}
+        for call in _calls_in(statement):
+            state = self._call_effect(call, state)
+        return state
+
+    def _taint(self, state: State, description: str) -> State:
+        existing = state.get(_TAINT, frozenset())
+        return {**state, _TAINT: existing | {description}}
+
+    def _receiver_kind(self, call: ast.Call, state: State) -> tuple[str, str] | None:
+        """(receiver description, kind) for ``x.method()`` calls."""
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        value = call.func.value
+        if isinstance(value, ast.Call):
+            kind = _constructor_kind(value)
+            if kind is not None:
+                return (dotted_name(value.func) or "<anonymous>", kind)
+            return None
+        receiver = dotted_name(value)
+        if receiver is None:
+            return None
+        facts = state.get(receiver)
+        for kind in ("process", "thread", "queue"):
+            if facts is not None and kind in facts:
+                return (receiver, kind)
+        return None
+
+    def _call_effect(self, call: ast.Call, state: State) -> State:
+        if _is_threading_lock(call):
+            return self._taint(
+                state,
+                f"a threading lock is created at line {call.lineno}",
+            )
+        if not isinstance(call.func, ast.Attribute):
+            return state
+        described = self._receiver_kind(call, state)
+        if described is None:
+            return state
+        receiver, kind = described
+        attr = call.func.attr
+        if attr == "start" and kind == "thread":
+            return self._taint(
+                state,
+                f"thread '{receiver}' is started at line {call.lineno}",
+            )
+        if attr in ("put", "put_nowait") and kind == "queue":
+            return self._taint(
+                state,
+                f"queue '{receiver}' is fed at line {call.lineno} "
+                "(its feeder thread is live)",
+            )
+        if attr == "start" and kind == "process":
+            taints = state.get(_TAINT, frozenset())
+            if taints:
+                position = (call.lineno, call.col_offset)
+                self.findings.setdefault(
+                    position, (call, min(sorted(taints)))
+                )
+        return state
+
+
+@register_rule
+class ForkSafetyRule(Rule):
+    """CON001: no live thread/lock/fed-queue state at a fork start."""
+
+    code = "CON001"
+    summary = (
+        "Process.start() is reachable while a thread is running, a "
+        "threading lock exists or a multiprocessing queue has been fed — "
+        "fork-unsafe parent state"
+    )
+
+    def finish(self, program: "Program") -> Iterator[Finding]:
+        for context in program.contexts:
+            for qualname, cfg in sorted(program.cfgs_for(context).items()):
+                client = _ForkSafetyClient()
+                run_forward(cfg, client)
+                for _, (anchor, taint) in sorted(client.findings.items()):
+                    yield context.finding(
+                        anchor,
+                        self.code,
+                        f"Process.start() in {qualname}() while fork-unsafe "
+                        f"state is live: {taint}; start worker processes "
+                        "before creating threads/locks or feeding queues",
+                    )
+
+
+class _QueueProtocolClient(TransferClient):
+    """CON002: put/get after close, double close."""
+
+    _USES = ("put", "put_nowait", "get", "get_nowait")
+
+    def __init__(self) -> None:
+        #: (line, col, what) -> (anchor node, message)
+        self.findings: dict[tuple[int, int, str], tuple[ast.AST, str]] = {}
+
+    def transfer(self, statement: ast.stmt, state: State) -> State:
+        if isinstance(statement, ast.Assign) and isinstance(
+            statement.value, ast.Call
+        ):
+            if _constructor_kind(statement.value) == "queue":
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        state = {**state, target.id: frozenset(("queue",))}
+        for call in _calls_in(statement):
+            state = self._call_effect(call, state)
+        return state
+
+    def _call_effect(self, call: ast.Call, state: State) -> State:
+        if not isinstance(call.func, ast.Attribute):
+            return state
+        receiver = dotted_name(call.func.value)
+        if receiver is None:
+            return state
+        facts = state.get(receiver)
+        if facts is None or "queue" not in facts:
+            return state
+        attr = call.func.attr
+        closed = sorted(f for f in facts if f.startswith("closed@"))
+        here = f"closed@{call.lineno}:{call.col_offset}"
+        if attr == "close":
+            # The same statement revisited on a loop back edge is not a
+            # double close; a *different* close site is.
+            if any(mark != here for mark in closed):
+                self.findings.setdefault(
+                    (call.lineno, call.col_offset, "double-close"),
+                    (
+                        call,
+                        f"queue '{receiver}' is closed again here; it is "
+                        f"already {closed[0].replace('@', ' at line ')} "
+                        "on some path",
+                    ),
+                )
+            return {**state, receiver: facts | {here}}
+        if attr in self._USES and closed:
+            self.findings.setdefault(
+                (call.lineno, call.col_offset, attr),
+                (
+                    call,
+                    f"{attr}() on queue '{receiver}' after close() "
+                    f"({closed[0].replace('@', ' at line ')}) on some path",
+                ),
+            )
+        return state
+
+
+@register_rule
+class QueueProtocolRule(Rule):
+    """CON002: multiprocessing queue use must respect close/join order."""
+
+    code = "CON002"
+    summary = (
+        "a multiprocessing queue is put()/get() after close(), or closed "
+        "twice, on some control-flow path"
+    )
+
+    def finish(self, program: "Program") -> Iterator[Finding]:
+        for context in program.contexts:
+            for qualname, cfg in sorted(program.cfgs_for(context).items()):
+                client = _QueueProtocolClient()
+                run_forward(cfg, client)
+                for _, (anchor, message) in sorted(client.findings.items()):
+                    yield context.finding(
+                        anchor, self.code, f"{message} (in {qualname}())"
+                    )

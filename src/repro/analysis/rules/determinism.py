@@ -19,6 +19,7 @@ from repro.analysis.rules import Rule, dotted_name, register_rule
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.analysis.engine import LintContext
+    from repro.analysis.program import Program
 
 #: Wall-clock call targets.  ``time.perf_counter``/``time.monotonic`` are
 #: deliberately allowed: they measure *durations* for telemetry and never
@@ -214,3 +215,50 @@ class UnorderedIterationRule(Rule):
             message = self._flags(iter_expr)
             if message is not None:
                 yield context.finding(iter_expr, self.code, message)
+
+
+@register_rule
+class TransitiveNondeterminismRule(Rule):
+    """DET003: sim-scoped calls must not *transitively* reach the wall
+    clock or the global RNG.
+
+    DET001 flags the direct call inside the offending helper; this rule
+    flags every sim-scoped **call site** whose target reaches a sink
+    through any chain of program functions (same module or across
+    modules, via the lint run's call graph).  Direct sink calls are left
+    to DET001 so each line carries exactly one code.
+    """
+
+    code = "DET003"
+    summary = (
+        "a sim-scoped call transitively reaches the wall clock or the "
+        "global random module through helper functions"
+    )
+
+    def finish(self, program: "Program") -> Iterator[Finding]:
+        sinks = _WALL_CLOCK_CALLS | _GLOBAL_RNG_CALLS
+        graph = program.call_graph
+        reaches = graph.transitive_reach(lambda name: name in sinks)
+        contexts = {context.module: context for context in program.contexts}
+        for qualname, info in sorted(graph.functions.items()):
+            context = contexts.get(info.module)
+            if context is None or not context.in_sim_scope:
+                continue
+            for site in info.calls:
+                target = site.target
+                if target is None or target == qualname:
+                    continue
+                if site.raw in sinks or target in sinks:
+                    continue  # direct sink: DET001's finding
+                if target not in reaches or target not in graph.functions:
+                    continue
+                reach = reaches[target]
+                hop = f" via {reach.via}()" if reach.via else ""
+                label = site.raw or target
+                yield context.finding(
+                    site.node,
+                    self.code,
+                    f"{label}() transitively reaches {reach.sink}(){hop}; "
+                    "simulation paths must use the simulator clock and "
+                    "seeded RNG instances",
+                )

@@ -1,0 +1,604 @@
+"""Resource-lifecycle rules: RES001 (leaky exit path), RES002 (unowned
+escape).
+
+The sharded/zerocopy stack (PRs 5-7) acquires real operating-system
+resources — ``multiprocessing.shared_memory`` arenas, fork-context
+worker processes, per-worker queues — at high churn.  The /dev/shm leak
+tests only cover paths the tests thought to exercise; these rules close
+the gap statically by running a forward dataflow over every function's
+CFG (:mod:`repro.analysis.cfg`, :mod:`repro.analysis.dataflow`):
+
+* **RES001** — a locally-acquired resource has a path to the function's
+  exit on which it is neither released (``close``/``unlink``/``join``/
+  ``shutdown``/...), registered with ``weakref.finalize``, handed off
+  (returned, stored into a container/attribute, passed to a callee) nor
+  managed by a ``with`` block.  The rule also checks the *acquisition
+  window*: a call made while a resource is held, outside any
+  ``try``/``finally``, leaks the resource if it raises — that is exactly
+  the "instance crashed mid-provision" churn path the autoscaler
+  exercises.
+* **RES002** — a resource constructor assigned to ``self.<attr>`` in a
+  class none of whose methods ever releases that attribute: the resource
+  escaped the function, but no owner has a teardown for it.
+
+Acquisitions are recognized by constructor name (``SharedMemory``,
+``Process``, ``Pool``, ``Queue``, ``Thread``, ...) and — via the
+module-level call graph — by calls to *resource factories*: functions
+that return a fresh resource, directly or through another factory
+(``_create_segment`` style).  That is what lets ownership facts
+propagate transitively instead of stopping at the first helper.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.callgraph import CallSite
+from repro.analysis.cfg import CFG, Block
+from repro.analysis.dataflow import State, TransferClient, run_forward
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.analysis.engine import LintContext
+    from repro.analysis.program import Program
+
+__all__ = [
+    "ACQUISITION_CONSTRUCTORS",
+    "RELEASE_VERBS",
+    "acquisition_kind",
+    "resource_factories",
+]
+
+#: Trailing constructor name -> resource kind.  Deliberately the
+#: concurrency/shared-memory surface only: file handles and sockets have
+#: reference-count teardown; these do not.
+ACQUISITION_CONSTRUCTORS: dict[str, str] = {
+    "SharedMemory": "shared-memory segment",
+    "Process": "process",
+    "Pool": "process pool",
+    "Queue": "queue",
+    "JoinableQueue": "queue",
+    "SimpleQueue": "queue",
+    "Thread": "thread",
+}
+
+#: Method names that release (or arrange release of) a resource.
+RELEASE_VERBS = frozenset(
+    {
+        "close",
+        "unlink",
+        "join",
+        "join_thread",
+        "shutdown",
+        "terminate",
+        "kill",
+        "stop",
+        "release",
+    }
+)
+
+#: Dataflow facts.
+ACQUIRED = "acquired"
+RELEASED = "released"
+ESCAPED = "escaped"
+
+
+def acquisition_kind(
+    call: ast.Call,
+    sites: dict[int, CallSite] | None = None,
+    factories: frozenset[str] | set[str] = frozenset(),
+) -> str | None:
+    """The resource kind a call acquires, or None.
+
+    Constructor names are matched on the trailing attribute
+    (``context.Process`` and ``multiprocessing.Process`` alike); calls
+    resolving — per the call graph — to a resource factory count as
+    acquisitions of kind ``resource``.
+    """
+    name = dotted_name(call.func)
+    if name is not None:
+        kind = ACQUISITION_CONSTRUCTORS.get(name.rsplit(".", 1)[-1])
+        if kind is not None:
+            return kind
+    if sites:
+        site = sites.get(id(call))
+        if site is not None and site.target in factories:
+            return "resource"
+    return None
+
+
+def _is_direct_acquisition_return(expression: ast.expr, info: object) -> bool:
+    return isinstance(expression, ast.Call) and (
+        acquisition_kind(expression) is not None
+    )
+
+
+def resource_factories(program: "Program") -> frozenset[str]:
+    """Qualnames of functions that return a fresh resource (transitive)."""
+    return frozenset(
+        program.call_graph.returning_functions(_is_direct_acquisition_return)
+    )
+
+
+# --- statement decomposition -------------------------------------------------
+
+
+def _header_exprs(statement: ast.stmt) -> list[ast.AST]:
+    """The expressions a CFG block statement actually evaluates.
+
+    Compound statements appear in blocks as *headers* (their bodies live
+    in successor blocks), so only the header expression may be scanned —
+    walking the whole node would double-count body effects.
+    """
+    if isinstance(statement, (ast.If, ast.While)):
+        return [statement.test]
+    if isinstance(statement, (ast.For, ast.AsyncFor)):
+        return [statement.iter]
+    if isinstance(statement, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in statement.items]
+    if isinstance(statement, ast.Try):
+        return []
+    if isinstance(statement, ast.ExceptHandler):
+        return [statement.type] if statement.type is not None else []
+    return [statement]
+
+
+def _calls_in(statement: ast.stmt) -> list[ast.Call]:
+    return [
+        node
+        for expression in _header_exprs(statement)
+        for node in ast.walk(expression)
+        if isinstance(node, ast.Call)
+    ]
+
+
+def _assigned_names(function: ast.AST) -> set[str]:
+    """Bare names the function body assigns (local object roots)."""
+    names: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+    return names
+
+
+def _param_names(function: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = function.args
+    params = [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+    ]
+    if args.vararg is not None:
+        params.append(args.vararg)
+    if args.kwarg is not None:
+        params.append(args.kwarg)
+    return {param.arg for param in params}
+
+
+# --- the RES001 dataflow client ----------------------------------------------
+
+
+class _Acquisition:
+    """One tracked acquisition site."""
+
+    def __init__(self, key: str, kind: str, node: ast.AST) -> None:
+        self.key = key
+        self.kind = kind
+        self.node = node
+
+
+class _ResourceClient(TransferClient):
+    """Tracks acquired-resource state through one function."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        sites: dict[int, CallSite],
+        factories: frozenset[str],
+    ) -> None:
+        self.cfg = cfg
+        self.sites = sites
+        self.factories = factories
+        function = cfg.function
+        params = _param_names(function)
+        #: Names eligible as tracked roots: assigned locally, not
+        #: parameters (an attribute of a parameter already has an owner).
+        self.local_roots = _assigned_names(function) - params - {"self"}
+        #: key -> first acquisition site (stable across fixpoint visits).
+        self.acquisitions: dict[str, _Acquisition] = {}
+        #: (key, line, col) -> risky call node, for window findings.
+        self.windows: dict[tuple[str, int, int], ast.AST] = {}
+
+    # -- key helpers --------------------------------------------------------
+
+    def _target_key(self, target: ast.expr) -> str | None:
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            name = dotted_name(target)
+            if name is not None and name.split(".", 1)[0] in self.local_roots:
+                return name
+        return None
+
+    def _keys_for_name(self, name: str, state: State) -> set[str]:
+        """Tracked keys a dotted name denotes (itself or as a root)."""
+        found = {key for key in state if key == name}
+        prefix = name + "."
+        found.update(key for key in state if key.startswith(prefix))
+        return found
+
+    def _expr_keys(self, expression: ast.AST, state: State) -> set[str]:
+        """Tracked keys an expression references (itself or as a root)."""
+        name = dotted_name(expression)
+        if name is None:
+            return set()
+        return self._keys_for_name(name, state)
+
+    def _mention_keys(self, expression: ast.AST, state: State) -> set[str]:
+        """Tracked keys an expression *hands off* to a consumer.
+
+        Descends through containers and operators but never into an
+        attribute chain: passing ``seg.name`` (a plain string) mentions
+        ``seg.name``, not the segment itself, so it is not an escape.
+        """
+        found: set[str] = set()
+        stack: list[ast.AST] = [expression]
+        while stack:
+            node = stack.pop()
+            name = dotted_name(node)
+            if name is not None:
+                found |= self._keys_for_name(name, state)
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+        return found
+
+    # -- state edits --------------------------------------------------------
+
+    def _set(self, state: State, key: str, fact: str) -> State:
+        updated = dict(state)
+        updated[key] = frozenset((fact,))
+        return updated
+
+    def _drop_rooted(self, state: State, root: str) -> State:
+        prefix = root + "."
+        return {
+            key: facts
+            for key, facts in state.items()
+            if key != root and not key.startswith(prefix)
+        }
+
+    def _escape(self, state: State, keys: set[str]) -> State:
+        if not keys:
+            return state
+        updated = dict(state)
+        for key in keys:
+            updated[key] = frozenset((ESCAPED,))
+        return updated
+
+    def _acquire(self, state: State, key: str, kind: str, node: ast.AST) -> State:
+        if key not in self.acquisitions:
+            self.acquisitions[key] = _Acquisition(key, kind, node)
+        return self._set(state, key, ACQUIRED)
+
+    # -- transfer -----------------------------------------------------------
+
+    def transfer(self, statement: ast.stmt, state: State) -> State:
+        state = self._transfer_assignment(statement, state)
+        state = self._transfer_calls(statement, state)
+        state = self._transfer_control(statement, state)
+        return state
+
+    def _transfer_assignment(self, statement: ast.stmt, state: State) -> State:
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            # with-managed acquisitions release on every path.
+            for item in statement.items:
+                if (
+                    isinstance(item.context_expr, ast.Call)
+                    and acquisition_kind(
+                        item.context_expr, self.sites, self.factories
+                    )
+                    is not None
+                    and isinstance(item.optional_vars, ast.Name)
+                ):
+                    state = self._set(
+                        state, item.optional_vars.id, RELEASED
+                    )
+            return state
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            for node in ast.walk(statement.target):
+                if isinstance(node, ast.Name):
+                    state = self._drop_rooted(
+                        {
+                            key: facts
+                            for key, facts in state.items()
+                            if key != node.id
+                        },
+                        node.id,
+                    )
+            return state
+        if isinstance(statement, ast.ExceptHandler):
+            if statement.name is not None:
+                state = {
+                    key: facts
+                    for key, facts in state.items()
+                    if key != statement.name
+                }
+            return state
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets = [statement.target]
+            value = statement.value
+        if value is None:
+            return state
+        target_key = None
+        for target in targets:
+            target_key = self._target_key(target)
+            if target_key is not None:
+                break
+        kind = (
+            acquisition_kind(value, self.sites, self.factories)
+            if isinstance(value, ast.Call)
+            else None
+        )
+        source_keys = self._expr_keys(value, state)
+        if target_key is not None:
+            # Reassignment drops the old binding (and anything rooted in
+            # it) before the new value lands.
+            state = self._drop_rooted(
+                {k: f for k, f in state.items() if k != target_key}, target_key
+            )
+        if kind is not None:
+            if target_key is not None:
+                state = self._acquire(state, target_key, kind, value)
+            # Anonymous acquisition (argument position, subscript store,
+            # attribute of a parameter): owned elsewhere, not tracked.
+        elif source_keys:
+            if target_key is not None and len(source_keys) == 1:
+                # Alias/move: the new name carries the resource...
+                (source,) = source_keys
+                if source in state and ACQUIRED in state[source]:
+                    acquisition = self.acquisitions.get(source)
+                    if acquisition is not None:
+                        self.acquisitions.setdefault(target_key, acquisition)
+                    state = self._set(state, target_key, ACQUIRED)
+            # ...and the old one is handed off either way.
+            state = self._escape(state, source_keys)
+        else:
+            # Tuple targets and other stores: kill any named bindings.
+            for target in targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        state = {
+                            key: facts
+                            for key, facts in state.items()
+                            if key != node.id
+                        }
+        return state
+
+    def _transfer_calls(self, statement: ast.stmt, state: State) -> State:
+        for call in _calls_in(statement):
+            name = dotted_name(call.func)
+            # weakref.finalize(owner, fn, *args): everything handed to the
+            # finalizer — and anything rooted in it — is release-managed.
+            if name is not None and name.rsplit(".", 1)[-1] == "finalize":
+                for argument in [*call.args, *(k.value for k in call.keywords)]:
+                    for key in self._mention_keys(argument, state):
+                        state = self._set(state, key, RELEASED)
+                continue
+            # q.close() / seg.unlink() / p.join() on a tracked key.
+            if isinstance(call.func, ast.Attribute) and (
+                call.func.attr in RELEASE_VERBS
+            ):
+                receiver = dotted_name(call.func.value)
+                if receiver is not None and receiver in state:
+                    state = self._set(state, receiver, RELEASED)
+                    # fall through: arguments may still escape things
+            # A tracked key passed as an argument is handed off.
+            escaped: set[str] = set()
+            for argument in [*call.args, *(k.value for k in call.keywords)]:
+                if isinstance(argument, ast.Call):
+                    continue  # nested call handled by its own iteration
+                escaped |= self._mention_keys(argument, state)
+            state = self._escape(state, escaped)
+        return state
+
+    def _transfer_control(self, statement: ast.stmt, state: State) -> State:
+        if isinstance(statement, ast.Return) and statement.value is not None:
+            # Returning the resource itself (or a container holding it)
+            # transfers ownership; returning a derived value such as
+            # ``segment.name`` does not.
+            state = self._escape(
+                state, self._mention_keys(statement.value, state)
+            )
+        elif isinstance(statement, ast.Delete):
+            for target in statement.targets:
+                key = self._target_key(target)
+                if key is not None:
+                    state = self._escape(state, {key})
+        return state
+
+    # -- the acquisition-window check ---------------------------------------
+
+    def observe(
+        self,
+        statement: ast.stmt,
+        before: State,
+        after: State,
+        block: Block,
+    ) -> None:
+        if block.protected:
+            return
+        calls = _calls_in(statement)
+        if not calls:
+            return
+        held = frozenset((ACQUIRED,))
+        for key, facts in before.items():
+            if facts != held:
+                continue
+            if after.get(key) != held:
+                continue  # this statement releases/hands off the key
+            anchor = calls[0]
+            position = (
+                key,
+                getattr(anchor, "lineno", 0),
+                getattr(anchor, "col_offset", 0),
+            )
+            self.windows.setdefault(position, anchor)
+
+
+@register_rule
+class ResourceLeakRule(Rule):
+    """RES001: every acquisition must be released on every exit path."""
+
+    code = "RES001"
+    summary = (
+        "a SharedMemory/Process/Pool/Queue acquisition has an exit path "
+        "(or an unguarded raise window) that skips close/unlink/join/"
+        "finalize"
+    )
+
+    def finish(self, program: "Program") -> Iterator[Finding]:
+        factories = resource_factories(program)
+        graph = program.call_graph
+        for context in program.contexts:
+            for qualname, cfg in sorted(program.cfgs_for(context).items()):
+                info = graph.functions.get(f"{context.module}.{qualname}")
+                sites = (
+                    {id(site.node): site for site in info.calls}
+                    if info is not None
+                    else {}
+                )
+                client = _ResourceClient(cfg, sites, factories)
+                states = run_forward(cfg, client)
+                if not client.acquisitions:
+                    continue
+                flagged: set[str] = set()
+                for exit_block, where in (
+                    (cfg.exit, "function exit"),
+                    (cfg.raise_exit, "an escaping exception"),
+                ):
+                    exit_state = states.get(exit_block.id, {})
+                    for key, facts in sorted(exit_state.items()):
+                        # Joined states mix per-path facts.  An escape on
+                        # any path means ownership may have transferred —
+                        # benefit of the doubt.  A release on merely
+                        # *some* path still flags: the other path leaks
+                        # (the `if cond: return` skip-the-close shape).
+                        if (
+                            ACQUIRED not in facts
+                            or ESCAPED in facts
+                            or key in flagged
+                        ):
+                            continue
+                        acquisition = client.acquisitions.get(key)
+                        if acquisition is None:
+                            continue
+                        flagged.add(key)
+                        yield context.finding(
+                            acquisition.node,
+                            self.code,
+                            f"{acquisition.kind} '{key}' acquired in "
+                            f"{qualname}() has a path to {where} with no "
+                            "close/unlink/join/shutdown or "
+                            "weakref.finalize",
+                        )
+                for (key, _, _), anchor in sorted(client.windows.items()):
+                    if key in flagged:
+                        continue
+                    acquisition = client.acquisitions.get(key)
+                    if acquisition is None:
+                        continue
+                    flagged.add(key)
+                    yield context.finding(
+                        anchor,
+                        self.code,
+                        f"'{key}' is held across this call in {qualname}() "
+                        "with no enclosing try/finally or finalize guard — "
+                        "if the call raises, the "
+                        f"{acquisition.kind} leaks",
+                    )
+
+
+# --- RES002 ------------------------------------------------------------------
+
+
+def _method_releases(method: ast.FunctionDef | ast.AsyncFunctionDef, attr: str) -> bool:
+    """True when *method* releases ``self.<attr>`` (directly, through a
+    local alias, or by handing it to a callee/finalizer)."""
+    dotted_attr = f"self.{attr}"
+    aliases = {dotted_attr}
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value_name = dotted_name(node.value)
+            if (
+                isinstance(target, ast.Name)
+                and value_name in aliases
+            ):
+                aliases.add(target.id)
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute) and node.func.attr in RELEASE_VERBS:
+            receiver = dotted_name(node.func.value)
+            if receiver in aliases:
+                return True
+        for argument in [*node.args, *(k.value for k in node.keywords)]:
+            if dotted_name(argument) in aliases:
+                return True
+    return False
+
+
+@register_rule
+class UnownedEscapeRule(Rule):
+    """RES002: a resource stored on ``self`` needs an owning teardown."""
+
+    code = "RES002"
+    summary = (
+        "a resource constructor assigned to self.<attr> in a class with "
+        "no method that ever releases that attribute"
+    )
+    node_types = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, context: "LintContext") -> Iterator[Finding]:
+        assert isinstance(node, ast.ClassDef)
+        methods = [
+            child
+            for child in ast.walk(node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        stored: dict[str, ast.AST] = {}
+        for method in methods:
+            for statement in ast.walk(method):
+                if not isinstance(statement, ast.Assign):
+                    continue
+                if not isinstance(statement.value, ast.Call):
+                    continue
+                if acquisition_kind(statement.value) is None:
+                    continue
+                for target in statement.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        stored.setdefault(target.attr, statement.value)
+        for attr, site in sorted(stored.items()):
+            if any(_method_releases(method, attr) for method in methods):
+                continue
+            yield context.finding(
+                site,
+                self.code,
+                f"resource stored on self.{attr} but no method of "
+                f"{node.name} ever releases it (close/unlink/join/"
+                "shutdown or weakref.finalize)",
+            )

@@ -254,7 +254,18 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.analysis import lint_paths, render_json, render_text
+    from repro.analysis import (
+        LintEngine,
+        default_rules,
+        render_json,
+        render_text,
+    )
+    from repro.analysis.baseline import (
+        BaselineError,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
 
     paths = list(args.paths)
     if args.self_check:
@@ -264,7 +275,44 @@ def _cmd_lint(args) -> int:
     if not paths:
         print("lint: no paths given (pass paths or --self)", file=sys.stderr)
         return 2
-    findings = lint_paths(paths)
+    rules = default_rules()
+    if args.select:
+        prefixes = tuple(
+            prefix.strip()
+            for prefix in args.select.split(",")
+            if prefix.strip()
+        )
+        rules = [rule for rule in rules if rule.code.startswith(prefixes)]
+        if not rules:
+            print(
+                f"lint: --select {args.select!r} matches no registered rule",
+                file=sys.stderr,
+            )
+            return 2
+    findings = LintEngine(rules).lint_paths(paths)
+    if args.write_baseline:
+        if not args.baseline:
+            print(
+                "lint: --write-baseline needs --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        count = write_baseline(findings, args.baseline)
+        print(f"wrote {count} baseline entries to {args.baseline}")
+        return 0
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, BaselineError) as error:
+            print(f"lint: {error}", file=sys.stderr)
+            return 2
+        findings, stale = apply_baseline(findings, entries)
+        for path, code, message in stale:
+            print(
+                f"lint: stale baseline entry (fixed debt — refresh with "
+                f"--write-baseline): {path}: {code} {message}",
+                file=sys.stderr,
+            )
     render = render_json if args.format == "json" else render_text
     sys.stdout.write(render(findings))
     return 1 if findings else 0
@@ -729,6 +777,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint the installed repro package itself",
     )
     lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--select",
+        help="comma-separated rule-code prefixes to run "
+        "(e.g. RES,CON,DET003); default runs the full catalog",
+    )
+    lint.add_argument(
+        "--baseline",
+        help="JSON baseline of accepted findings; only new findings fail",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="(re)write --baseline FILE from the current findings and exit",
+    )
     lint.set_defaults(func=_cmd_lint)
 
     check = commands.add_parser(

@@ -207,10 +207,14 @@ class InstanceManager(Mapping[str, DPIServiceInstance]):
             raise KeyError(f"no instance named {name}")
         self._chain_filter.pop(name, None)
         self._dedicated.pop(name, None)
-        self._controller.telemetry.registry.drop(instance=name)
+        # Shut the engine down before touching telemetry: the instance is
+        # already popped from the registry, so if the metric drop raised
+        # first there would be no owner left to release the engine's
+        # arenas and worker pools.
         automaton = getattr(instance, "automaton", None)
         if automaton is not None and hasattr(automaton, "shutdown"):
             automaton.shutdown()
+        self._controller.telemetry.registry.drop(instance=name)
         return instance
 
     def plan_groups(

@@ -196,7 +196,11 @@ def _teardown(state: _PoolState) -> None:
         except Exception:  # pragma: no cover - queue already broken
             pass
     for process in state.processes:
-        process.join(timeout=_JOIN_TIMEOUT)
+        try:
+            process.join(timeout=_JOIN_TIMEOUT)
+        except (ValueError, AssertionError):
+            # start() itself failed: there is no child to reap.
+            continue
     for process in state.processes:
         if process.is_alive():  # pragma: no cover - wedged worker
             process.terminate()
@@ -311,22 +315,30 @@ class ZeroCopyBackend:
         context = get_mp_context()
         state = _PoolState()
         state.segment = _create_segment(self._arena_bytes)
-        state.result_queue = context.Queue()
-        for _ in range(self.workers):
-            state.task_queues.append(context.Queue())
-        for task_queue in state.task_queues:
-            process = context.Process(
-                target=_zerocopy_worker,
-                args=(
-                    self._specs,
-                    state.segment.name,
-                    task_queue,
-                    state.result_queue,
-                ),
-                daemon=True,
-            )
-            process.start()
-            state.processes.append(process)
+        # Everything between creating the segment and registering the
+        # finalizer must tear down on failure: a queue or fork that
+        # raises here would otherwise strand the /dev/shm arena and any
+        # workers already started (RES001).
+        try:
+            state.result_queue = context.Queue()
+            for _ in range(self.workers):
+                state.task_queues.append(context.Queue())
+            for task_queue in state.task_queues:
+                process = context.Process(
+                    target=_zerocopy_worker,
+                    args=(
+                        self._specs,
+                        state.segment.name,
+                        task_queue,
+                        state.result_queue,
+                    ),
+                    daemon=True,
+                )
+                state.processes.append(process)
+                process.start()
+        except BaseException:
+            _teardown(state)
+            raise
         self._state = state
         self._finalizer = weakref.finalize(self, _teardown, state)
         return state
@@ -347,13 +359,24 @@ class ZeroCopyBackend:
             raise RuntimeError("cannot grow the arena with tasks in flight")
         new_size = max(nbytes, segment.size * 2)
         replacement = _create_segment(new_size)
-        for task_queue in state.task_queues:
-            task_queue.put(("retire", segment.name))
-        segment.close()
+        # Until the swap lands the replacement has no owner: if telling
+        # the workers (or retiring the old segment) raises, release it
+        # rather than stranding a second arena in /dev/shm (RES001).
         try:
-            segment.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
+            for task_queue in state.task_queues:
+                task_queue.put(("retire", segment.name))
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        except BaseException:
+            replacement.close()
+            try:
+                replacement.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing cleanup
+                pass
+            raise
         state.segment = replacement
 
     def shutdown(self) -> None:

@@ -23,6 +23,7 @@ replacements.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -262,7 +263,7 @@ class LoadDriver:
                 label=f"fault:{fault.kind.value}:{fault.target}",
             )
 
-    def _fault_firer(self, fault: Any):
+    def _fault_firer(self, fault: Any) -> "Callable[[], None]":
         def fire() -> None:
             from repro.faults.plan import FaultKind
 

@@ -1,0 +1,290 @@
+"""Golden and structural tests for the CFG builder.
+
+The goldens pin the exact block/edge shape (via ``CFG.describe()``) for
+the control-flow forms the dataflow rules depend on: branches, loops
+(including ``while True`` escape-only loops), ``try``/``except``,
+``try``/``finally`` routing of abrupt jumps, and ``with``.  The
+structural tests assert invariants that must hold for *any* function
+body — every reachable non-exit block reaches an exit, protected
+flags match try nesting, and building never crashes.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import build_cfg, function_cfgs
+
+
+def cfg_of(source):
+    function = ast.parse(textwrap.dedent(source)).body[0]
+    return build_cfg(function)
+
+
+def describe(source):
+    return cfg_of(source).describe()
+
+
+# --- golden shapes ----------------------------------------------------------
+
+def test_golden_if_else_merge():
+    assert describe(
+        """
+        def f(x):
+            a = 1
+            if x:
+                b = 2
+            else:
+                c = 3
+            return a
+        """
+    ) == (
+        "B0[entry]() -> next:B3\n"
+        "B3(Assign,If) -> true:B5 false:B6\n"
+        "B5(Assign) -> next:B4\n"
+        "B4(Return) -> return:B1\n"
+        "B1[exit]() ->\n"
+        "B6(Assign) -> next:B4"
+    )
+
+
+def test_golden_for_loop_with_break():
+    assert describe(
+        """
+        def f(items):
+            total = 0
+            for item in items:
+                if item < 0:
+                    break
+                total += item
+            return total
+        """
+    ) == (
+        "B0[entry]() -> next:B3\n"
+        "B3(Assign) -> next:B4\n"
+        "B4(For) -> true:B6 false:B5\n"
+        "B6(If) -> true:B8 false:B7\n"
+        "B8(Break) -> break:B5\n"
+        "B5(Return) -> return:B1\n"
+        "B1[exit]() ->\n"
+        "B7(AugAssign) -> loop:B4"
+    )
+
+
+def test_golden_while_true_has_no_false_edge():
+    assert describe(
+        """
+        def f(q):
+            while True:
+                m = q.get()
+                if m is None:
+                    return m
+        """
+    ) == (
+        "B0[entry]() -> next:B3\n"
+        "B3() -> next:B4\n"
+        "B4(While) -> true:B6\n"
+        "B6(Assign,If) -> true:B8 false:B7\n"
+        "B8(Return) -> return:B1\n"
+        "B1[exit]() ->\n"
+        "B7() -> loop:B4"
+    )
+
+
+def test_golden_try_finally_routes_return_and_raise():
+    assert describe(
+        """
+        def f(path):
+            fh = open(path)
+            try:
+                data = fh.read()
+                return data
+            finally:
+                fh.close()
+        """
+    ) == (
+        "B0[entry]() -> next:B3\n"
+        "B3(Assign,Try) -> next:B6\n"
+        "B6(Assign,Return) protected -> finally:B5 except:B5\n"
+        "B5(Expr) -> return:B1 raise:B2\n"
+        "B1[exit]() ->\n"
+        "B2[raise]() ->"
+    )
+
+
+def test_golden_try_except_merges_handler():
+    assert describe(
+        """
+        def f(x):
+            try:
+                y = risky(x)
+            except ValueError:
+                y = None
+            return y
+        """
+    ) == (
+        "B0[entry]() -> next:B3\n"
+        "B3(Try) -> next:B5\n"
+        "B5(Assign) protected -> except:B6 next:B4\n"
+        "B6(ExceptHandler,Assign) -> next:B4\n"
+        "B4(Return) -> return:B1\n"
+        "B1[exit]() ->"
+    )
+
+
+def test_golden_with_is_linear():
+    assert describe(
+        """
+        def f(path):
+            with open(path) as fh:
+                return fh.read()
+        """
+    ) == (
+        "B0[entry]() -> next:B3\n"
+        "B3(With) -> next:B4\n"
+        "B4(Return) -> return:B1\n"
+        "B1[exit]() ->"
+    )
+
+
+# --- structural invariants --------------------------------------------------
+
+def edge_kinds(cfg):
+    return {edge.kind for block in cfg.blocks for edge in block.edges}
+
+
+def test_raise_reaches_raise_exit():
+    cfg = cfg_of(
+        """
+        def f(x):
+            if x:
+                raise ValueError(x)
+            return x
+        """
+    )
+    raise_preds = [
+        block
+        for block in cfg.blocks
+        for edge in block.edges
+        if edge.dest is cfg.raise_exit
+    ]
+    assert raise_preds, "raise statement must reach raise_exit"
+
+
+def test_continue_routes_through_inner_finally_only():
+    cfg = cfg_of(
+        """
+        def f(items):
+            opened = acquire()
+            for item in items:
+                try:
+                    if item:
+                        continue
+                    use(item)
+                finally:
+                    note(item)
+            opened.close()
+        """
+    )
+    assert "continue" in edge_kinds(cfg)
+    assert "finally" in edge_kinds(cfg)
+
+
+def test_protected_marks_try_bodies_not_handlers():
+    cfg = cfg_of(
+        """
+        def f():
+            before = 1
+            try:
+                inside = 2
+            except Exception:
+                handled = 3
+            after = 4
+        """
+    )
+    by_stmt = {}
+    for block in cfg.blocks:
+        for statement in block.statements:
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store
+                ):
+                    by_stmt[node.id] = block.protected
+    assert by_stmt == {
+        "before": False,
+        "inside": True,
+        "handled": False,
+        "after": False,
+    }
+
+
+def test_unreachable_code_is_parked_without_predecessors():
+    cfg = cfg_of(
+        """
+        def f():
+            return 1
+            dead = 2
+        """
+    )
+    reachable = {block.id for block in cfg.reachable_blocks()}
+    dead_blocks = [
+        block
+        for block in cfg.blocks
+        if block.statements and block.id not in reachable
+    ]
+    assert len(dead_blocks) == 1
+    assert isinstance(dead_blocks[0].statements[0], ast.Assign)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def f():\n    pass\n",
+        "def f():\n    while True:\n        break\n",
+        "def f():\n    for i in x:\n        continue\n    else:\n        y = 1\n",
+        "def f():\n    try:\n        a = 1\n    except A:\n        b = 2\n"
+        "    except B:\n        c = 3\n    else:\n        d = 4\n"
+        "    finally:\n        e = 5\n",
+        "def f():\n    with a, b:\n        with c:\n            return d\n",
+        "async def f():\n    async for i in x:\n        pass\n"
+        "    async with y:\n        pass\n",
+    ],
+)
+def test_every_reachable_block_flows_to_an_exit(source):
+    cfg = cfg_of(source)
+    exits = {cfg.exit.id, cfg.raise_exit.id}
+    for block in cfg.reachable_blocks():
+        if block.id in exits:
+            continue
+        # BFS: some exit must be reachable from every live block.
+        seen, frontier = set(), [block]
+        found = False
+        while frontier and not found:
+            node = frontier.pop()
+            if node.id in exits:
+                found = True
+                break
+            if node.id in seen:
+                continue
+            seen.add(node.id)
+            frontier.extend(edge.dest for edge in node.edges)
+        assert found, f"block B{block.id} cannot reach any exit"
+
+
+def test_function_cfgs_builds_dotted_qualnames():
+    tree = ast.parse(
+        textwrap.dedent(
+            """
+            def top():
+                def inner():
+                    pass
+            class Box:
+                def method(self):
+                    pass
+            """
+        )
+    )
+    cfgs = function_cfgs(tree)
+    assert sorted(cfgs) == ["Box.method", "top", "top.inner"]
+    assert cfgs["Box.method"].qualname == "Box.method"

@@ -230,3 +230,50 @@ class TestMigrateFlowContract:
         assert controller.migrate_flow("f1", "dpi-1", "dpi-2") is True
         assert source.export_flow("f1") is None
         assert target.export_flow("f1") is not None
+
+
+class TestDecommissionOrdering:
+    def test_engine_shuts_down_before_metrics_drop(self):
+        """Regression: decommission used to drop the instance's registry
+        metrics first, so a raise in the drop left the popped instance's
+        engine (arenas, worker pools) running with no owner to release
+        it.  The engine shutdown must come first."""
+        controller = make_controller()
+        instance = controller.instances.provision("dpi-1")
+        order = []
+        # The default engine (CombinedAutomaton) has no shutdown;
+        # decommission probes with hasattr, so a recorder stands in for a
+        # backend-owning engine such as ShardedAutomaton.
+        instance.automaton.shutdown = lambda: order.append("shutdown")
+        registry = controller.telemetry.registry
+        real_drop = registry.drop
+
+        def recording_drop(**labels):
+            order.append("drop")
+            return real_drop(**labels)
+
+        registry.drop = recording_drop
+        try:
+            controller.instances.decommission("dpi-1")
+        finally:
+            del registry.drop
+        assert order == ["shutdown", "drop"]
+
+    def test_engine_is_down_even_when_the_metrics_drop_raises(self):
+        controller = make_controller()
+        instance = controller.instances.provision("dpi-1")
+        shut = []
+        instance.automaton.shutdown = lambda: shut.append(True)
+        registry = controller.telemetry.registry
+
+        def exploding_drop(**labels):
+            raise RuntimeError("registry backend unavailable")
+
+        registry.drop = exploding_drop
+        try:
+            with pytest.raises(RuntimeError, match="registry backend"):
+                controller.instances.decommission("dpi-1")
+        finally:
+            del registry.drop
+        assert shut == [True]
+        assert "dpi-1" not in controller.instances

@@ -54,6 +54,49 @@ BAD_FIXTURES = {
         "    def warm_up(self):\n"
         "        return None\n"
     ),
+    "DET003": (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+        "def schedule(event):\n"
+        "    event.at = stamp()\n"
+    ),
+    "RES001": (
+        "from multiprocessing import shared_memory\n"
+        "def provision(nbytes, publish):\n"
+        "    segment = shared_memory.SharedMemory(create=True, size=nbytes)\n"
+        "    publish(segment.name)\n"
+        "    return segment.name\n"
+    ),
+    "RES002": (
+        "import multiprocessing\n"
+        "class Runner:\n"
+        "    def boot(self):\n"
+        "        self.pool = multiprocessing.Pool(2)\n"
+        "    def submit(self, work):\n"
+        "        return self.pool.apply(work)\n"
+    ),
+    "CON001": (
+        "import threading\n"
+        "import multiprocessing\n"
+        "def boot(fn):\n"
+        "    guard = threading.Lock()\n"
+        "    worker = multiprocessing.Process(target=fn)\n"
+        "    worker.start()\n"
+        "    worker.join()\n"
+        "    return guard\n"
+    ),
+    "CON002": (
+        "import multiprocessing\n"
+        "def drain(items):\n"
+        "    queue = multiprocessing.Queue()\n"
+        "    for item in items:\n"
+        "        queue.put(item)\n"
+        "    queue.close()\n"
+        "    queue.put(None)\n"
+        "    queue.join_thread()\n"
+    ),
+    "NOQ001": "x = 1  # repro: noqa[DET001]\n",
 }
 
 
@@ -293,8 +336,12 @@ def test_blanket_noqa_suppresses_everything_on_the_line():
 def test_coded_noqa_suppresses_only_listed_codes():
     suppressed = "import time\nt = time.time()  # repro: noqa[DET001]\n"
     assert lint_source(suppressed, path=SIM_PATH) == []
+    # A wrong-code noqa suppresses nothing — and is flagged for it.
     wrong_code = "import time\nt = time.time()  # repro: noqa[DET002]\n"
-    assert codes(lint_source(wrong_code, path=SIM_PATH)) == ["DET001"]
+    assert sorted(codes(lint_source(wrong_code, path=SIM_PATH))) == [
+        "DET001",
+        "NOQ001",
+    ]
 
 
 def test_noqa_with_multiple_codes():
@@ -313,6 +360,83 @@ def test_noqa_only_covers_its_own_line():
     )
     findings = lint_source(snippet, path=SIM_PATH)
     assert [(f.code, f.line) for f in findings] == [("DET001", 3)]
+
+
+# --- NOQ001: the suppression audit ------------------------------------------
+
+def test_noq001_flags_unused_coded_suppression():
+    findings = lint_source("x = 1  # repro: noqa[DET001]\n", path=SIM_PATH)
+    assert codes(findings) == ["NOQ001"]
+    assert findings[0].severity == "warning"
+    assert "suppresses nothing" in findings[0].message
+
+
+def test_noq001_flags_unused_blanket_suppression():
+    findings = lint_source("x = 1  # repro: noqa\n", path=SIM_PATH)
+    assert codes(findings) == ["NOQ001"]
+
+
+def test_noq001_flags_unknown_codes():
+    findings = lint_source("x = 1  # repro: noqa[BOGUS9]\n", path=SIM_PATH)
+    assert codes(findings) == ["NOQ001"]
+    assert "BOGUS9" in findings[0].message
+
+
+def test_noq001_quiet_for_used_suppressions():
+    used = "import time\nt = time.time()  # repro: noqa[DET001]\n"
+    assert lint_source(used, path=SIM_PATH) == []
+    blanket = "import time\nt = time.time()  # repro: noqa\n"
+    assert lint_source(blanket, path=SIM_PATH) == []
+
+
+def test_noq001_is_not_itself_suppressible():
+    findings = lint_source("x = 1  # repro: noqa[NOQ001]\n", path=SIM_PATH)
+    assert codes(findings) == ["NOQ001"]
+
+
+def test_noq001_ignores_noqa_mentions_in_docstrings_and_prose():
+    snippet = (
+        '"""Docs.\n'
+        "\n"
+        "    flagged()  # repro: noqa[DET001]\n"
+        '"""\n'
+        "#: syntax note: ``# repro: noqa[DET001]`` suppresses a line\n"
+        "x = 1\n"
+    )
+    assert lint_source(snippet, path=SIM_PATH) == []
+
+
+def test_noq001_skipped_when_named_rules_did_not_run():
+    from repro.analysis import LintEngine
+    from repro.analysis.rules import RULE_REGISTRY as registry
+
+    selected = [
+        cls()
+        for code, cls in registry.items()
+        if code.startswith(("RES", "NOQ"))
+    ]
+    engine = LintEngine(selected)
+    # DET001 did not run, so the comment cannot be judged...
+    findings = engine.lint_source(
+        "x = 1  # repro: noqa[DET001]\n", path=SIM_PATH
+    )
+    assert findings == []
+    # ...but a suppression naming only selected codes still is.
+    findings = engine.lint_source(
+        "x = 1  # repro: noqa[RES001]\n", path=SIM_PATH
+    )
+    assert codes(findings) == ["NOQ001"]
+    # Blanket suppressions are only auditable on full-catalog runs.
+    findings = engine.lint_source("x = 1  # repro: noqa\n", path=SIM_PATH)
+    assert findings == []
+
+
+def test_warning_severity_renders_with_a_tag():
+    findings = lint_source("x = 1  # repro: noqa[DET001]\n", path=SIM_PATH)
+    assert findings[0].render() == (
+        f"{SIM_PATH}:1:0: warning: NOQ001 '# repro: noqa[DET001]' "
+        "suppresses nothing; delete it"
+    )
 
 
 # --- engine behaviour -------------------------------------------------------
@@ -375,9 +499,10 @@ def test_render_json_schema():
     assert document["counts"] == {"DET001": 1}
     assert len(document["findings"]) == 1
     entry = document["findings"][0]
-    assert set(entry) == {"path", "line", "col", "code", "message"}
+    assert set(entry) == {"path", "line", "col", "code", "message", "severity"}
     assert entry["path"] == SIM_PATH
     assert entry["line"] == 2
+    assert entry["severity"] == "error"
 
 
 def test_render_json_empty_input():

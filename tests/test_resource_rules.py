@@ -1,0 +1,547 @@
+"""The dataflow rule family: RES001/RES002, CON001/CON002, DET003.
+
+Includes the acceptance regression for the analyzer PR: the exact
+exception-window leak patterns that used to live in
+``repro.core.zerocopy`` (segment acquired, then a queue/process call
+that can raise before the finalizer guard exists) are reintroduced here
+as source fixtures and must be flagged — and their fixed forms must be
+clean.  The call-graph unit tests cover resolution and transitive fact
+propagation directly.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.engine import LintContext, lint_source
+
+SIM_PATH = "repro/core/fake.py"
+OUTSIDE_PATH = "repro/workloads/fake.py"
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+def lint(source, path=SIM_PATH):
+    return lint_source(textwrap.dedent(source), path=path)
+
+
+# --- RES001 -----------------------------------------------------------------
+
+def test_res001_flags_leak_on_exit_path():
+    findings = lint(
+        """
+        from multiprocessing import shared_memory
+
+        def provision(nbytes):
+            segment = shared_memory.SharedMemory(create=True, size=nbytes)
+            return segment.name
+        """
+    )
+    assert codes(findings) == ["RES001"]
+    assert "'segment'" in findings[0].message
+    assert "close/unlink" in findings[0].message
+
+
+def test_res001_flags_branch_that_skips_release():
+    findings = lint(
+        """
+        import multiprocessing
+
+        def run(jobs, risky):
+            pool = multiprocessing.Pool(2)
+            if risky:
+                return 0
+            pool.close()
+            pool.join()
+            return len(jobs)
+        """
+    )
+    assert "RES001" in codes(findings)
+
+
+def test_res001_clean_when_released_on_every_path():
+    findings = lint(
+        """
+        from multiprocessing import shared_memory
+
+        def provision(nbytes):
+            segment = shared_memory.SharedMemory(create=True, size=nbytes)
+            try:
+                fill(segment)
+                return segment.name
+            finally:
+                segment.close()
+                segment.unlink()
+
+        def fill(segment):
+            segment.buf[:1] = b"x"
+        """
+    )
+    assert findings == []
+
+
+def test_res001_clean_for_with_managed_and_escaping_resources():
+    findings = lint(
+        """
+        import multiprocessing
+
+        def managed(items):
+            with multiprocessing.Pool(2) as pool:
+                return pool.map(len, items)
+
+        def handed_off(sink):
+            queue = multiprocessing.Queue()
+            sink.adopt(queue)
+
+        def factory():
+            return multiprocessing.Queue()
+        """
+    )
+    assert findings == []
+
+
+def test_res001_window_catches_the_zerocopy_bug_pattern():
+    # The pre-fix _ensure_started shape: segment acquired, then queue
+    # and process calls that can raise BEFORE any teardown guard exists.
+    findings = lint(
+        """
+        import multiprocessing
+        from multiprocessing import shared_memory
+        import weakref
+
+        def _create_segment(nbytes):
+            return shared_memory.SharedMemory(create=True, size=nbytes)
+
+        class Backend:
+            def ensure_started(self, specs, owner, teardown):
+                state = make_state()
+                state.segment = _create_segment(1 << 20)
+                state.result_queue = multiprocessing.Queue()
+                self.finalizer = weakref.finalize(owner, teardown, state)
+                return state
+        """
+    )
+    assert codes(findings) == ["RES001"]
+    assert "'state.segment'" in findings[0].message
+    assert "if the call raises" in findings[0].message
+
+
+def test_res001_quiet_on_the_fixed_zerocopy_shape():
+    # The post-fix shape: the raise window is guarded, failure paths
+    # tear down, success registers the finalizer.
+    findings = lint(
+        """
+        import multiprocessing
+        from multiprocessing import shared_memory
+        import weakref
+
+        def _create_segment(nbytes):
+            return shared_memory.SharedMemory(create=True, size=nbytes)
+
+        class Backend:
+            def ensure_started(self, specs, owner, teardown):
+                state = make_state()
+                state.segment = _create_segment(1 << 20)
+                try:
+                    state.result_queue = multiprocessing.Queue()
+                except BaseException:
+                    teardown(state)
+                    raise
+                self.finalizer = weakref.finalize(owner, teardown, state)
+                return state
+        """
+    )
+    assert findings == []
+
+
+def test_res001_tracks_factory_acquisitions_transitively():
+    findings = lint(
+        """
+        from multiprocessing import shared_memory
+
+        def _create(nbytes):
+            return shared_memory.SharedMemory(create=True, size=nbytes)
+
+        def _create_big():
+            return _create(1 << 24)
+
+        def leaky():
+            arena = _create_big()
+            return arena.name
+        """
+    )
+    assert codes(findings) == ["RES001"]
+    assert "'arena'" in findings[0].message
+
+
+def test_res001_applies_outside_sim_scope_too():
+    findings = lint(
+        """
+        import multiprocessing
+
+        def leak():
+            q = multiprocessing.Queue()
+            return q.qsize()
+        """,
+        path=OUTSIDE_PATH,
+    )
+    assert "RES001" in codes(findings)
+
+
+# --- RES002 -----------------------------------------------------------------
+
+def test_res002_flags_self_stored_resource_with_no_teardown():
+    findings = lint(
+        """
+        import multiprocessing
+
+        class Runner:
+            def boot(self):
+                self.pool = multiprocessing.Pool(2)
+
+            def submit(self, work):
+                return self.pool.apply(work)
+        """
+    )
+    assert codes(findings) == ["RES002"]
+    assert "self.pool" in findings[0].message
+
+
+def test_res002_clean_with_alias_aware_release():
+    # The workers.py shutdown idiom: alias the attribute, release the
+    # alias.
+    findings = lint(
+        """
+        import multiprocessing
+
+        class Runner:
+            def boot(self):
+                self.pool = multiprocessing.Pool(2)
+
+            def shutdown(self):
+                pool = self.pool
+                if pool is not None:
+                    pool.close()
+                    pool.join()
+        """
+    )
+    assert findings == []
+
+
+def test_res002_clean_when_attr_is_handed_to_a_teardown_helper():
+    findings = lint(
+        """
+        import multiprocessing
+
+        class Runner:
+            def boot(self):
+                self.queue = multiprocessing.Queue()
+
+            def stop(self):
+                drain_and_close(self.queue)
+        """
+    )
+    assert findings == []
+
+
+# --- CON001 -----------------------------------------------------------------
+
+def test_con001_flags_thread_started_before_fork():
+    findings = lint(
+        """
+        import threading
+        import multiprocessing
+
+        def boot(fn):
+            pump = threading.Thread(target=fn)
+            pump.start()
+            worker = multiprocessing.Process(target=fn)
+            worker.start()
+            worker.join()
+            pump.join()
+        """
+    )
+    assert "CON001" in codes(findings)
+    con = next(f for f in findings if f.code == "CON001")
+    assert "pump" in con.message
+
+
+def test_con001_flags_fed_queue_before_fork():
+    findings = lint(
+        """
+        import multiprocessing
+
+        def boot(fn, items):
+            tasks = multiprocessing.Queue()
+            for item in items:
+                tasks.put(item)
+            worker = multiprocessing.Process(target=fn, args=(tasks,))
+            worker.start()
+            worker.join()
+        """
+    )
+    assert "CON001" in codes(findings)
+
+
+def test_con001_clean_for_create_then_fork_then_feed():
+    # The normal inheritance pattern: queues created before the fork,
+    # fed only after the workers are up.
+    findings = lint(
+        """
+        import multiprocessing
+
+        def boot(fn, items):
+            tasks = multiprocessing.Queue()
+            worker = multiprocessing.Process(target=fn, args=(tasks,))
+            worker.start()
+            for item in items:
+                tasks.put(item)
+            worker.join()
+        """
+    )
+    assert "CON001" not in codes(findings)
+
+
+# --- CON002 -----------------------------------------------------------------
+
+def test_con002_flags_put_after_close():
+    findings = lint(
+        """
+        import multiprocessing
+
+        def drain(items):
+            queue = multiprocessing.Queue()
+            queue.close()
+            queue.put(None)
+            queue.join_thread()
+        """
+    )
+    con = [f for f in findings if f.code == "CON002"]
+    assert len(con) == 1
+    assert "put() on queue 'queue' after close()" in con[0].message
+
+
+def test_con002_flags_double_close_but_not_loop_carried_close():
+    double = lint(
+        """
+        import multiprocessing
+
+        def stop(queue=None):
+            queue = multiprocessing.Queue()
+            queue.close()
+            queue.close()
+        """
+    )
+    assert any(
+        f.code == "CON002" and "closed again" in f.message for f in double
+    )
+    looped = lint(
+        """
+        import multiprocessing
+
+        def cycle(n):
+            for _ in range(n):
+                queue = multiprocessing.Queue()
+                queue.put(1)
+                queue.close()
+        """
+    )
+    assert "CON002" not in codes(looped)
+
+
+def test_con002_clean_for_put_then_close():
+    findings = lint(
+        """
+        import multiprocessing
+
+        def send(items):
+            queue = multiprocessing.Queue()
+            for item in items:
+                queue.put(item)
+            queue.close()
+            queue.join_thread()
+        """
+    )
+    assert "CON002" not in codes(findings)
+
+
+# --- DET003 -----------------------------------------------------------------
+
+def test_det003_flags_transitive_wall_clock_reach():
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+
+        def indirection():
+            return stamp()
+
+        def schedule(event):
+            event.at = indirection()
+        """,
+        path="repro/net/fake.py",
+    )
+    det3 = [f for f in findings if f.code == "DET003"]
+    # Both sim-scoped call sites into the tainted chain are flagged.
+    assert len(det3) == 2
+    assert all("time.time" in f.message for f in det3)
+    # The direct call inside stamp() is DET001's, not DET003's.
+    assert [f.code for f in findings if f.line == 5] == ["DET001"]
+
+
+def test_det003_quiet_outside_sim_scope_and_for_clean_helpers():
+    outside = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+
+        def schedule(event):
+            event.at = stamp()
+        """,
+        path=OUTSIDE_PATH,
+    )
+    assert codes(outside) == []
+    clean = lint(
+        """
+        def helper(clock):
+            return clock.now()
+
+        def schedule(event, clock):
+            event.at = helper(clock)
+        """,
+        path="repro/net/fake.py",
+    )
+    assert codes(clean) == []
+
+
+# --- the call graph ----------------------------------------------------------
+
+def graph_of(**modules):
+    contexts = [
+        LintContext(
+            path=f"{module.replace('.', '/')}.py",
+            source=textwrap.dedent(source),
+            tree=ast.parse(textwrap.dedent(source)),
+        )
+        for module, source in modules.items()
+    ]
+    return CallGraph.build(contexts)
+
+
+def test_callgraph_resolves_same_module_and_self_calls():
+    graph = graph_of(
+        **{
+            "repro.net.fake": """
+            def helper():
+                pass
+
+            class Box:
+                def a(self):
+                    return self.b()
+
+                def b(self):
+                    return helper()
+            """
+        }
+    )
+    assert set(graph.functions) == {
+        "repro.net.fake.helper",
+        "repro.net.fake.Box.a",
+        "repro.net.fake.Box.b",
+    }
+    a_calls = graph.functions["repro.net.fake.Box.a"].calls
+    assert a_calls[0].target == "repro.net.fake.Box.b"
+    b_calls = graph.functions["repro.net.fake.Box.b"].calls
+    assert b_calls[0].target == "repro.net.fake.helper"
+
+
+def test_callgraph_resolves_imports_across_modules():
+    graph = graph_of(
+        **{
+            "repro.net.clockwork": """
+            import time
+
+            def now():
+                return time.time()
+            """,
+            "repro.net.user": """
+            from repro.net.clockwork import now
+            import repro.net.clockwork as cw
+
+            def a():
+                return now()
+
+            def b():
+                return cw.now()
+            """,
+        }
+    )
+    for fn in ("a", "b"):
+        calls = graph.functions[f"repro.net.user.{fn}"].calls
+        assert calls[0].target == "repro.net.clockwork.now"
+    reaches = graph.transitive_reach(lambda name: name == "time.time")
+    assert set(reaches) == {
+        "repro.net.clockwork.now",
+        "repro.net.user.a",
+        "repro.net.user.b",
+    }
+    assert reaches["repro.net.clockwork.now"].via is None
+    assert reaches["repro.net.user.a"].via == "repro.net.clockwork.now"
+
+
+def test_callgraph_excludes_nested_function_bodies_from_parents():
+    graph = graph_of(
+        **{
+            "repro.net.fake": """
+            def outer():
+                def inner():
+                    return target()
+                return inner
+
+            def target():
+                pass
+            """
+        }
+    )
+    outer_targets = [
+        site.target for site in graph.functions["repro.net.fake.outer"].calls
+    ]
+    assert "repro.net.fake.target" not in outer_targets
+    inner_targets = [
+        site.target
+        for site in graph.functions["repro.net.fake.outer.inner"].calls
+    ]
+    assert inner_targets == ["repro.net.fake.target"]
+
+
+def test_callgraph_returning_functions_propagates_factories():
+    graph = graph_of(
+        **{
+            "repro.net.fake": """
+            import multiprocessing
+
+            def make():
+                return multiprocessing.Queue()
+
+            def make_indirect():
+                return make()
+
+            def not_a_factory():
+                return 7
+            """
+        }
+    )
+    factories = graph.returning_functions(
+        lambda expression, info: isinstance(expression, ast.Call)
+        and getattr(expression.func, "attr", None) == "Queue"
+    )
+    assert factories == {
+        "repro.net.fake.make",
+        "repro.net.fake.make_indirect",
+    }

@@ -373,3 +373,95 @@ class TestTelemetry:
             assert occupancy and occupancy[0].value == 0
         finally:
             zerocopy.shutdown()
+
+
+class _FailingStartContext:
+    """Wraps a real mp context; the Nth ``Process.start()`` raises."""
+
+    def __init__(self, real, fail_at):
+        self._real = real
+        self._fail_at = fail_at
+        self._starts = 0
+
+    def Queue(self):
+        return self._real.Queue()
+
+    def Process(self, *args, **kwargs):
+        process = self._real.Process(*args, **kwargs)
+        real_start = process.start
+
+        def start():
+            self._starts += 1
+            if self._starts >= self._fail_at:
+                raise RuntimeError("injected fork failure")
+            real_start()
+
+        process.start = start
+        return process
+
+
+class TestProvisionCrashCleanup:
+    """The RES001 regressions: a raise mid-provision must not strand
+    /dev/shm arenas or half-started workers (the analyzer's exception-
+    window findings on ``_ensure_started``/``_ensure_capacity``)."""
+
+    TASK = [(0, b"attack", (1 << 1) | (1 << 3), 0, None)]
+
+    def test_start_failure_tears_down_segment_and_started_workers(
+        self, monkeypatch
+    ):
+        from repro.core import zerocopy as zc
+
+        real = zc.get_mp_context()
+        monkeypatch.setattr(
+            zc, "get_mp_context",
+            lambda: _FailingStartContext(real, fail_at=2),
+        )
+        backend = ZeroCopyBackend(
+            (make_shard_spec(PATTERN_SETS, "sparse", "flat"),), workers=2
+        )
+        # Worker 1 starts, worker 2's fork raises: the arena and the
+        # already-running worker must both be reclaimed.
+        with pytest.raises(RuntimeError, match="injected fork failure"):
+            backend.scan_shards(self.TASK)
+        assert shm_segments() == []
+        assert multiprocessing.active_children() == []
+        # The failure left no half-open state: once forking works again
+        # the same backend provisions lazily and scans.
+        monkeypatch.setattr(zc, "get_mp_context", lambda: real)
+        assert backend.scan_shards(self.TASK)[0][0]
+        backend.shutdown()
+        assert shm_segments() == []
+
+    def test_growth_failure_releases_the_replacement_arena(self):
+        backend = ZeroCopyBackend(
+            (make_shard_spec(PATTERN_SETS, "sparse", "flat"),), workers=1
+        )
+        try:
+            backend.scan_shards(self.TASK)
+            state = backend._state
+            task_queue = state.task_queues[0]
+            real_put = task_queue.put
+
+            def exploding_put(item, *args, **kwargs):
+                if isinstance(item, tuple) and item and item[0] == "retire":
+                    raise RuntimeError("injected queue failure")
+                return real_put(item, *args, **kwargs)
+
+            task_queue.put = exploding_put
+            big = [(0, b"x" * (DEFAULT_ARENA_BYTES + 1), 0b1010, 0, None)]
+            with pytest.raises(RuntimeError, match="injected queue failure"):
+                backend.scan_shards(big)
+            # Exactly the original arena survives; the unowned
+            # replacement was closed and unlinked on the raise path.
+            assert len(shm_segments()) == 1
+            assert backend.arena_capacity == DEFAULT_ARENA_BYTES
+            # Remove the shadowing attribute: growth then succeeds and
+            # retires the old segment as usual.
+            del task_queue.put
+            assert backend.scan_shards(big)
+            assert backend.arena_capacity > DEFAULT_ARENA_BYTES
+            assert len(shm_segments()) == 1
+        finally:
+            backend.shutdown()
+        assert shm_segments() == []
