@@ -58,7 +58,7 @@ def test_ablation_anchor_prefilter(benchmark):
         def run_prefiltered():
             hits = 0
             for payload in payloads:
-                output = instance.inspect(payload, CHAIN)
+                output = instance.inspect(payload, chain_id=CHAIN)
                 hits += len(output.matches[1])
             return hits
 

@@ -42,7 +42,7 @@ def test_ablation_report_encoding(benchmark, snort_corpus, campus_trace):
         ordinary_range = 0
         ordinary_compact = 0
         for payload in campus_trace.payloads:
-            output = instance.inspect(payload, CHAIN)
+            output = instance.inspect(payload, chain_id=CHAIN)
             if output.report.is_empty:
                 continue
             ordinary_range += len(output.report.encode())
@@ -51,7 +51,7 @@ def test_ablation_report_encoding(benchmark, snort_corpus, campus_trace):
         # The repeated-character payload: one pattern, hundreds of
         # consecutive match positions.
         run_payload = b"A" * 600
-        output = instance.inspect(run_payload, CHAIN)
+        output = instance.inspect(run_payload, chain_id=CHAIN)
         run_range = len(output.report.encode())
         run_compact = len(output.report.encode_compact())
 

@@ -39,7 +39,7 @@ def test_fig11_match_report_size_distribution(benchmark, snort_corpus, campus_tr
         report_sizes = []
         empty = 0
         for payload in campus_trace.payloads:
-            output = instance.inspect(payload, CHAIN)
+            output = instance.inspect(payload, chain_id=CHAIN)
             if output.report.is_empty:
                 empty += 1
             else:

@@ -71,12 +71,12 @@ def test_telemetry_overhead(benchmark, snort_corpus):
 
         # Byte-identical results regardless of telemetry.
         reference = [
-            build_instance(patterns).inspect(p, CHAIN).matches
+            build_instance(patterns).inspect(p, chain_id=CHAIN).matches
             for p in payloads
         ]
         for instance, parent in variants.values():
             outputs = [
-                instance.inspect(p, CHAIN, trace_parent=parent).matches
+                instance.inspect(p, chain_id=CHAIN, trace_parent=parent).matches
                 for p in payloads
             ]
             assert outputs == reference

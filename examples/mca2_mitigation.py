@@ -46,7 +46,7 @@ instance = controller.instances.provision("dpi-1")
 monitor = StressMonitor(controller, threshold_factor=1.5)
 generator = TrafficGenerator(seed=9)
 for index in range(60):
-    instance.inspect(generator.benign_payload(900), CHAIN, flow_key=f"user-{index % 10}")
+    instance.inspect(generator.benign_payload(900), chain_id=CHAIN, flow_key=f"user-{index % 10}")
 baselines = monitor.calibrate()
 print(f"calibrated baseline: {baselines['dpi-1']:.0f} ns/byte")
 
@@ -60,10 +60,10 @@ events = []
 for poll in range(5):
     for round_index in range(20):
         instance.inspect(
-            attack_payload, CHAIN, flow_key=f"attacker-{round_index % 3}"
+            attack_payload, chain_id=CHAIN, flow_key=f"attacker-{round_index % 3}"
         )
         # Benign users keep sending too.
-        instance.inspect(generator.benign_payload(900), CHAIN, flow_key="user-0")
+        instance.inspect(generator.benign_payload(900), chain_id=CHAIN, flow_key="user-0")
     events = monitor.observe()
     if events:
         break
@@ -91,8 +91,8 @@ for flow_key, target in migrated_log:
 # ----------------------------------------------------------------------
 dedicated = controller.instances[action.dedicated_instance]
 for _ in range(5):
-    dedicated.inspect(attack_payload, CHAIN, flow_key="attacker-0")
-    instance.inspect(generator.benign_payload(900), CHAIN, flow_key="user-1")
+    dedicated.inspect(attack_payload, chain_id=CHAIN, flow_key="attacker-0")
+    instance.inspect(generator.benign_payload(900), chain_id=CHAIN, flow_key="user-1")
 
 telemetry = controller.telemetry_snapshot().instances
 print("\nper-instance telemetry after mitigation:")

@@ -97,7 +97,7 @@ for index, payload in enumerate(SAMPLES):
         src, dst, IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"),
         50000 + index, 80, payload=payload,
     )
-    output = instance.inspect(payload, CHAIN, flow_key=f"flow-{index}")
+    output = instance.inspect(payload, chain_id=CHAIN, flow_key=f"flow-{index}")
     report = MatchReport.decode(output.report.encode())
     print(f"\npacket {index}: {payload[:40]!r}...")
     if report.is_empty:

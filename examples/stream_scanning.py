@@ -77,7 +77,7 @@ for seq, data in segments:
     # Scan every view of the released bytes: raw + decompressed regions.
     for view in preprocessor.views(released):
         kind = "decompressed" if view.compressed else "raw"
-        output = instance.inspect(view.data, CHAIN, flow_key=(flow_key, kind))
+        output = instance.inspect(view.data, chain_id=CHAIN, flow_key=(flow_key, kind))
         for _mb, matches in output.matches.items():
             for pattern_id, position in matches:
                 total_matches += 1

@@ -78,6 +78,11 @@ _DEPRECATED_SHIMS = {
 }
 
 
+#: DPIServiceInstance methods whose non-payload parameters are keyword-only
+#: (old positional shapes survive only as DeprecationWarning shims).
+_KEYWORD_ONLY_INSPECTION = frozenset({"inspect", "inspect_batch"})
+
+
 @register_rule
 class DeprecatedLifecycleShimRule(Rule):
     """API002: in-repo code must not call the deprecated lifecycle shims.
@@ -86,7 +91,9 @@ class DeprecatedLifecycleShimRule(Rule):
     :class:`DeprecationWarning` shims for downstream callers; everything in
     this repository goes through the ``controller.instances`` facade
     (:class:`~repro.core.lifecycle.InstanceManager`) or
-    ``controller.telemetry_snapshot()``.
+    ``controller.telemetry_snapshot()``.  Likewise the inspection surface:
+    ``inspect``/``inspect_batch`` take ``chain_id``/``flow_key``/``now``/
+    ``trace_parent`` as keywords; positional shapes are shims.
     """
 
     code = "API002"
@@ -99,11 +106,21 @@ class DeprecatedLifecycleShimRule(Rule):
         if not isinstance(func, ast.Attribute):
             return
         replacement = _DEPRECATED_SHIMS.get(func.attr)
-        if replacement is None:
+        if replacement is not None:
+            yield context.finding(
+                node,
+                self.code,
+                f".{func.attr}() is a deprecation shim; use "
+                f"controller.{replacement}",
+            )
             return
-        yield context.finding(
-            node,
-            self.code,
-            f".{func.attr}() is a deprecation shim; use "
-            f"controller.{replacement}",
-        )
+        if func.attr in _KEYWORD_ONLY_INSPECTION and len(node.args) >= 2:
+            # First positional is the payload; anything after it rides the
+            # deprecated positional shim on DPIServiceInstance.
+            yield context.finding(
+                node,
+                self.code,
+                f".{func.attr}() with positional chain_id/flow arguments "
+                "is a deprecation shim; pass chain_id=/flow_key=/now=/"
+                "trace_parent= as keywords",
+            )

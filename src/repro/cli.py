@@ -606,6 +606,62 @@ def _cmd_chaos(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_fuzz_diff(args) -> int:
+    from repro.adversarial import (
+        Corpus,
+        generate_corpus,
+        legs_by_name,
+        run_differential,
+    )
+
+    if args.corpus:
+        try:
+            corpus = Corpus.load(args.corpus)
+        except (OSError, ValueError, KeyError) as error:
+            print(
+                f"fuzz-diff: cannot load corpus {args.corpus}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        corpus = generate_corpus(args.seed, cases_per_kind=args.cases)
+    try:
+        legs = legs_by_name(args.legs) if args.legs else None
+    except ValueError as error:
+        print(f"fuzz-diff: {error}", file=sys.stderr)
+        return 2
+    progress = None
+    if args.format == "text":
+        progress = lambda message: print(f"  {message}")  # noqa: E731
+    report = run_differential(corpus, legs=legs, progress=progress)
+    payload = report.to_dict()
+    if args.out:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.format == "json":
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        source = args.corpus or f"seed {args.seed}"
+        print(
+            f"corpus: {source}  cases: {report.cases}  "
+            f"legs: {len(report.legs)}"
+        )
+        for divergence in report.divergences:
+            print(
+                f"DIVERGENCE {divergence.case}: {divergence.leg} vs "
+                f"{divergence.baseline} on {', '.join(divergence.fields)}"
+            )
+        for leg, case, error in report.errors:
+            print(f"ERROR {case} on {leg}: {error}")
+        print("result: " + ("OK" if report.ok else "DIVERGED"))
+    return 0 if report.ok else 1
+
+
 def _cmd_demo(args) -> int:
     from repro.core.controller import DPIController
     from repro.core.messages import AddPatternsMessage, RegisterMiddleboxMessage
@@ -630,7 +686,7 @@ def _cmd_demo(args) -> int:
         b"and one with virus-demo-sig! too",
     ]
     for payload in samples:
-        output = instance.inspect(payload, 100)
+        output = instance.inspect(payload, chain_id=100)
         verdict = "MATCHES" if output.has_matches else "clean"
         print(f"{verdict:7}  {payload!r}")
         for middlebox_id, matches in output.matches.items():
@@ -917,6 +973,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--format", choices=("text", "json"), default="text")
     chaos.set_defaults(func=_cmd_chaos)
+
+    fuzz_diff = commands.add_parser(
+        "fuzz-diff",
+        help="replay an adversarial corpus through every kernel/backend "
+        "leg and report divergences",
+    )
+    fuzz_diff.add_argument(
+        "--seed", type=int, default=1234, help="corpus generator seed"
+    )
+    fuzz_diff.add_argument(
+        "--cases",
+        type=int,
+        default=8,
+        help="generated cases per adversarial kind",
+    )
+    fuzz_diff.add_argument(
+        "--corpus",
+        help="replay a corpus JSON file instead of generating one",
+    )
+    fuzz_diff.add_argument(
+        "--legs",
+        nargs="+",
+        metavar="LEG",
+        help="restrict to named legs (default: all kernel×backend legs)",
+    )
+    fuzz_diff.add_argument(
+        "--out", help="also write the full JSON report to this path"
+    )
+    fuzz_diff.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    fuzz_diff.set_defaults(func=_cmd_fuzz_diff)
 
     demo = commands.add_parser("demo", help="run a tiny end-to-end demo")
     demo.set_defaults(func=_cmd_demo)

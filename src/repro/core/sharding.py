@@ -49,13 +49,16 @@ import time
 from bisect import bisect_right
 from dataclasses import dataclass
 from operator import itemgetter
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping, cast
 
 from repro.core.aho_corasick import AutomatonStats
 from repro.core.combined import CombinedAutomaton
 from repro.core.kernels import KERNEL_NAMES, CombinedScanResult, ScanCache
 from repro.core.patterns import Pattern, PatternKind
 from repro.core.workers import BACKEND_NAMES, make_backend, make_shard_spec
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.workers import PipelinedShardBackend
 
 __all__ = [
     "SHARDED_KERNEL_NAME",
@@ -411,7 +414,7 @@ class ShardedKernel:
         if (
             pipelined
             and len(payloads) > 1
-            and hasattr(self._backend, "scan_chunked_batches")
+            and self._backend.supports_pipelined
         ):
             return self._scan_batch_pipelined(
                 payloads, active_bitmap, states, limit
@@ -444,7 +447,10 @@ class ShardedKernel:
             for start, stop in zip(bounds, bounds[1:])
         ]
         try:
-            per_chunk = self._backend.scan_chunked_batches(chunks)
+            # supports_pipelined (checked by the caller) is the backend's
+            # promise that it satisfies PipelinedShardBackend.
+            pipelined_backend = cast("PipelinedShardBackend", self._backend)
+            per_chunk = pipelined_backend.scan_chunked_batches(chunks)
         except Exception as error:
             self._fall_back(error)
             batch = tuple(payloads)

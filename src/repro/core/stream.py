@@ -84,7 +84,7 @@ class StreamInspector:
                 (
                     "raw",
                     self.instance.inspect(
-                        released, chain_id, flow_key=flow_key, now=now
+                        released, chain_id=chain_id, flow_key=flow_key, now=now
                     ),
                 )
             )
@@ -98,7 +98,7 @@ class StreamInspector:
                 kind = "raw"
                 scan_key = flow_key
             output = self.instance.inspect(
-                view.data, chain_id, flow_key=scan_key, now=now
+                view.data, chain_id=chain_id, flow_key=scan_key, now=now
             )
             result.outputs.append((kind, output))
         return result

@@ -2,7 +2,8 @@
 
 A :class:`~repro.core.sharding.ShardedKernel` fans one payload out to K
 per-shard kernels and merges the results.  *Where* those per-shard scans run
-is this module's job, behind one small contract:
+is this module's job, behind one small contract — the :class:`ShardBackend`
+Protocol:
 
 * ``scan_shards(tasks)`` — one ``(shard, data, bitmap, state, limit)`` task
   per shard of a single payload; returns raw ``(raw_matches, end_state,
@@ -12,6 +13,9 @@ is this module's job, behind one small contract:
   raw result tuples per task.  This is the throughput path: a batch crosses
   the pool boundary once per shard instead of once per payload.
 * ``shutdown()`` — release any pooled resources (idempotent).
+* ``supports_pipelined`` — advertises the optional double-buffered chunk
+  path (:class:`PipelinedShardBackend`); the sharded kernel probes this
+  flag, never ``hasattr``.
 
 Three backends are provided.  ``serial`` runs the shard kernels in-process,
 in shard order — fully deterministic, zero overhead, the default.
@@ -34,14 +38,21 @@ and the merge layer rebuilds whatever shape it needs.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
+from multiprocessing.context import BaseContext
 import os
-from typing import Any
+from typing import TYPE_CHECKING, Iterable, Protocol, TypeAlias
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.combined import CombinedAutomaton
+    from repro.core.patterns import Pattern
+    from repro.core.zerocopy import ZeroCopyBackend
 
 #: Backend names accepted by ``ShardedAutomaton`` / ``InstanceConfig``.
 BACKEND_NAMES = ("serial", "process", "zerocopy")
 
 
-def get_mp_context():
+def get_mp_context() -> BaseContext:
     """The multiprocessing context every pooled backend uses.
 
     Fork is preferred (workers inherit the parent's pages; automaton specs
@@ -53,16 +64,64 @@ def get_mp_context():
     )
 
 #: One per-shard scan request: ``(shard, data, active_bitmap, state, limit)``.
-ShardTask = "tuple[int, bytes, int, int, int | None]"
+ShardTask: TypeAlias = tuple[int, bytes, int, int, "int | None"]
 
 #: One per-shard batch request: ``(shard, payloads, active_bitmap, state, limit)``.
-ShardBatchTask = "tuple[int, tuple[bytes, ...], int, int, int | None]"
+ShardBatchTask: TypeAlias = tuple[int, tuple[bytes, ...], int, int, "int | None"]
 
 #: A raw scan result on the wire: ``(raw_matches, end_state, bytes_scanned)``.
-RawResult = "tuple[list[tuple[int, int]], int, int]"
+RawResult: TypeAlias = tuple[list[tuple[int, int]], int, int]
+
+#: A picklable shard description (:func:`make_shard_spec`):
+#: ``((middlebox id, ((pattern id, bytes), ...)), ...), layout, kernel``.
+ShardSpec: TypeAlias = tuple[
+    tuple[tuple[int, tuple[tuple[int, bytes], ...]], ...], str, str
+]
 
 
-def make_shard_spec(pattern_sets, layout: str, kernel: str) -> tuple:
+class ShardBackend(Protocol):
+    """The execution contract every shard backend satisfies.
+
+    This is the duck type :class:`~repro.core.sharding.ShardedKernel`
+    drives, made explicit: two scan entry points, an idempotent
+    ``shutdown``, and two identifying attributes.  ``supports_pipelined``
+    advertises the optional double-buffered chunk path — backends that set
+    it ``True`` must satisfy :class:`PipelinedShardBackend` too, and the
+    sharded kernel probes the flag instead of ``hasattr``.
+    """
+
+    name: str
+    supports_pipelined: bool
+
+    def scan_shards(self, tasks: Iterable[ShardTask]) -> list[RawResult]:
+        """One raw result per ``(shard, data, bitmap, state, limit)`` task,
+        in task order."""
+        ...
+
+    def scan_shard_batches(
+        self, tasks: Iterable[ShardBatchTask]
+    ) -> list[list[RawResult]]:
+        """One list of raw results per batch task, in task order."""
+        ...
+
+    def shutdown(self) -> None:
+        """Release pooled resources (idempotent)."""
+        ...
+
+
+class PipelinedShardBackend(ShardBackend, Protocol):
+    """A backend that can overlap scanning chunk N with staging chunk N+1."""
+
+    def scan_chunked_batches(
+        self, chunks: Iterable[list[ShardBatchTask]]
+    ) -> list[list[list[RawResult]]]:
+        """Per chunk, per batch task, the raw results — double-buffered."""
+        ...
+
+
+def make_shard_spec(
+    pattern_sets: dict[int, list[Pattern]], layout: str, kernel: str
+) -> ShardSpec:
     """A picklable description of one shard's combined automaton.
 
     Pattern objects are flattened to ``(pattern id, bytes)`` pairs so the
@@ -79,7 +138,7 @@ def make_shard_spec(pattern_sets, layout: str, kernel: str) -> tuple:
     return (wire, layout, kernel)
 
 
-def automaton_from_spec(spec: tuple):
+def automaton_from_spec(spec: ShardSpec) -> CombinedAutomaton:
     """Rebuild a shard's combined automaton from a :func:`make_shard_spec`."""
     from repro.core.combined import CombinedAutomaton
     from repro.core.patterns import Pattern
@@ -96,25 +155,27 @@ def automaton_from_spec(spec: tuple):
 
 #: Per-worker shard automata, built once by the pool initializer and reused
 #: across every task the worker processes ("shard-local kernel reuse").
-_WORKER_AUTOMATA: "list[Any] | None" = None
+_WORKER_AUTOMATA: "list[CombinedAutomaton] | None" = None
 
 
-def _init_worker(specs: "tuple[tuple, ...]") -> None:
+def _init_worker(specs: tuple[ShardSpec, ...]) -> None:
     """Pool initializer: build every shard automaton once per worker."""
     global _WORKER_AUTOMATA
     _WORKER_AUTOMATA = [automaton_from_spec(spec) for spec in specs]
 
 
-def _scan_task(task) -> "tuple":
+def _scan_task(task: ShardTask) -> RawResult:
     """Run one per-shard scan inside a worker process."""
     shard, data, active_bitmap, state, limit = task
+    assert _WORKER_AUTOMATA is not None, "worker pool not initialized"
     result = _WORKER_AUTOMATA[shard].scan(data, active_bitmap, state, limit)
     return (result.raw_matches, result.end_state, result.bytes_scanned)
 
 
-def _scan_batch_task(task) -> "list[tuple]":
+def _scan_batch_task(task: ShardBatchTask) -> list[RawResult]:
     """Run one shard over a whole payload batch inside a worker process."""
     shard, payloads, active_bitmap, state, limit = task
+    assert _WORKER_AUTOMATA is not None, "worker pool not initialized"
     automaton = _WORKER_AUTOMATA[shard]
     out = []
     for payload in payloads:
@@ -130,24 +191,27 @@ class SerialBackend:
     """Run the per-shard scans in-process, in shard order (deterministic)."""
 
     name = "serial"
+    supports_pipelined = False
 
-    def __init__(self, automata) -> None:
+    def __init__(self, automata: Iterable[CombinedAutomaton]) -> None:
         self._automata = list(automata)
 
-    def scan_shards(self, tasks) -> "list[tuple]":
+    def scan_shards(self, tasks: Iterable[ShardTask]) -> list[RawResult]:
         """One raw result tuple per task, in task order."""
-        out = []
+        out: list[RawResult] = []
         for shard, data, active_bitmap, state, limit in tasks:
             result = self._automata[shard].scan(data, active_bitmap, state, limit)
             out.append((result.raw_matches, result.end_state, result.bytes_scanned))
         return out
 
-    def scan_shard_batches(self, tasks) -> "list[list[tuple]]":
+    def scan_shard_batches(
+        self, tasks: Iterable[ShardBatchTask]
+    ) -> list[list[RawResult]]:
         """One list of raw result tuples per batch task, in task order."""
-        out = []
+        out: list[list[RawResult]] = []
         for shard, payloads, active_bitmap, state, limit in tasks:
             automaton = self._automata[shard]
-            results = []
+            results: list[RawResult] = []
             for payload in payloads:
                 result = automaton.scan(payload, active_bitmap, state, limit)
                 results.append(
@@ -171,13 +235,16 @@ class ProcessBackend:
     """
 
     name = "process"
+    supports_pipelined = False
 
-    def __init__(self, specs, workers: "int | None" = None) -> None:
+    def __init__(
+        self, specs: Iterable[ShardSpec], workers: "int | None" = None
+    ) -> None:
         self._specs = tuple(specs)
         if workers is not None and workers <= 0:
             raise ValueError(f"worker count must be positive: {workers}")
         self._workers = workers
-        self._pool = None
+        self._pool: "multiprocessing.pool.Pool | None" = None
 
     @property
     def workers(self) -> int:
@@ -186,7 +253,7 @@ class ProcessBackend:
             return self._workers
         return max(1, min(len(self._specs), os.cpu_count() or 1))
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
             context = get_mp_context()
             self._pool = context.Pool(
@@ -201,13 +268,15 @@ class ProcessBackend:
         # call instead of one task at a time.
         return max(1, count // self.workers)
 
-    def scan_shards(self, tasks) -> "list[tuple]":
+    def scan_shards(self, tasks: Iterable[ShardTask]) -> list[RawResult]:
         """Fan the per-shard tasks across the pool; results in task order."""
         tasks = list(tasks)
         pool = self._ensure_pool()
         return pool.map(_scan_task, tasks, chunksize=self._chunksize(len(tasks)))
 
-    def scan_shard_batches(self, tasks) -> "list[list[tuple]]":
+    def scan_shard_batches(
+        self, tasks: Iterable[ShardBatchTask]
+    ) -> list[list[RawResult]]:
         """Fan whole per-shard batches across the pool, one task per shard."""
         tasks = list(tasks)
         pool = self._ensure_pool()
@@ -233,7 +302,13 @@ class ProcessBackend:
             pool.join()
 
 
-def make_backend(name: str, *, automata, specs, workers: "int | None" = None):
+def make_backend(
+    name: str,
+    *,
+    automata: Iterable[CombinedAutomaton],
+    specs: Iterable[ShardSpec],
+    workers: "int | None" = None,
+) -> ShardBackend:
     """Build the named execution backend.
 
     ``automata`` are the in-process shard automata (serial execution and
@@ -251,3 +326,17 @@ def make_backend(name: str, *, automata, specs, workers: "int | None" = None):
     raise ValueError(
         f"unknown shard backend {name!r}; expected one of {BACKEND_NAMES}"
     )
+
+
+if TYPE_CHECKING:  # pragma: no cover - mypy-strict conformance proof
+
+    def _backends_satisfy_protocol(
+        serial: SerialBackend,
+        pooled: ProcessBackend,
+        arena: "ZeroCopyBackend",
+    ) -> "tuple[ShardBackend, ShardBackend, ShardBackend]":
+        # Assignability is the check: if any backend drifts off the
+        # Protocol (or zerocopy off the pipelined extension), mypy fails
+        # here rather than at a distant call site.
+        pipelined: PipelinedShardBackend = arena
+        return serial, pooled, pipelined

@@ -230,14 +230,17 @@ def _teardown(state: _PoolState) -> None:
 class ZeroCopyBackend:
     """Shared-memory payload arena + persistent descriptor-pulling workers.
 
-    Satisfies the worker-backend contract of :mod:`repro.core.workers`
-    (``scan_shards`` / ``scan_shard_batches`` / ``shutdown``) and adds
+    Satisfies the :class:`~repro.core.workers.ShardBackend` Protocol
+    (``scan_shards`` / ``scan_shard_batches`` / ``shutdown``) and — as the
+    only ``supports_pipelined`` backend — the
+    :class:`~repro.core.workers.PipelinedShardBackend` extension:
     :meth:`scan_chunked_batches`, the double-buffered pipeline the sharded
     kernel's ``pipelined`` mode drives.  Construction is cheap; workers
     and the arena are created lazily on first use.
     """
 
     name = "zerocopy"
+    supports_pipelined = True
 
     def __init__(
         self,

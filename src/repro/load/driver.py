@@ -377,7 +377,7 @@ class LoadDriver:
             instance_bytes = 0
             for flow_id, chain_id, payload, _ in arrivals[name]:
                 output = instance.inspect(
-                    payload, chain_id, flow_key=flow_id, now=self.simulator.now
+                    payload, chain_id=chain_id, flow_key=flow_id, now=self.simulator.now
                 )
                 report.matches += sum(
                     len(hits) for hits in output.matches.values()

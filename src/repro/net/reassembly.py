@@ -7,22 +7,67 @@ the substrate: per-flow, per-direction reassembly that tolerates
 out-of-order arrival, retransmissions and overlapping segments, releasing
 bytes exactly once and strictly in order — which is what the stateful
 scanner's ``(DFA state, offset)`` bookkeeping requires.
+
+Overlapping segments are exactly where real DPI engines diverge
+("Fingerprinting DPI Devices by Their Ambiguities"): when two segments
+claim the same sequence range with *different* content, an engine must
+pick a side, and different engines pick differently.  This reassembler
+makes the choice an explicit, configurable **overlap policy**:
+
+* ``"first"`` — data already received wins; later overlapping bytes are
+  discarded (BSD-style).
+* ``"last"`` — the newest segment wins; previously buffered overlapping
+  bytes are replaced (Linux-style).
+
+Either way, bytes that have already been *released* downstream are
+immutable — no policy can rewrite history the scanner has consumed.
+Conflicting overlaps (overlapped positions whose content differs) are
+counted in :class:`ReassemblyStats` so the adversarial differential
+harness (:mod:`repro.adversarial`) can assert on the ambiguity a case
+exercised.
+
+Buffer exhaustion is a *decision*, not an exception: a segment that would
+push the out-of-order buffer past ``max_buffered`` is dropped, counted in
+``stats.overflow_drops`` and reported through the ``on_overflow`` hook
+(the :class:`TCPReassembler` routes it to the
+``dpi_reassembly_overflow_total`` telemetry counter).  A real engine under
+a buffer-flood attack sheds exactly this way; raising would instead tear
+down the whole scan path, which is the crash the adversarial corpus's
+flood cases used to trigger.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.net.flows import FiveTuple
 from repro.net.packet import Packet, TCPHeader
 
+#: Segment-overlap resolution policies (see the module docstring).
+OVERLAP_POLICIES = ("first", "last")
+
 
 @dataclass
 class ReassemblyStats:
-    """Plain counters container."""
+    """Plain counters container.
+
+    ``duplicate_segments`` counts segments that contributed no new bytes;
+    ``overlapping_segments`` counts segments that overlapped buffered or
+    released data but still contributed something; ``conflicting_bytes``
+    counts overlapped *buffered* positions whose content disagreed with
+    what the policy retained (released bytes are not kept, so conflicts
+    against already-released data are not observable).  ``keepalives``
+    counts zero-length segments; ``overflow_drops`` counts segments (or
+    segment fragments) dropped by the buffer cap.
+    """
+
     segments: int = 0
     duplicate_segments: int = 0
     out_of_order_segments: int = 0
+    overlapping_segments: int = 0
+    conflicting_bytes: int = 0
+    keepalives: int = 0
+    overflow_drops: int = 0
     bytes_released: int = 0
 
 
@@ -31,100 +76,218 @@ class StreamReassembler:
 
     Segments are positioned by sequence number; ``add_segment`` returns the
     bytes that became contiguous with everything already released (possibly
-    empty while a gap exists).  Overlapping and duplicate data is trimmed so
-    every stream byte is released exactly once.
+    empty while a gap exists).  Overlaps are resolved by *policy* (``first``
+    or ``last`` wins — see the module docstring) so every stream byte is
+    released exactly once; the out-of-order buffer is bounded by
+    ``max_buffered`` with drop-and-count overflow semantics.
     """
 
-    #: Refuse to buffer more than this many out-of-order bytes per stream.
+    #: Default cap on buffered out-of-order bytes per stream.
     MAX_BUFFERED_BYTES = 1 << 20
 
-    def __init__(self, initial_seq: int = 0) -> None:
+    def __init__(
+        self,
+        initial_seq: int = 0,
+        *,
+        policy: str = "first",
+        max_buffered: "int | None" = None,
+        on_overflow=None,
+    ) -> None:
+        if policy not in OVERLAP_POLICIES:
+            raise ValueError(
+                f"unknown overlap policy {policy!r}; "
+                f"expected one of {OVERLAP_POLICIES}"
+            )
+        if max_buffered is not None and max_buffered < 1:
+            raise ValueError(f"max_buffered must be positive: {max_buffered}")
         self.next_seq = initial_seq
+        self.policy = policy
+        self.max_buffered = (
+            self.MAX_BUFFERED_BYTES if max_buffered is None else max_buffered
+        )
+        #: Called as ``on_overflow(seq, dropped_bytes)`` for every drop.
+        self.on_overflow = on_overflow
+        # Non-overlapping pending intervals, keyed by start seq.  The
+        # insert path resolves overlaps by policy, so draining is a plain
+        # pop of the interval starting exactly at ``next_seq``.
         self._pending: dict[int, bytes] = {}
+        self._buffered = 0
         self.stats = ReassemblyStats()
 
     @property
     def buffered_bytes(self) -> int:
         """Bytes waiting out of order."""
-        return sum(len(data) for data in self._pending.values())
+        return self._buffered
 
     def add_segment(self, seq: int, data: bytes) -> bytes:
         """Insert a segment; returns newly in-order stream bytes."""
         self.stats.segments += 1
         if not data:
+            # Zero-length keepalive: acknowledged, never buffered.
+            self.stats.keepalives += 1
             return b""
         end = seq + len(data)
         if end <= self.next_seq:
-            # Entirely old data: a retransmission.
+            # Entirely old data: a retransmission (possibly with changed
+            # content — released bytes are gone, so first-wins by nature).
             self.stats.duplicate_segments += 1
             return b""
         if seq < self.next_seq:
-            # Partial overlap with released data: keep only the new tail.
+            # Partial overlap with released data: released bytes are
+            # immutable under either policy, keep only the new tail.
             data = data[self.next_seq - seq :]
             seq = self.next_seq
+            self.stats.overlapping_segments += 1
         if seq > self.next_seq:
             self.stats.out_of_order_segments += 1
-            self._store_pending(seq, data)
-            return b""
-        # In order: release it plus anything it unblocks.
-        released = [data]
-        self.next_seq = seq + len(data)
+        self._insert_pending(seq, data)
+        return self._drain()
+
+    # --- pending-interval bookkeeping ---------------------------------------
+
+    def _insert_pending(self, seq: int, data: bytes) -> None:
+        """Insert ``[seq, seq+len(data))`` resolving overlaps by policy."""
+        end = seq + len(data)
+        overlaps = sorted(
+            (start, existing)
+            for start, existing in self._pending.items()
+            if start < end and start + len(existing) > seq
+        )
+        if not overlaps:
+            self._store(seq, data)
+            return
+        self._count_conflicts(seq, data, overlaps)
+        if self.policy == "first":
+            # Buffered data wins: keep only the uncovered pieces of the
+            # new segment.
+            pieces: list[tuple[int, bytes]] = []
+            cursor = seq
+            for start, existing in overlaps:
+                if start > cursor:
+                    pieces.append((cursor, data[cursor - seq : start - seq]))
+                cursor = max(cursor, start + len(existing))
+            if cursor < end:
+                pieces.append((cursor, data[cursor - seq :]))
+            if not pieces:
+                self.stats.duplicate_segments += 1
+                return
+            self.stats.overlapping_segments += 1
+            for piece_seq, piece in pieces:
+                self._store(piece_seq, piece)
+        else:
+            # "last": the new segment wins; trim (or split) the buffered
+            # intervals it covers, then store it whole.
+            self.stats.overlapping_segments += 1
+            for start, existing in overlaps:
+                del self._pending[start]
+                self._buffered -= len(existing)
+                if start < seq:
+                    head = existing[: seq - start]
+                    self._pending[start] = head
+                    self._buffered += len(head)
+                if start + len(existing) > end:
+                    tail = existing[end - start :]
+                    self._pending[end] = tail
+                    self._buffered += len(tail)
+            self._store(seq, data)
+
+    def _count_conflicts(self, seq: int, data: bytes, overlaps) -> None:
+        """Count overlapped buffered positions whose content disagrees."""
+        end = seq + len(data)
+        for start, existing in overlaps:
+            lo = max(seq, start)
+            hi = min(end, start + len(existing))
+            new_slice = data[lo - seq : hi - seq]
+            old_slice = existing[lo - start : hi - start]
+            if new_slice != old_slice:
+                self.stats.conflicting_bytes += sum(
+                    1 for a, b in zip(new_slice, old_slice) if a != b
+                )
+
+    def _store(self, seq: int, data: bytes) -> None:
+        """Buffer one non-overlapping interval, enforcing the byte cap.
+
+        The interval starting exactly at ``next_seq`` is exempt — it is
+        drained immediately by the caller and never really occupies the
+        buffer.
+        """
+        if (
+            seq != self.next_seq
+            and self._buffered + len(data) > self.max_buffered
+        ):
+            self.stats.overflow_drops += 1
+            hook = self.on_overflow
+            if hook is not None:
+                hook(seq, len(data))
+            return
+        self._pending[seq] = data
+        self._buffered += len(data)
+
+    def _drain(self) -> bytes:
+        """Release the contiguous run starting at ``next_seq``, if any."""
+        released: list[bytes] = []
         while True:
-            follow_on = self._take_pending()
-            if follow_on is None:
+            data = self._pending.pop(self.next_seq, None)
+            if data is None:
                 break
-            released.append(follow_on)
+            self._buffered -= len(data)
+            released.append(data)
+            self.next_seq += len(data)
+        if not released:
+            return b""
         out = b"".join(released)
         self.stats.bytes_released += len(out)
         return out
-
-    def _store_pending(self, seq: int, data: bytes) -> None:
-        if self.buffered_bytes + len(data) > self.MAX_BUFFERED_BYTES:
-            raise BufferError(
-                f"reassembly buffer overflow at seq {seq} "
-                f"({self.buffered_bytes} bytes already pending)"
-            )
-        existing = self._pending.get(seq)
-        if existing is None or len(data) > len(existing):
-            self._pending[seq] = data
-        else:
-            self.stats.duplicate_segments += 1
-
-    def _take_pending(self) -> bytes | None:
-        """Pop pending data overlapping ``next_seq``, trimmed to the new part."""
-        for seq in sorted(self._pending):
-            data = self._pending[seq]
-            end = seq + len(data)
-            if end <= self.next_seq:
-                del self._pending[seq]
-                self.stats.duplicate_segments += 1
-                continue
-            if seq <= self.next_seq:
-                del self._pending[seq]
-                fresh = data[self.next_seq - seq :]
-                self.next_seq += len(fresh)
-                return fresh
-            return None
-        return None
 
 
 class TCPReassembler:
     """Reassembly across all flows: feed packets, get in-order stream bytes.
 
-    Each direction of each 5-tuple gets its own :class:`StreamReassembler`,
+    Each direction of each 5-tuple gets its own :class:`StreamReassembler`
+    (created with this reassembler's overlap *policy* and buffer cap),
     anchored at the sequence number of the first segment seen.  Without a
     modeled handshake the anchor is heuristic: if the *first* segment of a
     flow arrived out of order, its predecessors will surface as overlaps
     and be dropped as duplicates — the same failure mode a mid-stream tap
     has in practice.
+
+    ``bind_metrics`` publishes buffer-overflow drops as the
+    ``dpi_reassembly_overflow_total`` counter so a flood that forces the
+    drop decision is visible in telemetry, not just in per-stream stats.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        policy: str = "first",
+        max_buffered: "int | None" = None,
+    ) -> None:
+        if policy not in OVERLAP_POLICIES:
+            raise ValueError(
+                f"unknown overlap policy {policy!r}; "
+                f"expected one of {OVERLAP_POLICIES}"
+            )
+        self.policy = policy
+        self.max_buffered = max_buffered
         self._streams: dict = {}
         self.stats = ReassemblyStats()
+        self._overflow_counter = None
 
     def __len__(self) -> int:
         return len(self._streams)
+
+    def bind_metrics(self, registry, instance_name: str) -> None:
+        """Publish overflow drops into *registry* as
+        ``dpi_reassembly_overflow_total{instance=...}``."""
+        self._overflow_counter = registry.counter(
+            "dpi_reassembly_overflow_total", instance=instance_name
+        )
+
+    def _record_overflow(self, seq: int, dropped: int) -> None:
+        self.stats.overflow_drops += 1
+        counter = self._overflow_counter
+        if counter is not None:
+            counter.inc()
 
     def add_packet(self, packet: Packet) -> tuple:
         """Returns ``(flow key, released bytes)`` for a TCP data packet.
@@ -137,7 +300,12 @@ class TCPReassembler:
             return flow_key, packet.payload
         stream = self._streams.get(flow_key)
         if stream is None:
-            stream = StreamReassembler(initial_seq=packet.l4.seq)
+            stream = StreamReassembler(
+                initial_seq=packet.l4.seq,
+                policy=self.policy,
+                max_buffered=self.max_buffered,
+                on_overflow=self._record_overflow,
+            )
             self._streams[flow_key] = stream
         released = stream.add_segment(packet.l4.seq, packet.payload)
         self.stats.segments += 1

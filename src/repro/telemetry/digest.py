@@ -29,8 +29,8 @@ BACKEND_TOKENS = frozenset({"arena", "descriptor", "copy"})
 _EXCLUDED_TOKENS = TIMING_TOKENS | BACKEND_TOKENS
 
 
-def _is_timing_metric(name: str) -> bool:
-    return not _EXCLUDED_TOKENS.isdisjoint(name.split("_"))
+def _is_excluded_metric(name: str, excluded: frozenset) -> bool:
+    return not excluded.isdisjoint(name.split("_"))
 
 
 def _clean_attributes(attributes: dict) -> dict:
@@ -41,12 +41,19 @@ def _clean_attributes(attributes: dict) -> dict:
     }
 
 
-def digest_material(hub) -> dict:
-    """The JSON-friendly material the digest is computed over."""
+def digest_material(hub, *, extra_exclude_tokens=frozenset()) -> dict:
+    """The JSON-friendly material the digest is computed over.
+
+    ``extra_exclude_tokens`` widens the exclusion set for comparisons that
+    must hold across *structurally* different engines — the adversarial
+    differential harness drops ``shard``-token metrics so a monolithic and
+    a sharded leg can be compared on what the workload produced.
+    """
+    excluded = _EXCLUDED_TOKENS | frozenset(extra_exclude_tokens)
     metrics = []
     for metric in hub.registry.collect():
         payload = dict(metric.as_dict())
-        if _is_timing_metric(payload["name"]):
+        if _is_excluded_metric(payload["name"], excluded):
             continue
         metrics.append(payload)
     spans = []
@@ -69,9 +76,11 @@ def digest_material(hub) -> dict:
     return {"metrics": metrics, "spans": spans, "faults": faults}
 
 
-def deterministic_digest(hub) -> str:
+def deterministic_digest(hub, *, extra_exclude_tokens=frozenset()) -> str:
     """SHA-256 over the hub's workload-determined telemetry."""
     payload = json.dumps(
-        digest_material(hub), sort_keys=True, default=str
+        digest_material(hub, extra_exclude_tokens=extra_exclude_tokens),
+        sort_keys=True,
+        default=str,
     ).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()

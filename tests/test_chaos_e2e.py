@@ -298,11 +298,11 @@ class TestShardedChaos:
         )
         pool = instance.automaton._kernel._backend._pool
         if pool is None:  # restart rebuilt the automaton; warm a pool up
-            instance.inspect(b"warm the pool", chain_id)
+            instance.inspect(b"warm the pool", chain_id=chain_id)
             pool = instance.automaton._kernel._backend._pool
         pool.terminate()
         pool.join()
-        output = instance.inspect(b"carrying chain-one-threat now", chain_id)
+        output = instance.inspect(b"carrying chain-one-threat now", chain_id=chain_id)
         assert output.has_matches
         assert instance.automaton.active_backend_name == "serial"
         assert instance.automaton.pool_fallbacks == 1
@@ -342,11 +342,11 @@ class TestShardedChaos:
             CRASH_RESTART_PLAN, packets=30, kernel="sharded", shards=2
         )
         expected = baseline.dpi_controller.instances["dpi3"].inspect(
-            probe, chain_id
+            probe, chain_id=chain_id
         )
         backend = instance.automaton._kernel._backend
         if backend._state is None:  # restart rebuilt the automaton
-            instance.inspect(b"warm the arena up", chain_id)
+            instance.inspect(b"warm the arena up", chain_id=chain_id)
             backend = instance.automaton._kernel._backend
         arena = backend.arena_name
         assert arena is not None
@@ -356,7 +356,7 @@ class TestShardedChaos:
         for process in backend._state.processes:
             process.terminate()
             process.join()
-        output = instance.inspect(probe, chain_id)
+        output = instance.inspect(probe, chain_id=chain_id)
         assert output.matches == expected.matches
         assert output.report.encode() == expected.report.encode()
         assert instance.automaton.active_backend_name == "serial"

@@ -151,7 +151,7 @@ class TestInstances:
     def test_create_instance_and_scan(self):
         controller = self._controller()
         instance = controller.instances.provision("dpi-1")
-        output = instance.inspect(b"an attack-sig and virus-sig", 100)
+        output = instance.inspect(b"an attack-sig and virus-sig", chain_id=100)
         assert output.matches[1] == [(0, 13)]
         assert output.matches[2] == [(0, 27)]
 
@@ -180,7 +180,7 @@ class TestInstances:
         instance = controller.instances.provision("dpi-1")
         controller.add_patterns(1, [Pattern(1, b"new-threat")])
         controller.instances.refresh()
-        output = instance.inspect(b"a new-threat arrives", 100)
+        output = instance.inspect(b"a new-threat arrives", chain_id=100)
         assert (1, 12) in output.matches[1]
 
     def test_remove_instance(self):
@@ -194,7 +194,7 @@ class TestInstances:
     def test_collect_telemetry(self):
         controller = self._controller()
         instance = controller.instances.provision("dpi-1")
-        instance.inspect(b"data", 100)
+        instance.inspect(b"data", chain_id=100)
         telemetry = controller.telemetry_snapshot().instances
         assert telemetry["dpi-1"]["packets_scanned"] == 1
 
@@ -202,10 +202,10 @@ class TestInstances:
         controller = self._controller()
         source = controller.instances.provision("dpi-1")
         target = controller.instances.provision("dpi-2")
-        source.inspect(b"partial attack-si", 100, flow_key="f")
+        source.inspect(b"partial attack-si", chain_id=100, flow_key="f")
         assert controller.migrate_flow("f", "dpi-1", "dpi-2")
         # The scan completes on the target with the carried state.
-        output = target.inspect(b"g", 100, flow_key="f")
+        output = target.inspect(b"g", chain_id=100, flow_key="f")
         assert (0, 18) in output.matches[1]
         # And the source no longer holds the flow.
         assert source.export_flow("f") is None

@@ -451,7 +451,7 @@ class TestHeartbeatEdgeCases:
         coordinator.instance_hosts["dpi-extra"] = "standby"
         sim = system.topology.simulator
         chain_id = sorted(system.instance.scanner.chain_map)[0]
-        system.instance.inspect(b"some data", chain_id, flow_key="f1")
+        system.instance.inspect(b"some data", chain_id=chain_id, flow_key="f1")
 
         def migrate_during_crash():
             system.instance.crash()

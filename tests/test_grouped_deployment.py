@@ -66,10 +66,10 @@ class TestDeployGrouped:
             for name, chains in deployed.items()
             if 100 in chains
         )
-        output = http_instance.inspect(b"a http-threat-sig flows", 100)
+        output = http_instance.inspect(b"a http-threat-sig flows", chain_id=100)
         assert output.matches[1] == [(0, 17)]
         with pytest.raises(KeyError):
-            http_instance.inspect(b"x", 102)
+            http_instance.inspect(b"x", chain_id=102)
 
     def test_single_group_carries_everything(self):
         controller = build_controller()
@@ -94,7 +94,7 @@ class TestLoadDrivenPlanning:
         hot = controller.instances[names[0]]
         chain_id = next(iter(hot.scanner.chain_map))
         for _ in range(10):
-            hot.inspect(b"x" * 2000, chain_id)
+            hot.inspect(b"x" * 2000, chain_id=chain_id)
         second = {s.instance_name: s for s in controller.load_samples(1.0)}
         assert second[names[0]].bytes_scanned == 20000
         assert second[names[1]].bytes_scanned == 0
@@ -106,7 +106,7 @@ class TestLoadDrivenPlanning:
         hot = controller.instances[names[0]]
         chain_id = next(iter(hot.scanner.chain_map))
         for _ in range(5):
-            hot.inspect(b"y" * 1000, chain_id)
+            hot.inspect(b"y" * 1000, chain_id=chain_id)
         # A tiny window makes the busy instance look saturated.
         samples = controller.load_samples(window_seconds=1e-9)
         planner = DeploymentPlanner()

@@ -50,49 +50,49 @@ def make_packet(payload, vid=100):
 class TestInspection:
     def test_literal_match_reported(self):
         instance = DPIServiceInstance(make_config())
-        output = instance.inspect(b"an attack comes", 100)
+        output = instance.inspect(b"an attack comes", chain_id=100)
         assert output.matches[1] == [(0, 9)]
         assert output.has_matches
         assert not output.report.is_empty
 
     def test_regex_confirmed_and_reported(self):
         instance = DPIServiceInstance(make_config())
-        output = instance.inspect(b"a regular  expression here", 100)
+        output = instance.inspect(b"a regular  expression here", chain_id=100)
         pairs = output.matches[1]
         assert (1, 2 + len("regular  expression")) in pairs
 
     def test_anchor_ids_never_reported(self):
         instance = DPIServiceInstance(make_config())
         # Anchors present ("regular" without "expression" completing regex).
-        output = instance.inspect(b"regular but nothing else", 100)
+        output = instance.inspect(b"regular but nothing else", chain_id=100)
         for matches in output.matches.values():
             for pattern_id, _pos in matches:
                 assert pattern_id < (1 << 20)
 
     def test_chain_selects_pattern_sets(self):
         instance = DPIServiceInstance(make_config())
-        output = instance.inspect(b"attack and virus123", 101)
+        output = instance.inspect(b"attack and virus123", chain_id=101)
         # Chain 101 has only middlebox 2.
         assert 1 not in output.matches
         assert output.matches[2] == [(0, 19)]
 
     def test_no_matches_empty_report(self):
         instance = DPIServiceInstance(make_config())
-        output = instance.inspect(b"benign payload", 100)
+        output = instance.inspect(b"benign payload", chain_id=100)
         assert not output.has_matches
         assert output.report.is_empty
 
     def test_report_encodes_per_middlebox(self):
         instance = DPIServiceInstance(make_config())
-        output = instance.inspect(b"attack with virus123", 100)
+        output = instance.inspect(b"attack with virus123", chain_id=100)
         decoded = MatchReport.decode(output.report.encode())
         assert decoded.matches_for(1) == [(0, 6)]
         assert decoded.matches_for(2) == [(0, 20)]
 
     def test_telemetry_counters(self):
         instance = DPIServiceInstance(make_config())
-        instance.inspect(b"attack", 100)
-        instance.inspect(b"quiet", 100)
+        instance.inspect(b"attack", chain_id=100)
+        instance.inspect(b"quiet", chain_id=100)
         telemetry = instance.telemetry
         assert telemetry.packets_scanned == 2
         assert telemetry.bytes_scanned == 11
@@ -101,14 +101,14 @@ class TestInspection:
 
     def test_stateful_cross_packet(self):
         instance = DPIServiceInstance(make_config(stateful=True))
-        instance.inspect(b"att", 100, flow_key="f")
-        output = instance.inspect(b"ack", 100, flow_key="f")
+        instance.inspect(b"att", chain_id=100, flow_key="f")
+        output = instance.inspect(b"ack", chain_id=100, flow_key="f")
         assert (0, 6) in output.matches[1]
 
     def test_heavy_flows_ranked(self):
         instance = DPIServiceInstance(make_config(stateful=True))
-        instance.inspect(b"x" * 2000, 100, flow_key="big")
-        instance.inspect(b"y" * 10, 100, flow_key="small")
+        instance.inspect(b"x" * 2000, chain_id=100, flow_key="big")
+        instance.inspect(b"y" * 10, chain_id=100, flow_key="small")
         heavy = instance.heavy_flows(top=1)
         assert heavy[0][0] == "big"
 
@@ -120,7 +120,7 @@ class TestInspection:
             chain_map={100: (1,)},
         )
         instance.reconfigure(new_config)
-        output = instance.inspect(b"a fresh start", 100)
+        output = instance.inspect(b"a fresh start", chain_id=100)
         assert output.matches[1] == [(0, 7)]
 
     def test_config_requires_profiles(self):
@@ -224,12 +224,79 @@ class TestRegexMatchDedup:
 
     def test_same_match_reported_once(self):
         instance = self._instance()
-        output = instance.inspect(b"alphanum77", 100)
+        output = instance.inspect(b"alphanum77", chain_id=100)
         assert output.matches[1].count((5, 10)) == 1
 
     def test_distinct_matches_survive_dedup(self):
         instance = self._instance()
-        output = instance.inspect(b"alphanum77 xyz9", 100)
+        output = instance.inspect(b"alphanum77 xyz9", chain_id=100)
         positions = sorted(output.matches[1])
         assert (5, 10) in positions and (5, 15) in positions
         assert len(positions) == len(set(positions))
+
+
+class TestInspectionAPISurface:
+    """The keyword-only inspection contract and its deprecation shims."""
+
+    def test_positional_chain_id_warns_and_still_works(self):
+        instance = DPIServiceInstance(make_config())
+        with pytest.warns(DeprecationWarning, match="chain_id"):
+            output = instance.inspect(b"an attack", 100)
+        assert output.matches[1] == [(0, 9)]
+
+    def test_full_positional_shape_maps_all_slots(self):
+        instance = DPIServiceInstance(make_config(stateful=True))
+        with pytest.warns(DeprecationWarning):
+            instance.inspect(b"att", 100, "f", 1.0, None)
+        with pytest.warns(DeprecationWarning):
+            output = instance.inspect(b"ack", 100, "f", 2.0, None)
+        assert output.matches[1] == [(0, 6)]  # straddle proves flow_key bound
+
+    def test_positional_batch_warns_and_still_works(self):
+        instance = DPIServiceInstance(make_config())
+        with pytest.warns(DeprecationWarning, match="inspect_batch"):
+            outputs = instance.inspect_batch([b"attack", b"clean"], 100)
+        assert outputs[0].has_matches and not outputs[1].has_matches
+
+    def test_positional_keyword_conflict_raises(self):
+        instance = DPIServiceInstance(make_config())
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                instance.inspect(b"x", 100, chain_id=100)
+
+    def test_missing_chain_id_raises(self):
+        instance = DPIServiceInstance(make_config())
+        with pytest.raises(TypeError, match="chain_id"):
+            instance.inspect(b"x")
+        with pytest.raises(TypeError, match="chain_id"):
+            instance.inspect_batch([b"x"])
+
+    def test_too_many_positionals_raises(self):
+        instance = DPIServiceInstance(make_config())
+        with pytest.raises(TypeError, match="positional"):
+            instance.inspect(b"x", 100, None, 0.0, None, "extra")
+
+    def test_batch_trace_parent_records_spans(self):
+        # Regression: inspect_batch used to silently drop tracing.
+        from repro.telemetry import TelemetryHub
+
+        hub = TelemetryHub(clock=lambda: 0.0)
+        instance = DPIServiceInstance(make_config(), telemetry=hub)
+        root = hub.tracer.start_span("batch")
+        instance.inspect_batch(
+            [b"attack", b"virus123"],
+            chain_id=100,
+            trace_parent=root.context,
+        )
+        root.finish(hub.tracer.now())
+        spans = hub.tracer.spans_named("inspect")
+        assert len(spans) == 2
+        assert {s.parent_id for s in spans} == {root.context[1]}
+
+    def test_batch_matches_looped_inspect(self):
+        batch = DPIServiceInstance(make_config())
+        loop = DPIServiceInstance(make_config())
+        payloads = [b"an attack", b"virus123 here", b"clean"]
+        batched = batch.inspect_batch(payloads, chain_id=100)
+        looped = [loop.inspect(p, chain_id=100) for p in payloads]
+        assert [o.matches for o in batched] == [o.matches for o in looped]

@@ -301,7 +301,7 @@ class TestInstanceKernels:
         }
         for payload in self.PAYLOADS:
             outputs = {
-                name: instance.inspect(payload, 100)
+                name: instance.inspect(payload, chain_id=100)
                 for name, instance in instances.items()
             }
             reference = outputs["reference"]
@@ -319,7 +319,7 @@ class TestInstanceKernels:
         chunks = [b"a split att", b"ack arrives", b" with virus", b"123 too"]
         for index, chunk in enumerate(chunks):
             outputs = {
-                name: instance.inspect(chunk, 100, flow_key="flow-1")
+                name: instance.inspect(chunk, chain_id=100, flow_key="flow-1")
                 for name, instance in instances.items()
             }
             reference = outputs["reference"]
@@ -334,21 +334,21 @@ class TestInstanceKernels:
     def test_inspect_batch_matches_sequential_inspect(self):
         batch_instance = DPIServiceInstance(make_instance_config("flat"))
         loop_instance = DPIServiceInstance(make_instance_config("flat"))
-        batched = batch_instance.inspect_batch(self.PAYLOADS, 100)
-        looped = [loop_instance.inspect(p, 100) for p in self.PAYLOADS]
+        batched = batch_instance.inspect_batch(self.PAYLOADS, chain_id=100)
+        looped = [loop_instance.inspect(p, chain_id=100) for p in self.PAYLOADS]
         assert [b.matches for b in batched] == [s.matches for s in looped]
         assert batch_instance.telemetry.packets_scanned == len(self.PAYLOADS)
 
     def test_inspect_batch_with_flow_keys(self):
         instance = DPIServiceInstance(make_instance_config("flat", stateful=True))
         chunks = [b"a split att", b"ack arrives"]
-        outputs = instance.inspect_batch(chunks, 100, flow_keys=["f", "f"])
+        outputs = instance.inspect_batch(chunks, chain_id=100, flow_keys=["f", "f"])
         assert outputs[1].matches[1] == [(0, 14)]  # cross-packet match
 
     def test_inspect_batch_flow_key_length_mismatch(self):
         instance = DPIServiceInstance(make_instance_config("flat"))
         with pytest.raises(ValueError, match="flow_keys length"):
-            instance.inspect_batch([b"a", b"b"], 100, flow_keys=["only-one"])
+            instance.inspect_batch([b"a", b"b"], chain_id=100, flow_keys=["only-one"])
 
     def test_scan_cache_stats_exposed(self):
         instance = DPIServiceInstance(make_instance_config("flat"))
@@ -356,7 +356,7 @@ class TestInstanceKernels:
         cached = DPIServiceInstance(
             make_instance_config("flat", scan_cache_size=16)
         )
-        cached.inspect(b"an attack", 100)
-        cached.inspect(b"an attack", 100)
+        cached.inspect(b"an attack", chain_id=100)
+        cached.inspect(b"an attack", chain_id=100)
         stats = cached.scan_cache_stats()
         assert stats["hits"] >= 1

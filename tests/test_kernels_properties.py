@@ -8,6 +8,8 @@ count.  A second property checks the same at the instance level, where raw
 matches become middlebox reports.
 """
 
+import random
+
 import pytest
 
 hypothesis = pytest.importorskip("hypothesis")
@@ -19,6 +21,7 @@ from repro.core.instance import DPIServiceInstance, InstanceConfig
 from repro.core.kernels import KERNEL_NAMES
 from repro.core.patterns import Pattern
 from repro.core.scanner import MiddleboxProfile
+from repro.net.reassembly import OVERLAP_POLICIES, StreamReassembler
 
 # A tiny alphabet plus one binary byte: overlap-heavy, and exercises the
 # regex kernel's anchor classes on both printable and non-printable bytes.
@@ -105,7 +108,7 @@ def test_instances_report_identically(patterns, chunks, layout, stateful):
         instances[name] = DPIServiceInstance(config)
     for chunk in chunks:
         outputs = {
-            name: instance.inspect(chunk, 100, flow_key="flow")
+            name: instance.inspect(chunk, chain_id=100, flow_key="flow")
             for name, instance in instances.items()
         }
         reference = outputs["reference"]
@@ -113,3 +116,76 @@ def test_instances_report_identically(patterns, chunks, layout, stateful):
             assert outputs[name].matches == reference.matches, name
             assert outputs[name].report.encode() == reference.report.encode()
             assert outputs[name].bytes_scanned == reference.bytes_scanned
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    patterns=pattern_lists,
+    stream=st.builds(
+        bytes, st.lists(st.sampled_from(ALPHABET), min_size=1, max_size=80)
+    ),
+    cut_points=st.lists(
+        st.integers(min_value=1, max_value=79), max_size=5
+    ),
+    order_seed=st.integers(min_value=0, max_value=2**16),
+    policy=st.sampled_from(OVERLAP_POLICIES),
+    duplicate=st.booleans(),
+    conflict=st.booleans(),
+)
+def test_reassembled_ambiguous_streams_scan_identically(
+    patterns, stream, cut_points, order_seed, policy, duplicate, conflict
+):
+    """Reassembly-aware equivalence: segment a stream adversarially
+    (reordered, duplicated, conflictingly-overlapped), reassemble under a
+    policy, and every kernel must agree on every released chunk — with
+    per-flow DFA state carried across chunk boundaries."""
+    cuts = sorted({cut for cut in cut_points if cut < len(stream)})
+    bounds = [0, *cuts, len(stream)]
+    segments = [
+        (bounds[i], stream[bounds[i] : bounds[i + 1]])
+        for i in range(len(bounds) - 1)
+    ]
+    rng = random.Random(order_seed)
+    if duplicate:
+        segments.append(rng.choice(segments))
+    if conflict:
+        seq, data = rng.choice(segments)
+        segments.append((seq, bytes(byte ^ 0x01 for byte in data)))
+    rng.shuffle(segments)
+
+    instances = {}
+    for name in KERNEL_NAMES:
+        config = InstanceConfig(
+            pattern_sets={1: [Pattern(i, p) for i, p in enumerate(patterns)]},
+            profiles={1: MiddleboxProfile(1, name="ids", stateful=True)},
+            chain_map={100: (1,)},
+            kernel=name,
+        )
+        instances[name] = DPIServiceInstance(config)
+
+    reassembler = StreamReassembler(policy=policy)
+    released_total = 0
+    for seq, data in segments:
+        released = reassembler.add_segment(seq, data)
+        released_total += len(released)
+        if not released:
+            continue
+        outputs = {
+            name: instance.inspect(released, chain_id=100, flow_key="flow")
+            for name, instance in instances.items()
+        }
+        reference = outputs["reference"]
+        for name in ("flat", "regex"):
+            assert outputs[name].matches == reference.matches, name
+            assert outputs[name].bytes_scanned == reference.bytes_scanned
+
+    # Policy choice resolves WHICH bytes win an ambiguous overlap, never
+    # HOW MANY bytes the stream covers: the other policy must release
+    # exactly the same amount from the same segment plan.
+    other = StreamReassembler(
+        policy="last" if policy == "first" else "first"
+    )
+    other_total = sum(
+        len(other.add_segment(seq, data)) for seq, data in segments
+    )
+    assert other_total == released_total

@@ -158,7 +158,7 @@ class TestTelemetrySnapshot:
     def test_typed_fields(self):
         controller = make_controller()
         instance = controller.instances.provision("dpi-1")
-        instance.inspect(b"evil-sig here", CHAIN, flow_key="f1")
+        instance.inspect(b"evil-sig here", chain_id=CHAIN, flow_key="f1")
         snapshot = controller.telemetry_snapshot()
         assert isinstance(snapshot, TelemetrySnapshot)
         assert snapshot.instances["dpi-1"]["packets_scanned"] == 1
@@ -211,7 +211,7 @@ class TestMigrateFlowContract:
         controller = make_controller()
         source = controller.instances.provision("dpi-1")
         controller.instances.provision("dpi-2")
-        source.inspect(b"evil-sig", CHAIN, flow_key="f1")
+        source.inspect(b"evil-sig", chain_id=CHAIN, flow_key="f1")
         source.crash()
         with pytest.raises(InstanceUnavailableError):
             controller.migrate_flow("f1", "dpi-1", "dpi-2")
@@ -226,7 +226,7 @@ class TestMigrateFlowContract:
         controller = make_controller()
         source = controller.instances.provision("dpi-1")
         target = controller.instances.provision("dpi-2")
-        source.inspect(b"evil-si", CHAIN, flow_key="f1")
+        source.inspect(b"evil-si", chain_id=CHAIN, flow_key="f1")
         assert controller.migrate_flow("f1", "dpi-1", "dpi-2") is True
         assert source.export_flow("f1") is None
         assert target.export_flow("f1") is not None

@@ -57,7 +57,7 @@ class TestFlatChurn:
             name = f"churn-{round_number}"
             instance = controller.instances.provision(name, kernel="flat")
             for flow_id, chain_id, payload, _ in batches[0]:
-                instance.inspect(payload, chain_id, flow_key=flow_id)
+                instance.inspect(payload, chain_id=chain_id, flow_key=flow_id)
             registry.counter(
                 "load_packets_total", instance=name
             ).inc(len(batches[0]))
@@ -82,7 +82,7 @@ class TestFlatChurn:
             for keeper in survivors:
                 instance = controller.instances[keeper]
                 for flow_id, chain_id, payload, _ in batches[0][:50]:
-                    instance.inspect(payload, chain_id, flow_key=flow_id)
+                    instance.inspect(payload, chain_id=chain_id, flow_key=flow_id)
         assert sorted(controller.instances) == sorted(survivors)
 
 
@@ -92,7 +92,7 @@ class TestZeroCopyChurn:
         instance = controller.instances.provision("zc-1", **ZEROCOPY_KWARGS)
         batch = traffic()[0]
         for flow_id, chain_id, payload, _ in batch[:40]:
-            instance.inspect(payload, chain_id, flow_key=flow_id)
+            instance.inspect(payload, chain_id=chain_id, flow_key=flow_id)
         assert len(shm_segments()) == 1
         controller.instances.decommission("zc-1")
         assert shm_segments() == []
@@ -107,7 +107,7 @@ class TestZeroCopyChurn:
                 name, **ZEROCOPY_KWARGS
             )
             for flow_id, chain_id, payload, _ in batch[:30]:
-                instance.inspect(payload, chain_id, flow_key=flow_id)
+                instance.inspect(payload, chain_id=chain_id, flow_key=flow_id)
             assert shm_segments() != []
             controller.instances.decommission(name)
             assert shm_segments() == [], f"leak after round {round_number}"
@@ -123,7 +123,7 @@ class TestZeroCopyChurn:
         assert controller.instances.is_dedicated(name)
         flood = [item for item in batch if item[1] == 200]
         for flow_id, chain_id, payload, _ in flood[:20]:
-            instance.inspect(payload, chain_id, flow_key=flow_id)
+            instance.inspect(payload, chain_id=chain_id, flow_key=flow_id)
         controller.instances.decommission(name)
         assert not controller.instances.is_dedicated(name)
         assert shm_segments() == []
@@ -132,7 +132,7 @@ class TestZeroCopyChurn:
     def test_crash_then_decommission_is_idempotent(self):
         controller = fresh_controller()
         instance = controller.instances.provision("zc-2", **ZEROCOPY_KWARGS)
-        instance.inspect(b"warm up the arena", 100, flow_key=1)
+        instance.inspect(b"warm up the arena", chain_id=100, flow_key=1)
         instance.crash()
         assert shm_segments() == []
         # Decommissioning an already-crashed instance must not raise or
@@ -178,14 +178,14 @@ class TestAutoscalerChurn:
         up = autoscaler.tick(epoch=0)
         assert [event.action for event in up] == ["up"]
         added = up[0].instance
-        controller.instances[added].inspect(b"an arena-backed scan", 100)
+        controller.instances[added].inspect(b"an arena-backed scan", chain_id=100)
         assert shm_segments() != []
         feed(added, 0.0001)
         down = autoscaler.tick(epoch=1)
         assert [event.action for event in down] == ["down"]
         assert down[0].instance == added
         # Scale-down of a zero-copy instance releases its arena...
-        controller.instances["dpi-1"].inspect(b"still serving", 100)
+        controller.instances["dpi-1"].inspect(b"still serving", chain_id=100)
         controller.instances.decommission("dpi-1")
         # ...and after the survivor goes too, nothing is left anywhere.
         assert shm_segments() == []

@@ -281,6 +281,45 @@ def test_api001_allows_immutable_defaults(snippet):
     assert lint_source(snippet, path=OUTSIDE_PATH) == []
 
 
+# --- API002 (keyword-only inspection surface) -------------------------------
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "def scan(instance, p):\n    return instance.inspect(p, 100)\n",
+        (
+            "def scan(instance, p):\n"
+            "    return instance.inspect(p, 100, 'flow', 0.0)\n"
+        ),
+        (
+            "def scan(instance, batch):\n"
+            "    return instance.inspect_batch(batch, 100)\n"
+        ),
+    ],
+)
+def test_api002_flags_positional_inspection_calls(snippet):
+    assert "API002" in codes(lint_source(snippet, path=OUTSIDE_PATH))
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        (
+            "def scan(instance, p):\n"
+            "    return instance.inspect(p, chain_id=100, flow_key='f')\n"
+        ),
+        (
+            "def scan(instance, batch):\n"
+            "    return instance.inspect_batch(batch, chain_id=100)\n"
+        ),
+        # Unrelated single-positional .inspect() on other objects is fine.
+        "def peek(conn):\n    return conn.inspect(42)\n",
+    ],
+)
+def test_api002_allows_keyword_inspection_calls(snippet):
+    assert lint_source(snippet, path=OUTSIDE_PATH) == []
+
+
 # --- KER001 -----------------------------------------------------------------
 
 def test_ker001_flags_methods_outside_the_kernel_contract():

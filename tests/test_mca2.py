@@ -85,7 +85,7 @@ class TestAttackWorkloads:
                 started = time.perf_counter()
                 for index in range(10):
                     instance.inspect(
-                        payload, CHAIN, flow_key=f"{key}-{round_index}-{index}"
+                        payload, chain_id=CHAIN, flow_key=f"{key}-{round_index}-{index}"
                     )
                 best = min(
                     best, (time.perf_counter() - started) / (10 * len(payload))
@@ -102,7 +102,7 @@ class TestStressMonitor:
         generator = TrafficGenerator(seed=9)
         for index in range(packets):
             instance.inspect(
-                generator.benign_payload(800), CHAIN, flow_key=f"benign-{index}"
+                generator.benign_payload(800), chain_id=CHAIN, flow_key=f"benign-{index}"
             )
 
     def test_calibration_records_baseline(self, snort_patterns):
@@ -132,7 +132,7 @@ class TestStressMonitor:
         # Attack: a few flows sending complexity-attack payloads.
         attack = match_flood_payload(snort_patterns, 3000)
         for index in range(15):
-            instance.inspect(attack, CHAIN, flow_key=f"attacker-{index % 3}")
+            instance.inspect(attack, chain_id=CHAIN, flow_key=f"attacker-{index % 3}")
         events = monitor.observe()
         assert events, "stress not detected"
         assert events[0].stress_factor > 1.5
@@ -153,7 +153,7 @@ class TestStressMonitor:
         monitor.calibrate()
         attack = match_flood_payload(snort_patterns, 3000)
         for _ in range(15):
-            instance.inspect(attack, CHAIN, flow_key="attacker")
+            instance.inspect(attack, chain_id=CHAIN, flow_key="attacker")
         steering_calls = []
         monitor.on_flow_migrated = lambda flow, target: steering_calls.append(
             (flow, target)
@@ -170,7 +170,7 @@ class TestStressMonitor:
         monitor.calibrate()
         attack = match_flood_payload(snort_patterns, 3000)
         for _ in range(15):
-            instance.inspect(attack, CHAIN, flow_key="attacker")
+            instance.inspect(attack, chain_id=CHAIN, flow_key="attacker")
         events = monitor.observe()
         assert events
         first = monitor.mitigate(events[0])
@@ -186,7 +186,7 @@ class TestStressMonitor:
         monitor.calibrate()
         attack = match_flood_payload(snort_patterns, 3000)
         for _ in range(15):
-            instance.inspect(attack, CHAIN, flow_key="attacker")
+            instance.inspect(attack, chain_id=CHAIN, flow_key="attacker")
         for event in monitor.observe():
             monitor.mitigate(event)
         released = monitor.deallocate_dedicated()

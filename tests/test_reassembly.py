@@ -57,16 +57,115 @@ class TestStreamReassembler:
         assert stream.add_segment(1000, b"xy") == b"xy"
         assert stream.next_seq == 1002
 
-    def test_buffer_overflow_guard(self):
-        stream = StreamReassembler()
-        stream._pending[10] = b"x" * StreamReassembler.MAX_BUFFERED_BYTES
-        with pytest.raises(BufferError):
-            stream.add_segment(10 + StreamReassembler.MAX_BUFFERED_BYTES + 5, b"y")
+    def test_buffer_overflow_drops_segment(self):
+        # Overflow is a drop decision, not an exception: the segment is
+        # discarded, counted, and reported through the hook.
+        drops = []
+        stream = StreamReassembler(
+            max_buffered=4, on_overflow=lambda seq, n: drops.append((seq, n))
+        )
+        assert stream.add_segment(10, b"wxyz") == b""
+        assert stream.add_segment(20, b"q") == b""
+        assert stream.stats.overflow_drops == 1
+        assert drops == [(20, 1)]
+        assert stream.buffered_bytes == 4
+        # The stream stays usable: filling the gap releases what survived.
+        assert stream.add_segment(0, b"0123456789") == b"0123456789wxyz"
+
+    def test_overflow_exempts_in_order_data(self):
+        # An in-order segment never needs buffering, so a full buffer must
+        # not drop it.
+        stream = StreamReassembler(max_buffered=3)
+        assert stream.add_segment(5, b"fgh") == b""
+        assert stream.buffered_bytes == 3
+        assert stream.add_segment(0, b"abcde") == b"abcdefgh"
+        assert stream.stats.overflow_drops == 0
 
     def test_stats_released(self):
         stream = StreamReassembler()
         stream.add_segment(0, b"abcd")
         assert stream.stats.bytes_released == 4
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            StreamReassembler(policy="middle")
+        with pytest.raises(ValueError):
+            TCPReassembler(policy="middle")
+
+    def test_rejects_nonpositive_max_buffered(self):
+        with pytest.raises(ValueError):
+            StreamReassembler(max_buffered=0)
+
+
+class TestOverlapPolicies:
+    """The ambiguity classes the fingerprinting paper exploits: two
+    segments claim the same range with different content, and the policy
+    decides which bytes the scanner sees."""
+
+    def test_first_wins_conflicting_pending_overlap(self):
+        stream = StreamReassembler(policy="first")
+        assert stream.add_segment(2, b"CDEF") == b""
+        # Conflicting rewrite of [2..6) plus fresh tail [6..8).
+        assert stream.add_segment(2, b"xxxxGH") == b""
+        assert stream.add_segment(0, b"AB") == b"ABCDEFGH"
+        assert stream.stats.conflicting_bytes == 4
+        assert stream.stats.overlapping_segments == 1
+
+    def test_last_wins_conflicting_pending_overlap(self):
+        stream = StreamReassembler(policy="last")
+        assert stream.add_segment(2, b"CDEF") == b""
+        assert stream.add_segment(2, b"xxxxGH") == b""
+        assert stream.add_segment(0, b"AB") == b"ABxxxxGH"
+        assert stream.stats.conflicting_bytes == 4
+
+    def test_last_wins_splits_covering_segment(self):
+        # A rewrite strictly inside a buffered segment splits it: head and
+        # tail of the old data survive, the middle is replaced.
+        stream = StreamReassembler(policy="last")
+        assert stream.add_segment(1, b"BCDEF") == b""
+        assert stream.add_segment(3, b"xx") == b""
+        assert stream.add_segment(0, b"A") == b"ABCxxF"
+
+    def test_first_wins_fills_only_gaps(self):
+        # Under first-wins the same rewrite contributes nothing where data
+        # already exists, but still fills genuine gaps around it.
+        stream = StreamReassembler(policy="first")
+        assert stream.add_segment(2, b"CD") == b""
+        assert stream.add_segment(6, b"GH") == b""
+        # Covers [1..8): only [1..2) and [4..6) are new under first-wins.
+        assert stream.add_segment(1, b"bcdefgh") == b""
+        assert stream.add_segment(0, b"A") == b"AbCDefGH"
+
+    def test_retransmission_with_changed_payload_after_release(self):
+        # Released bytes are immutable under either policy: a changed
+        # retransmission of consumed data is dropped as a duplicate.
+        for policy in ("first", "last"):
+            stream = StreamReassembler(policy=policy)
+            assert stream.add_segment(0, b"abc") == b"abc"
+            assert stream.add_segment(0, b"XYZ") == b""
+            assert stream.stats.duplicate_segments == 1
+            assert stream.next_seq == 3
+
+    def test_changed_retransmission_straddling_release_point(self):
+        # The portion covering released bytes is trimmed; only the policy
+        # governs the (pending) remainder.
+        stream = StreamReassembler(policy="last")
+        assert stream.add_segment(0, b"abc") == b"abc"
+        assert stream.add_segment(4, b"E") == b""
+        # [1..3) is already released and stays "bc"; [3..5)="Ze" replaces
+        # the buffered "E" at 4 because the newest segment wins.
+        assert stream.add_segment(1, b"XYZe") == b"Ze"
+
+    def test_zero_length_keepalives_counted_not_buffered(self):
+        stream = StreamReassembler()
+        assert stream.add_segment(0, b"ab") == b"ab"
+        # Keepalive probes at, before, and past the release point.
+        assert stream.add_segment(2, b"") == b""
+        assert stream.add_segment(0, b"") == b""
+        assert stream.add_segment(50, b"") == b""
+        assert stream.stats.keepalives == 3
+        assert stream.buffered_bytes == 0
+        assert stream.add_segment(2, b"cd") == b"cd"
 
 
 class TestTCPReassembler:
@@ -124,6 +223,29 @@ class TestTCPReassembler:
         flow_key, _ = reassembler.add_packet(self._packet(0, b"abc"))
         assert reassembler.close_flow(flow_key) is not None
         assert reassembler.close_flow(flow_key) is None
+
+    def test_policy_and_cap_passed_to_streams(self):
+        reassembler = TCPReassembler(policy="last", max_buffered=8)
+        flow_key, _ = reassembler.add_packet(self._packet(0, b"abc"))
+        stream = reassembler.stream_of(flow_key)
+        assert stream.policy == "last"
+        assert stream.max_buffered == 8
+
+    def test_overflow_counter_exported(self):
+        from repro.telemetry import TelemetryHub
+
+        hub = TelemetryHub(clock=lambda: 0.0, tracing=False)
+        reassembler = TCPReassembler(max_buffered=1)
+        reassembler.bind_metrics(hub.registry, "dpi-0")
+        # The first packet anchors and releases; the second leaves a gap
+        # and carries more out-of-order bytes than the cap allows.
+        reassembler.add_packet(self._packet(10, b"xy"))
+        reassembler.add_packet(self._packet(20, b"zz"))
+        assert reassembler.stats.overflow_drops == 1
+        counter = hub.registry.counter(
+            "dpi_reassembly_overflow_total", instance="dpi-0"
+        )
+        assert counter.value == 1
 
 
 @given(

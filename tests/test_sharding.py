@@ -290,6 +290,23 @@ class TestBackends:
         with pytest.raises(ValueError, match="shard backend"):
             make_backend("threads", automata=[], specs=())
 
+    def test_every_backend_declares_the_protocol_surface(self):
+        # The ShardBackend Protocol made explicit at runtime: name,
+        # supports_pipelined, and the three methods — with the pipelined
+        # capability advertised by flag, not hasattr.
+        from repro.core.zerocopy import ZeroCopyBackend
+
+        for cls, pipelined in (
+            (SerialBackend, False),
+            (ProcessBackend, False),
+            (ZeroCopyBackend, True),
+        ):
+            assert cls.name in ("serial", "process", "zerocopy")
+            assert cls.supports_pipelined is pipelined
+            for method in ("scan_shards", "scan_shard_batches", "shutdown"):
+                assert callable(getattr(cls, method)), (cls, method)
+            assert pipelined == hasattr(cls, "scan_chunked_batches")
+
     def test_serial_backend_runs_in_task_order(self):
         automata = [
             CombinedAutomaton({1: [Pattern(0, b"aa")]}),
@@ -445,7 +462,7 @@ class TestInstanceWiring:
             make_instance_config(kernel="sharded", shards=3)
         )
         assert isinstance(instance.automaton, ShardedAutomaton)
-        output = instance.inspect(b"xx attack xx", 100)
+        output = instance.inspect(b"xx attack xx", chain_id=100)
         assert output.matches == {1: [(0, 9)]}
 
     def test_crash_drains_worker_pool(self):
@@ -454,12 +471,12 @@ class TestInstanceWiring:
                 kernel="sharded", shards=2, shard_backend="process"
             )
         )
-        instance.inspect(b"the attack payload", 100)
+        instance.inspect(b"the attack payload", chain_id=100)
         assert multiprocessing.active_children() != []
         instance.crash()
         assert multiprocessing.active_children() == []
         instance.restart()
-        output = instance.inspect(b"the attack payload", 100)
+        output = instance.inspect(b"the attack payload", chain_id=100)
         assert output.has_matches
         instance.crash()
         assert multiprocessing.active_children() == []
@@ -471,8 +488,8 @@ class TestInstanceWiring:
             name="dpi-shardy",
             telemetry=hub,
         )
-        instance.inspect(b"an attack here", 100)
-        instance.inspect(b"clean", 100)
+        instance.inspect(b"an attack here", chain_id=100)
+        instance.inspect(b"clean", chain_id=100)
         counters = hub.registry.collect_named("dpi_shard_scans_total")
         assert len(counters) == 2
         assert all(counter.value == 2 for counter in counters)

@@ -10,6 +10,8 @@ each automaton's own end state.  A second property checks the same at the
 instance level, where matches become middlebox reports.
 """
 
+import random
+
 import pytest
 
 hypothesis = pytest.importorskip("hypothesis")
@@ -22,6 +24,7 @@ from repro.core.kernels import KERNEL_NAMES
 from repro.core.patterns import Pattern
 from repro.core.scanner import MiddleboxProfile
 from repro.core.sharding import ShardedAutomaton
+from repro.net.reassembly import OVERLAP_POLICIES, StreamReassembler
 
 # The kernel property suite's overlap-heavy alphabet (shared prefixes and
 # suffix matches stress the merge order; \x00 stresses regex anchors).
@@ -233,8 +236,70 @@ def test_sharded_instance_reports_identically(
         )
     )
     for chunk in chunks:
-        expected = monolithic.inspect(chunk, 100, flow_key="flow")
-        actual = sharded.inspect(chunk, 100, flow_key="flow")
+        expected = monolithic.inspect(chunk, chain_id=100, flow_key="flow")
+        actual = sharded.inspect(chunk, chain_id=100, flow_key="flow")
         assert actual.matches == expected.matches
         assert actual.report.encode() == expected.report.encode()
+        assert actual.bytes_scanned == expected.bytes_scanned
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    patterns=pattern_lists,
+    stream=st.builds(
+        bytes, st.lists(st.sampled_from(ALPHABET), min_size=1, max_size=64)
+    ),
+    cut_points=st.lists(st.integers(min_value=1, max_value=63), max_size=4),
+    order_seed=st.integers(min_value=0, max_value=2**16),
+    policy=st.sampled_from(OVERLAP_POLICIES),
+    num_shards=st.integers(min_value=1, max_value=4),
+    shard_kernel=st.sampled_from(KERNEL_NAMES),
+)
+def test_sharded_agrees_on_reassembled_ambiguous_streams(
+    patterns, stream, cut_points, order_seed, policy, num_shards, shard_kernel
+):
+    """Reassembly-aware shard equivalence: an adversarially segmented
+    stream (reordered, overlapping) reassembled under either overlap
+    policy must scan identically on the monolithic reference engine and
+    every sharded configuration, chunk by released chunk."""
+    cuts = sorted({cut for cut in cut_points if cut < len(stream)})
+    bounds = [0, *cuts, len(stream)]
+    segments = [
+        (bounds[i], stream[bounds[i] : bounds[i + 1]])
+        for i in range(len(bounds) - 1)
+    ]
+    rng = random.Random(order_seed)
+    if len(segments) > 1:
+        seq, data = rng.choice(segments)
+        segments.append((seq, bytes(byte ^ 0x01 for byte in data)))
+    rng.shuffle(segments)
+
+    pattern_sets = {1: [Pattern(i, p) for i, p in enumerate(patterns)]}
+    profiles = {1: MiddleboxProfile(1, name="ids", stateful=True)}
+    monolithic = DPIServiceInstance(
+        InstanceConfig(
+            pattern_sets=pattern_sets,
+            profiles=profiles,
+            chain_map={100: (1,)},
+            kernel="reference",
+        )
+    )
+    sharded = DPIServiceInstance(
+        InstanceConfig(
+            pattern_sets=pattern_sets,
+            profiles=profiles,
+            chain_map={100: (1,)},
+            kernel="sharded",
+            shards=num_shards,
+            shard_kernel=shard_kernel,
+        )
+    )
+    reassembler = StreamReassembler(policy=policy)
+    for seq, data in segments:
+        released = reassembler.add_segment(seq, data)
+        if not released:
+            continue
+        expected = monolithic.inspect(released, chain_id=100, flow_key="flow")
+        actual = sharded.inspect(released, chain_id=100, flow_key="flow")
+        assert actual.matches == expected.matches
         assert actual.bytes_scanned == expected.bytes_scanned

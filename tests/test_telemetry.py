@@ -198,7 +198,7 @@ class TestExporters:
     def test_report_renders_instance_table(self):
         hub = TelemetryHub(clock=lambda: 0.0)
         instance = make_instance(telemetry=hub, scan_cache_size=4)
-        instance.inspect(b"has a needle-alpha inside", CHAIN, flow_key="f")
+        instance.inspect(b"has a needle-alpha inside", chain_id=CHAIN, flow_key="f")
         text = render_report(hub)
         assert "dpi-t" in text
         assert "DPI instances" in text
@@ -214,7 +214,7 @@ class TestInstanceTelemetry:
         instance = make_instance(telemetry=hub)
         payloads = [b"clean data", b"with needle-alpha", b"and needle-beta!"]
         for index, payload in enumerate(payloads):
-            instance.inspect(payload, CHAIN, flow_key=f"f{index}")
+            instance.inspect(payload, chain_id=CHAIN, flow_key=f"f{index}")
         registry = hub.registry
         legacy = instance.telemetry
         assert registry.value("dpi_packets_scanned_total", instance="dpi-t") == \
@@ -236,8 +236,8 @@ class TestInstanceTelemetry:
     def test_cache_stats_surfaced_as_gauges(self):
         hub = TelemetryHub()
         instance = make_instance(telemetry=hub, scan_cache_size=2)
-        instance.inspect(b"payload-one", CHAIN)
-        instance.inspect(b"payload-one", CHAIN)
+        instance.inspect(b"payload-one", chain_id=CHAIN)
+        instance.inspect(b"payload-one", chain_id=CHAIN)
         registry = hub.registry
         stats = instance.scan_cache_stats()
         assert registry.value("dpi_scan_cache_hits", instance="dpi-t") == \
@@ -259,8 +259,8 @@ class TestInstanceTelemetry:
         ]
         for index, payload in enumerate(payloads):
             flow = "shared-flow" if index >= 3 else f"f{index}"
-            a = plain.inspect(payload, CHAIN, flow_key=flow)
-            b = traced.inspect(payload, CHAIN, flow_key=flow)
+            a = plain.inspect(payload, chain_id=CHAIN, flow_key=flow)
+            b = traced.inspect(payload, chain_id=CHAIN, flow_key=flow)
             assert a.matches == b.matches
             assert a.bytes_scanned == b.bytes_scanned
             assert a.report.encode() == b.report.encode()
@@ -268,10 +268,10 @@ class TestInstanceTelemetry:
     def test_inspect_span_recorded_only_with_trace_parent(self):
         hub = TelemetryHub()
         instance = make_instance(telemetry=hub)
-        instance.inspect(b"no parent", CHAIN)
+        instance.inspect(b"no parent", chain_id=CHAIN)
         assert hub.tracer.spans_named("inspect") == []
         root = hub.tracer.start_span("steer")
-        instance.inspect(b"with needle-alpha", CHAIN, trace_parent=root.context)
+        instance.inspect(b"with needle-alpha", chain_id=CHAIN, trace_parent=root.context)
         spans = hub.tracer.spans_named("inspect")
         assert len(spans) == 1
         attrs = spans[0].attributes
@@ -284,11 +284,11 @@ class TestInstanceTelemetry:
     def test_reconfigure_rebinds_metrics(self):
         hub = TelemetryHub()
         instance = make_instance(telemetry=hub)
-        instance.inspect(b"needle-alpha", CHAIN, flow_key="f")
+        instance.inspect(b"needle-alpha", chain_id=CHAIN, flow_key="f")
         instance.reconfigure(instance.config)
         # The flow gauge must read the *new* scanner's (empty) flow table.
         assert hub.registry.value("dpi_active_flows", instance="dpi-t") == 0
-        instance.inspect(b"needle-beta", CHAIN, flow_key="g")
+        instance.inspect(b"needle-beta", chain_id=CHAIN, flow_key="g")
         assert hub.registry.value(
             "dpi_packets_scanned_total", instance="dpi-t"
         ) == 2
@@ -346,7 +346,7 @@ class TestPercentiles:
         hub = TelemetryHub()
         instance = make_instance(telemetry=hub)
         for _ in range(10):
-            instance.inspect(b"some needle-alpha traffic", CHAIN, flow_key="f")
+            instance.inspect(b"some needle-alpha traffic", chain_id=CHAIN, flow_key="f")
         rendered = render_report(hub)
         header = rendered.splitlines()
         header = [line for line in header if "p99 us" in line]

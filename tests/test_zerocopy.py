@@ -282,13 +282,13 @@ class TestFailureDrain:
             shard_workers=1,
         )
         instance = DPIServiceInstance(config)
-        assert instance.inspect(b"an attack packet", 100).has_matches
+        assert instance.inspect(b"an attack packet", chain_id=100).has_matches
         assert len(shm_segments()) == 1
         instance.crash()
         assert shm_segments() == []
         assert multiprocessing.active_children() == []
         instance.restart()
-        assert instance.inspect(b"an attack packet", 100).has_matches
+        assert instance.inspect(b"an attack packet", chain_id=100).has_matches
         instance.automaton.shutdown()
         assert shm_segments() == []
 
@@ -324,7 +324,7 @@ class TestConfigWiring:
         try:
             assert instance.automaton._kernel._backend.workers == 2
             assert instance.automaton.pipelined is True
-            assert instance.inspect(b"the attack", 100).has_matches
+            assert instance.inspect(b"the attack", chain_id=100).has_matches
         finally:
             instance.automaton.shutdown()
         assert shm_segments() == []
