@@ -22,7 +22,13 @@ What is compared, per case:
   replay, with ``shard``-token metrics excluded
   (:func:`repro.telemetry.digest.deterministic_digest` with
   ``extra_exclude_tokens``), because a monolithic leg has no shards to
-  count.
+  count;
+* **anomaly feature digest** — every leg feeds a
+  :class:`~repro.anomaly.features.FeatureExtractor` the same scan
+  metadata its inspections produce (size, match count, deterministic
+  tick); the per-leg digest over the resulting feature table must be
+  identical, proving the anomaly consumer observes the same inspection
+  results no matter which engine produced them.
 
 Reassembly and gzip preprocessing run per leg from the same case bytes;
 they are deterministic, so any disagreement isolates to the engine under
@@ -36,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.adversarial.corpus import AdversarialCase, Corpus
+from repro.anomaly.features import FeatureExtractor, features_digest
 from repro.core.instance import DPIServiceInstance, InstanceConfig
 from repro.core.kernels import KERNEL_NAMES
 from repro.core.preprocess import PayloadPreprocessor
@@ -141,6 +148,8 @@ class DifferentialReport:
     cases: int
     divergences: list = field(default_factory=list)
     errors: list = field(default_factory=list)  # (leg, case, repr(error))
+    #: Per-leg digest over the anomaly consumer's feature table.
+    anomaly_digests: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -157,6 +166,7 @@ class DifferentialReport:
                 {"leg": leg, "case": case, "error": error}
                 for leg, case, error in self.errors
             ],
+            "anomaly_digests": dict(self.anomaly_digests),
         }
 
 
@@ -164,16 +174,20 @@ def replay_case(
     instance: DPIServiceInstance,
     case: AdversarialCase,
     overflow_counter=None,
+    anomaly: "FeatureExtractor | None" = None,
 ) -> dict:
     """Drive one case through *instance*; returns the comparison record.
 
     Flow keys are namespaced by case name so one long-lived instance can
     replay a whole corpus without cases contaminating each other's flow
-    state.
+    state.  When *anomaly* is given, every inspected view is also observed
+    as scan metadata (size, match count, a per-case deterministic tick) —
+    the cross-leg feature-digest surface.
     """
     reassemblers: dict = {}
     preprocessor = PayloadPreprocessor() if case.preprocess else None
     records = []
+    scans = 0
     for index, (flow, seq, data) in enumerate(case.segments):
         stream = reassemblers.get(flow)
         if stream is None:
@@ -209,6 +223,17 @@ def replay_case(
             output = instance.inspect(
                 data_view, chain_id=case.chain_id, flow_key=scan_key
             )
+            if anomaly is not None:
+                anomaly.observe(
+                    scan_key,
+                    chain_id=case.chain_id,
+                    size=len(data_view),
+                    matches=sum(
+                        len(hits) for hits in output.matches.values()
+                    ),
+                    now=float(scans),
+                )
+            scans += 1
             records.append(
                 {
                     "segment": index,
@@ -295,12 +320,16 @@ def run_differential(
         overflow_counter = hub.registry.counter(
             "dpi_reassembly_overflow_total", instance=instance.name
         )
+        anomaly = FeatureExtractor()
         results = {}
         try:
             for case in corpus.cases:
                 try:
                     results[case.name] = replay_case(
-                        instance, case, overflow_counter=overflow_counter
+                        instance,
+                        case,
+                        overflow_counter=overflow_counter,
+                        anomaly=anomaly,
                     )
                 except Exception as error:  # a crash IS a divergence
                     report.errors.append(
@@ -313,6 +342,9 @@ def run_differential(
         per_leg[leg.name] = results
         digests[leg.name] = deterministic_digest(
             hub, extra_exclude_tokens=DIGEST_EXCLUDE_TOKENS
+        )
+        report.anomaly_digests[leg.name] = features_digest(
+            anomaly.features_map()
         )
     baseline = legs[0]
     base_results = per_leg[baseline.name]
@@ -362,6 +394,21 @@ def run_differential(
                     detail={
                         "baseline": digests[baseline.name],
                         "leg": digests[leg.name],
+                    },
+                )
+            )
+        if report.anomaly_digests[leg.name] != (
+            report.anomaly_digests[baseline.name]
+        ):
+            report.divergences.append(
+                Divergence(
+                    case="<anomaly-digest>",
+                    leg=leg.name,
+                    baseline=baseline.name,
+                    fields=["anomaly_digest"],
+                    detail={
+                        "baseline": report.anomaly_digests[baseline.name],
+                        "leg": report.anomaly_digests[leg.name],
                     },
                 )
             )

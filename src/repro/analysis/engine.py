@@ -54,6 +54,7 @@ SIM_SCOPE_PREFIXES = (
     "repro.faults",
     "repro.load",
     "repro.autoscale",
+    "repro.anomaly",
 )
 
 

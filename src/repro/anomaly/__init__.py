@@ -1,0 +1,51 @@
+"""Flow-feature anomaly detection as a scan-once consumer.
+
+The paper's economics argument is that the DPI service scans each payload
+once and *many* consumers reuse the results.  Exact-match middleboxes
+(IDS, AV) are the first consumer class; this package adds the second:
+statistical anomaly detection built entirely from the service's match
+metadata and per-packet accounting — packet/byte rates, inter-arrival
+deltas, size histograms, match density — without ever re-reading a
+payload.
+
+Three layers:
+
+* :mod:`repro.anomaly.features` — streaming per-flow accumulators and the
+  canonical :class:`~repro.anomaly.features.FlowFeatures` vector;
+* :mod:`repro.anomaly.classifier` — a seeded, deterministic stdlib
+  classifier (z-score thresholds over an EWMA or trained-centroid
+  baseline);
+* :mod:`repro.anomaly.middlebox` — :class:`~repro.anomaly.middlebox.
+  AnomalyDetectorMiddlebox`, a read-only middlebox that subscribes to
+  inspection results like any other chain consumer and publishes
+  aggregate-only telemetry.
+
+Verdicts feed the autoscaler's isolation policy and the MCA² stress
+monitor so flagged heavy hitters are steered to dedicated instances.
+"""
+
+from repro.anomaly.classifier import (
+    AnomalyClassifier,
+    AnomalyVerdict,
+    verdict_digest,
+)
+from repro.anomaly.features import (
+    FEATURE_NAMES,
+    SIZE_BIN_BOUNDS,
+    FeatureExtractor,
+    FlowFeatures,
+    features_digest,
+)
+from repro.anomaly.middlebox import AnomalyDetectorMiddlebox
+
+__all__ = [
+    "FEATURE_NAMES",
+    "SIZE_BIN_BOUNDS",
+    "AnomalyClassifier",
+    "AnomalyDetectorMiddlebox",
+    "AnomalyVerdict",
+    "FeatureExtractor",
+    "FlowFeatures",
+    "features_digest",
+    "verdict_digest",
+]

@@ -1,0 +1,286 @@
+"""A seeded, deterministic stdlib anomaly classifier over flow features.
+
+Scoring is per-dimension z-scores against a *frozen* baseline: the verdict
+for a flow is the largest absolute z across the feature vector, flagged
+when it crosses ``threshold``.  Two baseline modes:
+
+* ``centroid`` — :meth:`AnomalyClassifier.fit` computes the exact
+  per-dimension mean/std of a (benign) training population in one pass;
+* ``ewma`` — :meth:`AnomalyClassifier.calibrate` folds populations into
+  exponentially weighted running means/variances, so the baseline can
+  track slow drift across calibration windows.
+
+Classification never mutates the baseline — a burst of anomalies cannot
+poison the notion of normal mid-window.  Everything is deterministic:
+flows are scored in sorted-key order (float summation order is part of
+the bit-for-bit contract), the only use of ``seed`` is a deterministic
+stride subsample when a training population exceeds ``max_fit_flows``,
+and there is no wall clock or RNG anywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Mapping
+
+from repro.anomaly.features import FEATURE_NAMES, FlowFeatures
+
+MODES = ("centroid", "ewma")
+
+#: Guards against zero/near-zero training variance blowing up z-scores:
+#: sigma is floored at ``max(std, |mean| * _REL_SIGMA_FLOOR, _ABS_SIGMA_FLOOR)``.
+_REL_SIGMA_FLOOR = 0.05
+_ABS_SIGMA_FLOOR = 1e-6
+
+
+@dataclass(frozen=True)
+class AnomalyVerdict:
+    """One flow's classification outcome."""
+
+    flow_key: Hashable
+    chain_id: int
+    packets: int
+    score: float
+    anomalous: bool
+    top_feature: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "flow_key": repr(self.flow_key),
+            "chain_id": self.chain_id,
+            "packets": self.packets,
+            "score": self.score,
+            "anomalous": self.anomalous,
+            "top_feature": self.top_feature,
+        }
+
+
+class AnomalyClassifier:
+    """Z-score thresholding over an EWMA or trained-centroid baseline."""
+
+    def __init__(
+        self,
+        *,
+        mode: str = "centroid",
+        threshold: float = 4.0,
+        alpha: float = 0.2,
+        min_packets: int = 2,
+        seed: int = 7,
+        max_fit_flows: int = 100_000,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r} (known: {MODES})")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive: {threshold}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha}")
+        if max_fit_flows < 1:
+            raise ValueError(f"max_fit_flows must be positive: {max_fit_flows}")
+        self.mode = mode
+        self.threshold = threshold
+        self.alpha = alpha
+        self.min_packets = min_packets
+        self.seed = seed
+        self.max_fit_flows = max_fit_flows
+        self._mean: list[float] | None = None
+        self._var: list[float] | None = None
+        self.fitted_flows = 0
+
+    # -- baselines --------------------------------------------------------
+
+    @property
+    def fitted(self) -> bool:
+        return self._mean is not None
+
+    def _training_rows(
+        self, features: Mapping[Hashable, FlowFeatures]
+    ) -> list[FlowFeatures]:
+        keys = sorted(features, key=repr)
+        if len(keys) > self.max_fit_flows:
+            # Deterministic stride subsample; the seed picks the phase.
+            stride = -(-len(keys) // self.max_fit_flows)
+            keys = keys[self.seed % stride :: stride]
+        return [features[key] for key in keys]
+
+    def fit(self, features: Mapping[Hashable, FlowFeatures]) -> int:
+        """(Re)build the baseline from a training population.
+
+        ``centroid`` mode computes exact per-dimension mean/std;
+        ``ewma`` mode delegates to :meth:`calibrate`.  Returns the number
+        of flows used.
+        """
+        rows = self._training_rows(features)
+        if not rows:
+            raise ValueError("cannot fit on an empty feature population")
+        if self.mode == "ewma":
+            return self.calibrate(rows)
+        dims = len(FEATURE_NAMES)
+        sums = [0.0] * dims
+        squares = [0.0] * dims
+        for row in rows:
+            for index, value in enumerate(row.vector()):
+                sums[index] += value
+                squares[index] += value * value
+        count = len(rows)
+        self._mean = [total / count for total in sums]
+        self._var = [
+            max(0.0, squares[index] / count - self._mean[index] ** 2)
+            for index in range(dims)
+        ]
+        self.fitted_flows = count
+        return count
+
+    def calibrate(self, features: Iterable[FlowFeatures]) -> int:
+        """Fold a population into the EWMA baseline (``ewma`` mode only)."""
+        if self.mode != "ewma":
+            raise TypeError(
+                f"calibrate() requires mode='ewma' (this one is {self.mode!r})"
+            )
+        rows = (
+            features
+            if isinstance(features, list)
+            else sorted(features, key=lambda row: repr(row.flow_key))
+        )
+        count = 0
+        for row in rows:
+            vector = row.vector()
+            if self._mean is None:
+                self._mean = list(vector)
+                self._var = [0.0] * len(vector)
+            else:
+                assert self._var is not None
+                for index, value in enumerate(vector):
+                    diff = value - self._mean[index]
+                    step = self.alpha * diff
+                    self._mean[index] += step
+                    self._var[index] = (1.0 - self.alpha) * (
+                        self._var[index] + diff * step
+                    )
+            count += 1
+        self.fitted_flows += count
+        return count
+
+    def baseline(self) -> dict[str, dict[str, float]]:
+        """The frozen baseline per feature name (mean and sigma floor)."""
+        if self._mean is None or self._var is None:
+            raise RuntimeError("classifier is not fitted")
+        view = {}
+        for index, name in enumerate(FEATURE_NAMES):
+            view[name] = {
+                "mean": self._mean[index],
+                "sigma": self._sigma(index),
+            }
+        return view
+
+    def baseline_digest(self) -> str:
+        """Canonical digest of the baseline (reproducibility checks)."""
+        if self._mean is None or self._var is None:
+            raise RuntimeError("classifier is not fitted")
+        payload = json.dumps(
+            {
+                "mode": self.mode,
+                "threshold": repr(self.threshold),
+                "mean": [repr(value) for value in self._mean],
+                "var": [repr(value) for value in self._var],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _sigma(self, index: int) -> float:
+        assert self._mean is not None and self._var is not None
+        std = math.sqrt(self._var[index]) if self._var[index] > 0.0 else 0.0
+        return max(
+            std, abs(self._mean[index]) * _REL_SIGMA_FLOOR, _ABS_SIGMA_FLOOR
+        )
+
+    # -- scoring ----------------------------------------------------------
+
+    def score(self, features: FlowFeatures) -> tuple[float, str]:
+        """Largest absolute z across dimensions, plus the dimension name."""
+        if self._mean is None or self._var is None:
+            raise RuntimeError(
+                "classifier is not fitted: call fit()/calibrate() first"
+            )
+        best = 0.0
+        best_name = FEATURE_NAMES[0]
+        for index, value in enumerate(features.vector()):
+            z = abs(value - self._mean[index]) / self._sigma(index)
+            if z > best:
+                best = z
+                best_name = FEATURE_NAMES[index]
+        return best, best_name
+
+    def classify(self, features: FlowFeatures) -> AnomalyVerdict:
+        """One flow's verdict; sub-``min_packets`` flows are never flagged."""
+        score, top_feature = self.score(features)
+        anomalous = (
+            features.packets >= self.min_packets and score >= self.threshold
+        )
+        return AnomalyVerdict(
+            flow_key=features.flow_key,
+            chain_id=features.chain_id,
+            packets=features.packets,
+            score=score,
+            anomalous=anomalous,
+            top_feature=top_feature,
+        )
+
+    def classify_all(
+        self,
+        features: Mapping[Hashable, FlowFeatures],
+        *,
+        self_calibrate: bool = False,
+    ) -> list[AnomalyVerdict]:
+        """Verdicts for a whole population, in sorted-key order.
+
+        With ``self_calibrate`` an unfitted classifier scores each flow
+        against the population itself (a temporary centroid baseline that
+        is *not* stored) — useful for one-shot outlier reports; explicit
+        ``fit`` on benign traffic remains the high-recall path.
+        """
+        if not self.fitted:
+            if not self_calibrate:
+                raise RuntimeError(
+                    "classifier is not fitted: fit()/calibrate() first or "
+                    "pass self_calibrate=True"
+                )
+            if not features:
+                return []
+            scratch = AnomalyClassifier(
+                mode="centroid",
+                threshold=self.threshold,
+                min_packets=self.min_packets,
+                seed=self.seed,
+                max_fit_flows=self.max_fit_flows,
+            )
+            scratch.fit(features)
+            return scratch.classify_all(features)
+        return [
+            self.classify(features[key])
+            for key in sorted(features, key=repr)
+        ]
+
+
+def verdict_digest(verdicts: Iterable[AnomalyVerdict]) -> str:
+    """A canonical digest over verdicts (bit-reproducibility contract)."""
+    canonical = [
+        {
+            "flow": repr(verdict.flow_key),
+            "chain": verdict.chain_id,
+            "packets": verdict.packets,
+            "score": repr(verdict.score),
+            "anomalous": verdict.anomalous,
+            "top": verdict.top_feature,
+        }
+        for verdict in sorted(verdicts, key=lambda v: repr(v.flow_key))
+    ]
+    payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+__all__ = ["MODES", "AnomalyClassifier", "AnomalyVerdict", "verdict_digest"]

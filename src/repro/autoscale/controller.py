@@ -161,6 +161,7 @@ class Autoscaler:
         heavy_flow: Hashable | None = None,
         heavy_share: float = 0.0,
         heavy_chain: "int | None" = None,
+        anomalous_flows: "tuple | Sequence" = (),
     ) -> LoadSignals:
         """Derive this tick's :class:`LoadSignals` from the registry."""
         alive = self.shared_alive()
@@ -191,6 +192,7 @@ class Autoscaler:
             heavy_share=heavy_share,
             heavy_flow=heavy_flow,
             heavy_chain=heavy_chain,
+            anomalous_flows=tuple(anomalous_flows),
         )
 
     # -- acting ----------------------------------------------------------
@@ -229,6 +231,65 @@ class Autoscaler:
                 return decision
         return HOLD
 
+    def _apply_isolate(self, epoch: int, decision: ScalingDecision) -> bool:
+        """Provision a dedicated instance and pin the decision's flow."""
+        if decision.flow_key is None or decision.flow_key in self.pins:
+            return False
+        name = self._next_name(isolated=True)
+        chain_ids = (
+            (decision.chain_id,) if decision.chain_id is not None else None
+        )
+        kwargs = dict(self.provision_kwargs)
+        kwargs["chain_ids"] = chain_ids
+        kwargs["dedicated"] = True
+        self.manager.provision(name, **kwargs)
+        self.pins[decision.flow_key] = name
+        self._record(epoch, "isolate", name, decision.reason)
+        return True
+
+    def isolate_now(
+        self,
+        *,
+        epoch: int,
+        heavy_flow: Hashable | None = None,
+        heavy_share: float = 0.0,
+        heavy_chain: "int | None" = None,
+        anomalous_flows: "tuple | Sequence" = (),
+    ) -> list[AutoscaleEvent]:
+        """Placement-time isolation: pin heavy hitters *before* the epoch.
+
+        The load driver knows each epoch's per-flow byte totals before it
+        places a single packet, so isolation decisions can act immediately
+        instead of leaving the dedicated instance idle until the next
+        epoch.  Only stateless :class:`IsolationPolicy` entries are
+        consulted — stateful policies (hysteresis streaks, cooldowns) and
+        the registry-delta windows belong exclusively to :meth:`tick`,
+        which still runs at the end of the epoch; its isolate branch then
+        no-ops because the flow is already pinned.
+        """
+        signals = LoadSignals(
+            epoch=epoch,
+            now=self.clock(),
+            alive_instances=len(self.shared_alive()),
+            utilization=0.0,
+            queue_bytes=0.0,
+            p99_latency_seconds=0.0,
+            slo_seconds=self.slo_seconds,
+            fault_active=False,
+            heavy_share=heavy_share,
+            heavy_flow=heavy_flow,
+            heavy_chain=heavy_chain,
+            anomalous_flows=tuple(anomalous_flows),
+        )
+        applied_from = len(self.events)
+        for policy in self.policies:
+            if not isinstance(policy, IsolationPolicy):
+                continue
+            decision = policy.decide(signals)
+            if decision.action == "isolate":
+                self._apply_isolate(epoch, decision)
+        return self.events[applied_from:]
+
     def tick(
         self,
         *,
@@ -236,6 +297,7 @@ class Autoscaler:
         heavy_flow: Hashable | None = None,
         heavy_share: float = 0.0,
         heavy_chain: "int | None" = None,
+        anomalous_flows: "tuple | Sequence" = (),
     ) -> list[AutoscaleEvent]:
         """One control-loop iteration; returns the actions applied."""
         signals = self.observe(
@@ -243,6 +305,7 @@ class Autoscaler:
             heavy_flow=heavy_flow,
             heavy_share=heavy_share,
             heavy_chain=heavy_chain,
+            anomalous_flows=anomalous_flows,
         )
         applied_from = len(self.events)
 
@@ -264,20 +327,7 @@ class Autoscaler:
                 self._managed.remove(target)
                 self._record(epoch, "down", target, decision.reason)
         elif decision.action == "isolate":
-            if (
-                decision.flow_key is not None
-                and decision.flow_key not in self.pins
-            ):
-                name = self._next_name(isolated=True)
-                chain_ids = (
-                    (decision.chain_id,) if decision.chain_id is not None else None
-                )
-                kwargs = dict(self.provision_kwargs)
-                kwargs["chain_ids"] = chain_ids
-                kwargs["dedicated"] = True
-                self.manager.provision(name, **kwargs)
-                self.pins[decision.flow_key] = name
-                self._record(epoch, "isolate", name, decision.reason)
+            self._apply_isolate(epoch, decision)
 
         self._instances_gauge.set(len(self.shared_alive()))
         return self.events[applied_from:]

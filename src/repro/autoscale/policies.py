@@ -38,6 +38,9 @@ class LoadSignals:
     heavy_share: float = 0.0
     heavy_flow: Hashable | None = None
     heavy_chain: int | None = None
+    #: Flows the anomaly detector flagged this window and that are not yet
+    #: pinned, as sorted ``(flow_key, chain_id)`` pairs.
+    anomalous_flows: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -169,12 +172,27 @@ class IsolationPolicy:
     bytes, ask for a dedicated instance scoped to that flow's chain; the
     autoscaler pins the flow there, taking its pathological payloads out of
     the shared pool's queues.
+
+    Anomaly-detector verdicts are a second trigger: a flagged flow is
+    isolated regardless of its byte share (volumetric attacks hide below
+    heavy-hitter thresholds by spreading over packets, not bytes).
+    Flagged flows win over the heavy hitter — a statistical verdict
+    carries more evidence than a single window's byte count.
     """
 
     heavy_share_threshold: float = 0.35
+    isolate_anomalous: bool = True
     name: str = "isolation"
 
     def decide(self, signals: LoadSignals) -> ScalingDecision:
+        if self.isolate_anomalous and signals.anomalous_flows:
+            flow_key, chain_id = signals.anomalous_flows[0]
+            return ScalingDecision(
+                "isolate",
+                reason=f"flow {flow_key!r} flagged anomalous",
+                flow_key=flow_key,
+                chain_id=chain_id,
+            )
         if (
             signals.heavy_flow is not None
             and signals.heavy_share >= self.heavy_share_threshold

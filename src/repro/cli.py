@@ -550,6 +550,120 @@ def _cmd_bench_e2e(args) -> int:
     return 0
 
 
+def _cmd_anomaly(args) -> int:
+    import json
+
+    from repro.anomaly import AnomalyClassifier, verdict_digest
+    from repro.load.driver import LoadDriver
+    from repro.load.profiles import LoadSpec
+
+    base = {"flows": args.flows, "epochs": args.epochs, "seed": args.seed}
+    calibration = LoadDriver(
+        LoadSpec(profile_mix=args.calibration_profile, **base), anomaly=True
+    )
+    calibration.run()
+    classifier = AnomalyClassifier(
+        threshold=args.threshold, min_packets=args.min_packets, seed=args.seed
+    )
+    fitted = classifier.fit(calibration.anomaly.features_map())
+
+    driver = LoadDriver(
+        LoadSpec(profile_mix=args.profile, **base),
+        anomaly=True,
+        anomaly_classifier=classifier,
+        autoscale=args.autoscale,
+        max_instances=args.max_instances,
+    )
+    driver.run()
+    verdicts = driver.anomaly.verdicts()
+    flagged = [verdict for verdict in verdicts if verdict.anomalous]
+    ranked = sorted(flagged, key=lambda v: (-v.score, repr(v.flow_key)))
+    payload = {
+        "profile": args.profile,
+        "calibration_profile": args.calibration_profile,
+        "flows": args.flows,
+        "epochs": args.epochs,
+        "seed": args.seed,
+        "threshold": args.threshold,
+        "calibration_flows": fitted,
+        "scored_flows": len(verdicts),
+        "flagged_flows": len(flagged),
+        "flagged": [verdict.to_dict() for verdict in ranked[: args.top]],
+        "verdict_digest": verdict_digest(verdicts),
+        "baseline_digest": classifier.baseline_digest(),
+    }
+    if driver.autoscaler is not None:
+        payload["isolation"] = {
+            "pinned_flows": {
+                repr(flow): instance
+                for flow, instance in sorted(
+                    driver.autoscaler.pins.items(), key=lambda p: repr(p[0])
+                )
+            },
+            "instances": len(driver.controller.instances),
+        }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"anomaly: classified {payload['scored_flows']} flows of "
+        f"{args.profile} (calibrated on {fitted} "
+        f"{args.calibration_profile} flows, threshold {args.threshold})"
+    )
+    print(
+        f"flagged {payload['flagged_flows']} flows; "
+        f"verdict digest {payload['verdict_digest'][:16]}..."
+    )
+    for verdict in ranked[: args.top]:
+        print(
+            f"  flow {verdict.flow_key!r} chain {verdict.chain_id} "
+            f"score {verdict.score:.2f} ({verdict.top_feature}, "
+            f"{verdict.packets} packets)"
+        )
+    if "isolation" in payload:
+        pins = payload["isolation"]["pinned_flows"]
+        print(
+            f"isolation: {len(pins)} flows pinned to dedicated instances, "
+            f"{payload['isolation']['instances']} instances total"
+        )
+    return 0
+
+
+def _cmd_bench_anomaly(args) -> int:
+    from repro.bench.anomaly import (
+        format_anomaly_results,
+        run_anomaly_benchmark,
+        validate_anomaly_schema,
+        write_results,
+    )
+
+    results = run_anomaly_benchmark(
+        flows=args.flows,
+        epochs=args.epochs,
+        seed=args.seed,
+        threshold=args.threshold,
+        min_packets=args.min_packets,
+        mix=args.profile,
+        calibration_profile=args.calibration_profile,
+        overhead_packets=args.packets,
+        rounds=args.rounds,
+    )
+    problems = validate_anomaly_schema(results)
+    if problems:
+        for problem in problems:
+            print(f"bench-anomaly: schema: {problem}", file=sys.stderr)
+        return 1
+    print(format_anomaly_results(results))
+    if args.out:
+        write_results(results, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.faults import FaultPlan, HeartbeatConfig, run_chaos_scenario
 
@@ -946,6 +1060,60 @@ def build_parser() -> argparse.ArgumentParser:
     bench_e2e.add_argument("--max-instances", type=int, default=6)
     bench_e2e.add_argument("--out", help="write BENCH_e2e.json here")
     bench_e2e.set_defaults(func=_cmd_bench_e2e)
+
+    anomaly = commands.add_parser(
+        "anomaly",
+        help="flow-feature anomaly detection over a seeded load run",
+    )
+    anomaly.add_argument(
+        "--profile", default="web-flood", help="profile or mix to classify"
+    )
+    anomaly.add_argument(
+        "--calibration-profile",
+        default="benign-http",
+        help="benign profile or mix the baseline is fitted on",
+    )
+    anomaly.add_argument("--flows", type=int, default=200)
+    anomaly.add_argument("--epochs", type=int, default=6)
+    anomaly.add_argument("--seed", type=int, default=7)
+    anomaly.add_argument("--threshold", type=float, default=5.0)
+    anomaly.add_argument("--min-packets", type=int, default=2)
+    anomaly.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="steer flagged flows to dedicated instances (isolation pins)",
+    )
+    anomaly.add_argument(
+        "--max-instances", type=int, default=8, help="autoscaler pool ceiling"
+    )
+    anomaly.add_argument(
+        "--top", type=int, default=5, help="flagged flows to show/emit"
+    )
+    anomaly.add_argument("--out", help="also write the JSON summary here")
+    anomaly.add_argument("--format", choices=("text", "json"), default="text")
+    anomaly.set_defaults(func=_cmd_anomaly)
+
+    bench_anomaly = commands.add_parser(
+        "bench-anomaly",
+        help="anomaly detection quality + hot-path overhead report",
+    )
+    bench_anomaly.add_argument("--flows", type=int, default=400)
+    bench_anomaly.add_argument("--epochs", type=int, default=8)
+    bench_anomaly.add_argument("--seed", type=int, default=7)
+    bench_anomaly.add_argument("--threshold", type=float, default=5.0)
+    bench_anomaly.add_argument("--min-packets", type=int, default=2)
+    bench_anomaly.add_argument("--profile", default="web-flood")
+    bench_anomaly.add_argument(
+        "--calibration-profile", default="benign-http"
+    )
+    bench_anomaly.add_argument(
+        "--packets", type=int, default=600, help="overhead-loop packet count"
+    )
+    bench_anomaly.add_argument(
+        "--rounds", type=int, default=15, help="overhead timing rounds"
+    )
+    bench_anomaly.add_argument("--out", help="write BENCH_anomaly.json here")
+    bench_anomaly.set_defaults(func=_cmd_bench_anomaly)
 
     chaos = commands.add_parser(
         "chaos",

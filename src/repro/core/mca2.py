@@ -210,6 +210,42 @@ class StressMonitor:
         self._dedicated.append(name)
         return name, True
 
+    def mitigate_anomalous(
+        self, instance_name: str, flow_keys
+    ) -> MitigationAction:
+        """Steer anomaly-flagged flows off a shared instance (MCA²-style).
+
+        The flow-feature layer's verdicts are a second trigger for the
+        same mitigation machinery stress events use: migrate the flagged
+        flows to the dedicated full-table instance (allocated on first
+        use).  Flows the source instance does not hold are skipped.
+        """
+        dedicated_name, created = self._ensure_dedicated(instance_name)
+        migrated = []
+        for flow_key in flow_keys:
+            if self.controller.migrate_flow(
+                flow_key, instance_name, dedicated_name
+            ):
+                migrated.append(flow_key)
+                if self.on_flow_migrated is not None:
+                    self.on_flow_migrated(flow_key, dedicated_name)
+        action = MitigationAction(
+            instance_name=instance_name,
+            dedicated_instance=dedicated_name,
+            migrated_flows=tuple(migrated),
+            dedicated_created=created,
+        )
+        self.actions.append(action)
+        registry = self.controller.telemetry.registry
+        registry.counter(
+            "mca2_anomaly_mitigations_total", instance=instance_name
+        ).inc()
+        if migrated:
+            registry.counter(
+                "mca2_flows_migrated_total", instance=instance_name
+            ).inc(len(migrated))
+        return action
+
     def deallocate_dedicated(self) -> list[str]:
         """Release dedicated instances once the attack subsides."""
         released = list(self._dedicated)

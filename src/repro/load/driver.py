@@ -15,10 +15,22 @@ wall-clock scan timings never feed a scaling decision or a digest.
 
 Flow placement is deterministic too: ``flow_id`` modulo over the sorted
 alive shared-instance names, with autoscaler pins (heavy-hitter isolation)
-taking precedence.  A :class:`~repro.faults.plan.FaultPlan` can crash and
-restart instances mid-ramp; dead instances' backlogs are requeued onto the
-first surviving instance and the autoscaler's healing floor provisions
+taking precedence.  Isolation is applied at *placement time*: the per-flow
+byte totals of an epoch are known before any packet is placed, so the
+autoscaler's :meth:`~repro.autoscale.controller.Autoscaler.isolate_now`
+pins heavy hitters (and anomaly-flagged flows from the previous epoch's
+verdicts) before the epoch runs — a freshly provisioned dedicated
+instance serves its flow immediately instead of idling until the next
+epoch.  A :class:`~repro.faults.plan.FaultPlan` can crash and restart
+instances mid-ramp; dead instances' backlogs are requeued onto the first
+surviving instance and the autoscaler's healing floor provisions
 replacements.
+
+With ``anomaly=True`` an :class:`~repro.anomaly.middlebox.
+AnomalyDetectorMiddlebox` registers as a read-only chain consumer and is
+fed every inspection result (size + match metadata, never payload
+re-reads); its end-of-epoch verdicts flow into the next epoch's isolation
+signals.
 """
 
 from __future__ import annotations
@@ -54,6 +66,9 @@ LOAD_REQUEUED_BYTES = "load_requeued_bytes_total"
 
 #: Middlebox registrations for the load scenario: an IDS and an AV engine.
 MIDDLEBOXES = ((1, "ids"), (2, "av"))
+
+#: Middlebox id the optional anomaly detector registers under.
+ANOMALY_MIDDLEBOX_ID = 3
 
 #: Policy chains the three traffic profiles ride (paper Figure 2 idiom:
 #: different traffic classes traverse different middlebox chains).
@@ -104,6 +119,7 @@ class EpochReport:
     suppressed: int
     alive_instances: int
     actions: list[str] = field(default_factory=list)
+    anomalous_flows: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -120,6 +136,7 @@ class EpochReport:
             "suppressed": self.suppressed,
             "alive_instances": self.alive_instances,
             "actions": list(self.actions),
+            "anomalous_flows": self.anomalous_flows,
         }
 
 
@@ -140,6 +157,7 @@ class LoadRunResult:
     total_slo_violations: int
     total_suppressed: int
     served_bytes: float
+    anomaly: Any = None  # the AnomalyDetectorMiddlebox, when enabled
 
     @property
     def peak_flows_within_slo(self) -> int:
@@ -175,10 +193,21 @@ class LoadRunResult:
                 }
                 for event in self.autoscaler.events
             ]
+        anomaly = None
+        if self.anomaly is not None:
+            verdicts = self.anomaly.verdicts()
+            from repro.anomaly import verdict_digest
+
+            anomaly = {
+                "tracked_flows": len(self.anomaly.extractor),
+                "flagged_flows": sum(1 for v in verdicts if v.anomalous),
+                "verdict_digest": verdict_digest(verdicts),
+            }
         return {
             "spec": self.spec.to_dict(),
             "autoscale": self.autoscaled,
             "digest": self.digest,
+            "anomaly": anomaly,
             "epochs": [report.to_dict() for report in self.epochs],
             "totals": {
                 "packets": self.total_packets,
@@ -208,6 +237,8 @@ class LoadDriver:
         max_instances: int = 8,
         plan: Any = None,
         instance_kwargs: "dict[str, Any] | None" = None,
+        anomaly: bool = False,
+        anomaly_classifier: Any = None,
     ) -> None:
         from repro.net.simulator import Simulator
         from repro.telemetry import TelemetryHub
@@ -216,6 +247,17 @@ class LoadDriver:
         self.simulator = Simulator()
         self.hub = TelemetryHub.for_simulator(self.simulator, tracing=False)
         self.controller = build_load_controller(telemetry=self.hub)
+        self.anomaly = None
+        if anomaly or anomaly_classifier is not None:
+            from repro.anomaly import AnomalyDetectorMiddlebox
+
+            self.anomaly = AnomalyDetectorMiddlebox(
+                ANOMALY_MIDDLEBOX_ID,
+                "anomaly",
+                classifier=anomaly_classifier,
+                registry=self.hub.registry,
+            )
+            self.anomaly.register_with(self.controller)
         self.instance_kwargs = dict(instance_kwargs or {"kernel": "flat"})
         for index in range(spec.initial_instances):
             self.controller.instances.provision(
@@ -244,6 +286,9 @@ class LoadDriver:
         self._suppressed = registry.counter(LOAD_SUPPRESSED)
         self.total_matches = 0
         self.served_bytes = 0.0
+        #: Flagged (flow_key, chain_id) pairs from the previous epoch's
+        #: verdicts, consumed by the next epoch's placement-time isolation.
+        self._pending_anomalous: tuple = ()
 
     # -- faults -----------------------------------------------------------
 
@@ -347,19 +392,39 @@ class LoadDriver:
             # Total outage: nothing to scan with; count everything dropped.
             self._requeued.inc(sum(len(p) for _, _, p, _ in batch.items))
             self.epochs.append(report)
-            self._after_epoch(batch, report, flow_bytes={})
+            self._after_epoch(batch, report, flow_bytes={}, flow_chain={})
             return
 
         self._requeue_dead_backlogs(shared)
 
+        # Per-flow byte totals are fully known before any packet is
+        # placed, so isolation (heavy hitters, anomaly verdicts carried
+        # over from last epoch) acts NOW: a dedicated instance provisioned
+        # here serves its pinned flow in this same epoch.
+        flow_bytes: dict[int, int] = {}
+        flow_chain: dict[int, int] = {}
+        for flow_id, chain_id, payload, _ in batch.items:
+            flow_bytes[flow_id] = flow_bytes.get(flow_id, 0) + len(payload)
+            if flow_id not in flow_chain:
+                flow_chain[flow_id] = chain_id
+        pre_events: list[Any] = []
+        if self.autoscaler is not None:
+            heavy_flow, heavy_share, heavy_chain = self._heavy_of(
+                flow_bytes, flow_chain
+            )
+            pre_events = self.autoscaler.isolate_now(
+                epoch=batch.epoch,
+                heavy_flow=heavy_flow,
+                heavy_share=heavy_share,
+                heavy_chain=heavy_chain,
+                anomalous_flows=self._unpinned_anomalous(),
+            )
+
         # Deterministic placement, preserving arrival order per instance.
         arrivals: dict[str, list[tuple[int, int, bytes, bool]]] = {}
-        flow_bytes: dict[int, int] = {}
         for item in batch.items:
-            flow_id, _, payload, _ = item
-            name = self._place(flow_id, shared)
+            name = self._place(item[0], shared)
             arrivals.setdefault(name, []).append(item)
-            flow_bytes[flow_id] = flow_bytes.get(flow_id, 0) + len(payload)
 
         latencies: list[float] = []
         for name in sorted(arrivals):
@@ -379,10 +444,19 @@ class LoadDriver:
                 output = instance.inspect(
                     payload, chain_id=chain_id, flow_key=flow_id, now=self.simulator.now
                 )
-                report.matches += sum(
+                packet_matches = sum(
                     len(hits) for hits in output.matches.values()
                 )
+                report.matches += packet_matches
                 size = len(payload)
+                if self.anomaly is not None:
+                    self.anomaly.observe(
+                        flow_id,
+                        chain_id=chain_id,
+                        size=size,
+                        matches=packet_matches,
+                        now=self.simulator.now,
+                    )
                 instance_bytes += size
                 cumulative += size
                 latency = cumulative / rate
@@ -412,39 +486,70 @@ class LoadDriver:
             report.p99_latency_seconds = ordered[rank]
         self.total_matches += report.matches
         self.epochs.append(report)
-        self._after_epoch(batch, report, flow_bytes)
+        self._after_epoch(
+            batch, report, flow_bytes, flow_chain, pre_events=pre_events
+        )
+
+    def _heavy_of(
+        self,
+        flow_bytes: dict[int, int],
+        flow_chain: dict[int, int],
+    ) -> "tuple[int | None, float, int | None]":
+        """Deterministic top flow: most bytes, lowest id wins ties."""
+        total = sum(flow_bytes.values())
+        if total <= 0:
+            return None, 0.0, None
+        heavy_flow = min(flow_bytes, key=lambda fid: (-flow_bytes[fid], fid))
+        return (
+            heavy_flow,
+            flow_bytes[heavy_flow] / total,
+            flow_chain.get(heavy_flow),
+        )
+
+    def _unpinned_anomalous(self) -> tuple:
+        """Carried-over flagged flows the autoscaler has not pinned yet."""
+        if self.autoscaler is None:
+            return ()
+        pins = self.autoscaler.pins
+        return tuple(
+            pair for pair in self._pending_anomalous if pair[0] not in pins
+        )
 
     def _after_epoch(
         self,
         batch: LoadBatch,
         report: EpochReport,
         flow_bytes: dict[int, int],
+        flow_chain: dict[int, int],
+        pre_events: "list[Any] | None" = None,
     ) -> None:
+        if self.anomaly is not None:
+            verdicts = self.anomaly.verdicts()
+            flagged = sorted(
+                (
+                    (verdict.flow_key, verdict.chain_id)
+                    for verdict in verdicts
+                    if verdict.anomalous
+                ),
+                key=repr,
+            )
+            report.anomalous_flows = len(flagged)
+            self._pending_anomalous = tuple(flagged)
         if self.autoscaler is None:
             return
-        heavy_flow = None
-        heavy_share = 0.0
-        heavy_chain = None
-        total = sum(flow_bytes.values())
-        if total > 0:
-            # Deterministic top flow: most bytes, lowest id wins ties.
-            heavy_flow = min(
-                flow_bytes, key=lambda fid: (-flow_bytes[fid], fid)
-            )
-            heavy_share = flow_bytes[heavy_flow] / total
-        if heavy_flow is not None:
-            for flow_id, chain_id, _, _ in batch.items:
-                if flow_id == heavy_flow:
-                    heavy_chain = chain_id
-                    break
+        heavy_flow, heavy_share, heavy_chain = self._heavy_of(
+            flow_bytes, flow_chain
+        )
         events = self.autoscaler.tick(
             epoch=batch.epoch,
             heavy_flow=heavy_flow,
             heavy_share=heavy_share,
             heavy_chain=heavy_chain,
+            anomalous_flows=self._unpinned_anomalous(),
         )
         report.actions = [
-            f"{event.action}:{event.instance}" for event in events
+            f"{event.action}:{event.instance}"
+            for event in list(pre_events or []) + events
         ]
         report.alive_instances = len(self._shared_alive())
 
@@ -487,6 +592,7 @@ class LoadDriver:
             ),
             total_suppressed=sum(report.suppressed for report in self.epochs),
             served_bytes=self.served_bytes,
+            anomaly=self.anomaly,
         )
 
 
@@ -499,6 +605,8 @@ def run_load_scenario(
     max_instances: int = 8,
     plan: Any = None,
     instance_kwargs: "dict[str, Any] | None" = None,
+    anomaly: bool = False,
+    anomaly_classifier: Any = None,
     validate: bool = True,
 ) -> LoadRunResult:
     """Validate the spec (LOAD0xx codes), build a driver, run it."""
@@ -519,5 +627,7 @@ def run_load_scenario(
         max_instances=max_instances,
         plan=plan,
         instance_kwargs=instance_kwargs,
+        anomaly=anomaly,
+        anomaly_classifier=anomaly_classifier,
     )
     return driver.run()

@@ -88,6 +88,9 @@ MIXES: dict[str, dict[str, float]] = {
     "benign": {"benign-http": 1.0},
     "flood": {"mirai-burst": 1.0},
     "long": {"quic-long": 1.0},
+    # The anomaly-detection benchmark mix: mostly benign web traffic with
+    # a mirai-burst minority to detect (labels come from the generator).
+    "web-flood": {"benign-http": 0.75, "mirai-burst": 0.25},
 }
 
 RAMP_KINDS = ("constant", "linear", "step", "burst")

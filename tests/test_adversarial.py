@@ -146,6 +146,11 @@ class TestRegressionCorpusGate:
         assert report.divergences == []
         assert report.ok
         assert report.cases == len(Corpus.load(CORPUS_PATH).cases)
+        # The anomaly consumer rides every leg: all twelve kernel×backend
+        # combinations must observe byte-identical match metadata, i.e.
+        # one distinct flow-feature digest across legs.
+        assert len(report.anomaly_digests) == len(report.legs)
+        assert len(set(report.anomaly_digests.values())) == 1
 
     def test_overflow_case_actually_overflows(self):
         # The crash-regression case must keep exercising the overflow
@@ -182,9 +187,9 @@ class TestDifferentialReporting:
         corpus = generate_corpus(3, cases_per_kind=1, kinds=("split",))
         real_replay = differential_module.replay_case
 
-        def skewed_replay(instance, case, overflow_counter=None):
+        def skewed_replay(instance, case, overflow_counter=None, **kwargs):
             record = real_replay(
-                instance, case, overflow_counter=overflow_counter
+                instance, case, overflow_counter=overflow_counter, **kwargs
             )
             if instance.config.kernel == "sharded":
                 record["records"] = record["records"] + [{"extra": True}]
@@ -230,11 +235,11 @@ class TestDifferentialReporting:
         corpus = generate_corpus(3, cases_per_kind=1, kinds=("split",))
         real_replay = differential_module.replay_case
 
-        def crashing_replay(instance, case, overflow_counter=None):
+        def crashing_replay(instance, case, overflow_counter=None, **kwargs):
             if instance.config.kernel == "sharded":
                 raise RuntimeError("engine exploded")
             return real_replay(
-                instance, case, overflow_counter=overflow_counter
+                instance, case, overflow_counter=overflow_counter, **kwargs
             )
 
         monkeypatch.setattr(

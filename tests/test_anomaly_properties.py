@@ -1,0 +1,133 @@
+"""Property-based tests for the flow-feature anomaly layer.
+
+Two invariants the record-then-fold extractor must hold by construction:
+
+* **batch-boundary invariance** — how observations are chunked into
+  ``observe`` / ``observe_batch`` calls must not change any feature;
+* **permutation stability** — interleaving flows differently (while
+  preserving each flow's own packet order, as any single-queue pipeline
+  does) must not change features or classifier verdicts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anomaly import (
+    AnomalyClassifier,
+    FeatureExtractor,
+    features_digest,
+    verdict_digest,
+)
+
+# A synthetic observation stream: a handful of flows, each packet a
+# (size, matches, gap) triple.  Gaps are non-negative so per-flow
+# timestamps are monotone, as on a real pipeline.
+packet = st.tuples(
+    st.integers(min_value=1, max_value=2048),   # size
+    st.integers(min_value=0, max_value=16),     # matches
+    st.floats(min_value=0.0, max_value=4.0, allow_nan=False, width=32),
+)
+flow = st.lists(packet, min_size=1, max_size=12)
+stream = st.dictionaries(
+    st.integers(min_value=0, max_value=7).map(lambda i: f"flow-{i}"),
+    flow,
+    min_size=1,
+    max_size=6,
+)
+
+
+def rows_of(flows):
+    """Flatten a {flow: [(size, matches, gap), ...]} dict into observe rows."""
+    rows = []
+    for flow_key, packets in sorted(flows.items()):
+        now = 0.0
+        chain_id = hash(flow_key) % 3 + 1
+        for size, matches, gap in packets:
+            now += gap
+            rows.append((flow_key, chain_id, size, matches, now))
+    return rows
+
+
+def interleave(flows, order_seed):
+    """Round-robin flows into one stream, rotating start by order_seed.
+
+    Every flow's internal packet order is preserved; only the global
+    interleaving changes — exactly the freedom a multi-queue NIC has.
+    """
+    queues = [list(packets) for _, packets in sorted(flows.items())]
+    keys = [key for key, _ in sorted(flows.items())]
+    clocks = {key: 0.0 for key in keys}
+    rows = []
+    start = order_seed % max(len(queues), 1)
+    while any(queues):
+        for offset in range(len(queues)):
+            index = (start + offset) % len(queues)
+            if queues[index]:
+                size, matches, gap = queues[index].pop(0)
+                key = keys[index]
+                clocks[key] += gap
+                rows.append(
+                    (key, hash(key) % 3 + 1, size, matches, clocks[key])
+                )
+        start += 1
+    return rows
+
+
+@given(flows=stream, cut=st.integers(min_value=0, max_value=60))
+@settings(max_examples=120, deadline=None)
+def test_features_invariant_to_batch_boundaries(flows, cut):
+    rows = rows_of(flows)
+    loop = FeatureExtractor()
+    for row in rows:
+        flow_key, chain_id, size, matches, now = row
+        loop.observe(
+            flow_key, chain_id=chain_id, size=size, matches=matches, now=now
+        )
+    split = min(cut, len(rows))
+    batched = FeatureExtractor()
+    batched.observe_batch(rows[:split])
+    batched.observe_batch(rows[split:])
+    assert features_digest(loop.features_map()) == features_digest(
+        batched.features_map()
+    )
+    assert loop.observations == batched.observations
+
+
+@given(flows=stream, cut=st.integers(min_value=0, max_value=60))
+@settings(max_examples=80, deadline=None)
+def test_reads_between_batches_do_not_change_features(flows, cut):
+    rows = rows_of(flows)
+    split = min(cut, len(rows))
+    quiet = FeatureExtractor()
+    quiet.observe_batch(rows)
+    noisy = FeatureExtractor()
+    noisy.observe_batch(rows[:split])
+    noisy.features_map()  # interleaved read forces a fold mid-stream
+    noisy.observe_batch(rows[split:])
+    assert features_digest(quiet.features_map()) == features_digest(
+        noisy.features_map()
+    )
+
+
+@given(flows=stream, order_seed=st.integers(min_value=0, max_value=11))
+@settings(max_examples=120, deadline=None)
+def test_verdicts_stable_across_flow_interleavings(flows, order_seed):
+    baseline = FeatureExtractor()
+    baseline.observe_batch(rows_of(flows))
+    shuffled = FeatureExtractor()
+    shuffled.observe_batch(interleave(flows, order_seed))
+
+    base_features = baseline.features_map()
+    shuffled_features = shuffled.features_map()
+    assert features_digest(base_features) == features_digest(
+        shuffled_features
+    )
+
+    classifier = AnomalyClassifier(threshold=3.0, seed=7)
+    base_verdicts = classifier.classify_all(
+        base_features, self_calibrate=True
+    )
+    shuffled_verdicts = classifier.classify_all(
+        shuffled_features, self_calibrate=True
+    )
+    assert verdict_digest(base_verdicts) == verdict_digest(shuffled_verdicts)

@@ -183,3 +183,35 @@ class TestChaosDuringRamp:
         dipped = min(r.alive_instances for r in result.epochs)
         assert dipped == 1
         assert result.epochs[-1].alive_instances == 2
+
+
+class TestPlacementHonorsIsolationPins:
+    """Regression: a dedicated instance provisioned by placement-time
+    isolation must serve its pinned flow in the SAME epoch, not the next.
+
+    A zero heavy-share threshold forces an isolate decision on the very
+    first epoch; with only one epoch in the run, any deferred placement
+    would leave the dedicated instance without a single packet.
+    """
+
+    def test_dedicated_instance_serves_pinned_flow_same_epoch(self):
+        from repro.autoscale.policies import IsolationPolicy
+
+        result = run_load_scenario(
+            small_spec(epochs=1),
+            autoscale=True,
+            policies=[IsolationPolicy(heavy_share_threshold=0.0)],
+        )
+        isolations = [
+            e for e in result.autoscaler.events if e.action == "isolate"
+        ]
+        assert isolations, "zero threshold must trigger isolation"
+        assert isolations[0].epoch == 0
+        dedicated = isolations[0].instance
+        assert result.autoscaler.pins  # the flow is pinned...
+        registry = result.hub.registry
+        # ...and the dedicated instance already carried load in epoch 0.
+        assert registry.value("load_packets_total", instance=dedicated) > 0
+        assert (
+            registry.value("load_offered_bytes_total", instance=dedicated) > 0
+        )
